@@ -1,0 +1,93 @@
+// Command benchgen materializes the 331-instance error dataset (paper
+// Sec. III-E) to a directory tree:
+//
+//	out/<module>/<class>-<variant>/dut.v      the faulty design
+//	out/<module>/<class>-<variant>/golden.v   the verified design
+//	out/<module>/<class>-<variant>/meta.txt   class, category, description
+//	out/index.tsv                             one line per instance
+//
+// Run with -stats to print the composition without writing files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "benchmark_out", "output directory")
+		stats = flag.Bool("stats", false, "print composition statistics only")
+	)
+	flag.Parse()
+
+	faults := faultgen.Benchmark()
+	if *stats {
+		printStats(faults)
+		return
+	}
+
+	var index strings.Builder
+	index.WriteString("id\tmodule\tcategory\tclass\tkind\tdescription\n")
+	for _, f := range faults {
+		m := f.Meta()
+		dir := filepath.Join(*out, f.Module, fmt.Sprintf("%s-%d", f.Class, f.Variant))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		write(filepath.Join(dir, "dut.v"), f.Source)
+		write(filepath.Join(dir, "golden.v"), f.Golden)
+		kind := "functional"
+		if f.Class.IsSyntax() {
+			kind = "syntax"
+		}
+		meta := fmt.Sprintf("id: %s\nmodule: %s\ncategory: %s\nclass: %s\nkind: %s\ninjected: %s\nspec: |\n  %s\n",
+			f.ID, f.Module, m.Category, f.Class, kind,
+			f.Descr, strings.ReplaceAll(strings.TrimSpace(m.Spec), "\n", "\n  "))
+		write(filepath.Join(dir, "meta.txt"), meta)
+		fmt.Fprintf(&index, "%s\t%s\t%s\t%s\t%s\t%s\n", f.ID, f.Module, m.Category, f.Class, kind, f.Descr)
+	}
+	write(filepath.Join(*out, "index.tsv"), index.String())
+	fmt.Printf("benchgen: wrote %d instances under %s\n", len(faults), *out)
+}
+
+func printStats(faults []*faultgen.Fault) {
+	byClass := map[faultgen.Class]int{}
+	byCat := map[dataset.Category]int{}
+	syn, fn := 0, 0
+	for _, f := range faults {
+		byClass[f.Class]++
+		byCat[f.Meta().Category]++
+		if f.Class.IsSyntax() {
+			syn++
+		} else {
+			fn++
+		}
+	}
+	fmt.Printf("total: %d instances (%d syntax, %d functional)\n", len(faults), syn, fn)
+	fmt.Println("by class:")
+	for _, c := range faultgen.Classes() {
+		fmt.Printf("  %-22s %d\n", c, byClass[c])
+	}
+	fmt.Println("by category:")
+	for _, c := range dataset.Categories() {
+		fmt.Printf("  %-16s %d\n", c, byCat[c])
+	}
+}
+
+func write(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

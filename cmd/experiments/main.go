@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the UVLLM
+// paper's evaluation section from the 331-instance benchmark:
+//
+//	experiments -all        # everything (default)
+//	experiments -fig5       # syntax HR vs FR comparison
+//	experiments -fig6       # functional HR vs FR comparison
+//	experiments -fig7       # 27x9 fix-rate heat map
+//	experiments -table2     # segmented stage contributions + MEIC speedup
+//	experiments -table3     # pair-vs-complete ablation
+//	experiments -ablation   # extension ablations (rollback, localization)
+//
+// All numbers are deterministic (seeded); see EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"uvllm/internal/exp"
+)
+
+func main() {
+	var (
+		fig5     = flag.Bool("fig5", false, "print Fig. 5")
+		fig6     = flag.Bool("fig6", false, "print Fig. 6")
+		fig7     = flag.Bool("fig7", false, "print Fig. 7")
+		table2   = flag.Bool("table2", false, "print Table II")
+		table3   = flag.Bool("table3", false, "print Table III")
+		ablation = flag.Bool("ablation", false, "print extension ablations")
+		passk    = flag.Bool("passk", false, "print the pass@k multi-seed study")
+		all      = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk {
+		*all = true
+	}
+
+	if *all {
+		fmt.Print(exp.FullReport())
+		printAblations()
+		return
+	}
+	recs := exp.Records()
+	if *fig5 {
+		fmt.Print(exp.FormatFig5(exp.Fig5(recs)))
+	}
+	if *fig6 {
+		fmt.Print(exp.FormatFig6(exp.Fig6(recs)))
+	}
+	if *fig7 {
+		fmt.Print(exp.FormatFig7(exp.Fig7(recs)))
+	}
+	if *table2 {
+		fmt.Print(exp.FormatTable2(exp.Table2(recs)))
+		fmt.Println()
+		fmt.Print(exp.FormatHeadline(exp.ComputeHeadline()))
+	}
+	if *table3 {
+		fmt.Print(exp.FormatTable3(exp.Table3()))
+	}
+	if *ablation {
+		printAblations()
+	}
+	if *passk {
+		fmt.Print(exp.FormatPassAtK(exp.PassAtKStudy(100, 5)))
+	}
+}
+
+func printAblations() {
+	fmt.Println("\nExtension ablations (first 120 instances)")
+	withRB, withoutRB, wq, woq := exp.AblationRollback(120)
+	fmt.Printf("  rollback:      FR %.2f%% with vs %.2f%% without; delivered-code pass rate on failures %.1f%% with vs %.1f%% without\n",
+		withRB, withoutRB, wq, woq)
+	escFR, slFR, escT, slT := exp.AblationLocalization(120)
+	fmt.Printf("  localization:  MS->SL escalation FR %.2f%% / %.2fs, immediate SL FR %.2f%% / %.2fs\n",
+		escFR, escT, slFR, slT)
+}

@@ -1,0 +1,139 @@
+// Command uvllm runs the UVLLM verification pipeline on one DUT: it lints,
+// pre-processes, tests under the UVM environment and repairs iteratively,
+// printing the verdict and the stage log.
+//
+// The repository is offline, so the LLM agent is the calibrated oracle
+// described in DESIGN.md. Two usage modes:
+//
+//	uvllm -module counter_12bit -inject FuncLogic     # inject + repair
+//	uvllm -module counter_12bit -file my_counter.v    # verify your file
+//
+// In both modes the specification, reference model and clocking come from
+// the named benchmark module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvllm/internal/core"
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+	"uvllm/internal/lint"
+	"uvllm/internal/llm"
+	"uvllm/internal/synth"
+)
+
+func main() {
+	var (
+		modName  = flag.String("module", "counter_12bit", "benchmark module name (see -list)")
+		inject   = flag.String("inject", "", "fault class to inject (e.g. FuncLogic, SynKeywordTypo)")
+		variant  = flag.Int("variant", 0, "fault variant index")
+		file     = flag.String("file", "", "verify this Verilog file instead of injecting")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		mode     = flag.String("mode", "pair", "repair generation form: pair or complete")
+		list     = flag.Bool("list", false, "list benchmark modules and exit")
+		lintOnly = flag.Bool("lint", false, "lint the input and exit")
+		synthRpt = flag.Bool("synth", false, "synthesize the input, print the cell report and exit")
+		verbose  = flag.Bool("v", false, "print the pipeline log")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range dataset.All() {
+			fmt.Printf("%-18s %-14s complexity=%d clock=%q fsm=%v\n",
+				m.Name, m.Category, m.Complexity, m.Clock, m.IsFSM)
+		}
+		return
+	}
+
+	m := dataset.ByName(*modName)
+	if m == nil {
+		fatalf("unknown module %q (use -list)", *modName)
+	}
+
+	source := m.Source
+	golden := m.Source
+	class := "FuncLogic"
+	faultID := m.Name + "/cli"
+	descr := "(user input)"
+
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatalf("read %s: %v", *file, err)
+		}
+		source = string(data)
+	case *inject != "":
+		fs := faultgen.Generate(m, faultgen.Class(*inject))
+		if len(fs) == 0 {
+			fatalf("class %s is not expressible on %s", *inject, m.Name)
+		}
+		if *variant >= len(fs) {
+			fatalf("module %s has %d %s variants", m.Name, len(fs), *inject)
+		}
+		f := fs[*variant]
+		source, golden, class, faultID, descr = f.Source, f.Golden, string(f.Class), f.ID, f.Descr
+	}
+
+	if *synthRpt {
+		nl, err := synth.SynthesizeSource(source, m.Top)
+		if err != nil {
+			fatalf("synthesis failed: %v", err)
+		}
+		fmt.Print(nl.FormatStats())
+		saved := nl.Optimize()
+		fmt.Printf("after optimization (-%d cells):\n", saved)
+		fmt.Print(nl.FormatStats())
+		return
+	}
+
+	if *lintOnly {
+		rep := lint.Lint(source)
+		fmt.Print(rep.Format())
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+		fmt.Println("lint: clean")
+		return
+	}
+
+	genMode := llm.ModePair
+	if *mode == "complete" {
+		genMode = llm.ModeComplete
+	}
+	client := llm.NewOracle(llm.Knowledge{
+		FaultID: faultID, Golden: golden, Class: class,
+		Complexity: m.Complexity, IsFSM: m.IsFSM,
+	}, llm.DefaultProfile(), *seed)
+
+	fmt.Printf("UVLLM: verifying %s (%s)\n", m.Name, descr)
+	res := core.Verify(core.Input{
+		Source: source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
+		RefName: m.Name, ModuleName: m.Name, Client: client,
+		Opts: core.Options{Seed: *seed, Mode: genMode},
+	})
+
+	fmt.Printf("result: success=%v stage=%s iterations=%d pass_rate=%.2f%% coverage=%.1f%%\n",
+		res.Success, res.FixedStage, res.Iterations, res.PassRate*100, res.Coverage)
+	fmt.Printf("modeled time: pre=%.2fs ms=%.2fs sl=%.2fs total=%.2fs; LLM calls=%d (%d in / %d out tokens)\n",
+		res.Times.Pre, res.Times.MS, res.Times.SL, res.Times.Total(),
+		res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens)
+	if *verbose {
+		fmt.Println("--- pipeline log ---")
+		fmt.Println(strings.Join(res.Log, "\n"))
+		fmt.Println("--- final source ---")
+		fmt.Println(res.Final)
+	}
+	if !res.Success {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "uvllm: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,27 @@
+// Package uvllm is a from-scratch Go reproduction of "UVLLM: An Automated
+// Universal RTL Verification Framework using LLMs" (DAC 2025,
+// arXiv:2411.16238).
+//
+// The framework couples a UVM-style testbench with LLM repair agents to
+// verify and repair error-prone RTL designs end to end: lint-based
+// pre-processing (Algorithm 1), UVM testing against LLM-generated
+// reference models, log post-processing with a dynamic-slicing
+// localization engine (Algorithm 2), and iterative LLM repair guarded by a
+// score-register rollback mechanism.
+//
+// Everything the paper depends on is built in this module from the
+// standard library only: a Verilog frontend (internal/verilog), a
+// Verilator-style linter (internal/lint), an event-driven RTL simulator
+// (internal/sim), the UVM components (internal/uvm), golden reference
+// models (internal/refmodel), the paradigm error generator and the
+// 331-instance benchmark (internal/faultgen), the pipeline itself
+// (internal/preproc, internal/locate, internal/repair, internal/core), the
+// comparison baselines (internal/baseline) and the experiment harness that
+// regenerates every figure and table of the evaluation (internal/exp).
+//
+// See DESIGN.md for the system inventory and the documented substitutions
+// (most importantly: GPT-4-turbo is simulated by a calibrated stochastic
+// oracle, since this repository is offline), and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate
+// each experiment; `go run ./cmd/experiments` prints them all.
+package uvllm

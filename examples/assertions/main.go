@@ -1,0 +1,80 @@
+// assertions: the paper's extensibility hook (Sec. III-B) — automatically
+// generated assertions checked inside the UVM environment. Properties are
+// mined from the golden reference model's behavior (one-hot, mutual
+// exclusion, reset values, bounds), attached to the testbench, and shown
+// catching an injected bug with a *named* property. The run's waveform is
+// dumped as a standard VCD file.
+//
+//	go run ./examples/assertions
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"uvllm/internal/assert"
+	"uvllm/internal/dataset"
+	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
+)
+
+func main() {
+	m := dataset.ByName("traffic_light")
+
+	// Mine candidate properties from the golden model's trace.
+	s, err := sim.CompileAndNew(m.Source, m.Top)
+	if err != nil {
+		panic(err)
+	}
+	var ports []assert.PortShape
+	for _, p := range s.Design().Inputs() {
+		if p.Name == m.Clock {
+			continue
+		}
+		ports = append(ports, assert.PortShape{Name: p.Name, Width: p.Width, Input: true})
+	}
+	for _, p := range s.Design().Outputs() {
+		ports = append(ports, assert.PortShape{Name: p.Name, Width: p.Width})
+	}
+	mined, err := assert.Miner{}.Mine(m.Name, ports, m.HasReset, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mined %d properties for %s:\n%s\n", len(mined), m.Name, assert.Describe(mined))
+
+	// Check them inside the UVM environment against a broken DUT whose
+	// yellow lamp sticks on together with red.
+	buggy := strings.Replace(m.Source,
+		"yellow = (state == S_YELLOW) ? 1'b1 : 1'b0;",
+		"yellow = (state == S_YELLOW) ? 1'b1 : red;", 1)
+	env, err := uvm.NewEnv(uvm.Config{
+		Source: buggy, Top: m.Top, Clock: m.Clock, RefName: m.Name,
+		Seed: 7, Assertions: mined,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rate := env.Run(&uvm.RandomSequence{N: 40, ResetName: "rst_n"})
+	fmt.Printf("buggy DUT: scoreboard pass rate %.1f%%, assertion failures: %v\n\n",
+		rate*100, env.Asserts.Failed())
+
+	for i, v := range env.Asserts.Violations {
+		if i == 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  cycle %d: %s  (%s)\n", v.Cycle, v.Assertion, v.Detail)
+	}
+
+	// Dump the waveform for a viewer.
+	f, err := os.CreateTemp("", "traffic_light_*.vcd")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := sim.WriteVCD(f, env.Waveform(), env.DUT.Sim.Design(), m.Top); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwaveform dumped to %s\n", f.Name())
+}

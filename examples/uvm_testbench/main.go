@@ -1,0 +1,58 @@
+// uvm_testbench: use the UVM substrate directly — environment, sequences,
+// scoreboard, coverage — to verify an ALU against its reference model,
+// then watch the same testbench expose an injected bug.
+//
+//	go run ./examples/uvm_testbench
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
+)
+
+func main() {
+	m := dataset.ByName("alu")
+
+	// A UVM environment wires the DUT harness, the reference model and
+	// the scoreboard together (paper Fig. 3).
+	env, err := uvm.NewEnv(uvm.Config{
+		Source: m.Source, Top: m.Top, Clock: m.Clock, RefName: m.Name, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Constrained-random sequence over all input ports.
+	var ports []sim.PortInfo
+	for _, p := range env.DUT.Sim.Design().Inputs() {
+		ports = append(ports, p)
+	}
+	rate := env.Run(&uvm.RandomSequence{Ports: ports, N: 400})
+	fmt.Printf("golden ALU: pass rate %.1f%%, coverage %.1f%%\n", rate*100, env.Cov.Percent())
+	fmt.Println(env.Cov.Report())
+
+	// Now the same testbench on a subtly broken ALU (SUB wired as ADD).
+	buggy := strings.Replace(m.Source, "OP_SUB: y = a - b;", "OP_SUB: y = a + b;", 1)
+	env2, err := uvm.NewEnv(uvm.Config{
+		Source: buggy, Top: m.Top, Clock: m.Clock, RefName: m.Name, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rate = env2.Run(&uvm.RandomSequence{Ports: ports, N: 400})
+	fmt.Printf("buggy ALU: pass rate %.1f%%, %d mismatches recorded\n",
+		rate*100, len(env2.Score.Mismatches))
+
+	fmt.Println("\nfirst UVM log lines:")
+	lines := strings.Split(env2.Log(), "\n")
+	for i, ln := range lines {
+		if i > 4 {
+			break
+		}
+		fmt.Println(" ", ln)
+	}
+}

@@ -1,0 +1,214 @@
+// Package assert implements the assertion extension the UVLLM paper calls
+// out under "Extensibility" (Sec. III-B): UVM's structured environment is
+// "optimally configured to incorporate ... AI-driven assertions". Here the
+// AI assertion writer is replaced by an invariant miner: candidate
+// assertions are proposed from the golden reference model's behavior on a
+// random trace (the same substitution pattern as the reference models
+// themselves), then checked cycle by cycle inside the UVM monitor.
+//
+// Supported assertion forms:
+//
+//   - Invariant:   a predicate over current-cycle signal values
+//   - ResetValue:  a signal's value whenever reset is asserted
+//   - OneHot:      exactly one bit of a signal set (optionally allowing 0)
+//   - Bound:       signal value never exceeds a constant
+//   - Mutex:       two 1-bit signals never high together
+//   - Implication: antecedent now implies consequent now (combinational)
+package assert
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Assertion is a checkable property over cycle-sampled signal values.
+type Assertion interface {
+	// Name is a short stable identifier.
+	Name() string
+	// Describe renders an SVA-flavored description.
+	Describe() string
+	// Check evaluates the property on one cycle's values (prev is the
+	// previous cycle's values, nil on the first cycle).
+	Check(prev, cur map[string]uint64) bool
+}
+
+// Violation records one failed assertion check.
+type Violation struct {
+	Assertion string
+	Cycle     int
+	Detail    string
+}
+
+// Checker evaluates a set of assertions against a cycle stream.
+type Checker struct {
+	Assertions []Assertion
+	Violations []Violation
+	Max        int // cap on recorded violations (default 32)
+	cycle      int
+	prev       map[string]uint64
+	failed     map[string]int // per-assertion failure counts
+}
+
+// NewChecker builds a checker over the given assertions.
+func NewChecker(as []Assertion) *Checker {
+	return &Checker{Assertions: as, Max: 32, failed: map[string]int{}}
+}
+
+// Sample checks one cycle of values, recording violations.
+func (c *Checker) Sample(cur map[string]uint64) {
+	for _, a := range c.Assertions {
+		if !a.Check(c.prev, cur) {
+			c.failed[a.Name()]++
+			if len(c.Violations) < c.Max {
+				c.Violations = append(c.Violations, Violation{
+					Assertion: a.Name(), Cycle: c.cycle, Detail: a.Describe(),
+				})
+			}
+		}
+	}
+	cp := make(map[string]uint64, len(cur))
+	for k, v := range cur {
+		cp[k] = v
+	}
+	c.prev = cp
+	c.cycle++
+}
+
+// Failed returns the names of assertions that failed at least once,
+// sorted.
+func (c *Checker) Failed() []string {
+	var out []string
+	for n := range c.failed {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Passed reports whether no assertion failed.
+func (c *Checker) Passed() bool { return len(c.failed) == 0 }
+
+// ---------------------------------------------------------------------------
+// Assertion forms
+
+// OneHot asserts that exactly one bit of Signal is set (or zero bits when
+// AllowZero is set).
+type OneHot struct {
+	Signal    string
+	AllowZero bool
+}
+
+// Name implements Assertion.
+func (a OneHot) Name() string { return "onehot_" + a.Signal }
+
+// Describe implements Assertion.
+func (a OneHot) Describe() string {
+	if a.AllowZero {
+		return fmt.Sprintf("assert property ($onehot0(%s));", a.Signal)
+	}
+	return fmt.Sprintf("assert property ($onehot(%s));", a.Signal)
+}
+
+// Check implements Assertion.
+func (a OneHot) Check(_, cur map[string]uint64) bool {
+	n := bits.OnesCount64(cur[a.Signal])
+	return n == 1 || (a.AllowZero && n == 0)
+}
+
+// Bound asserts Signal <= Limit.
+type Bound struct {
+	Signal string
+	Limit  uint64
+}
+
+// Name implements Assertion.
+func (a Bound) Name() string { return "bound_" + a.Signal }
+
+// Describe implements Assertion.
+func (a Bound) Describe() string {
+	return fmt.Sprintf("assert property (%s <= %d);", a.Signal, a.Limit)
+}
+
+// Check implements Assertion.
+func (a Bound) Check(_, cur map[string]uint64) bool { return cur[a.Signal] <= a.Limit }
+
+// Mutex asserts two signals are never nonzero together.
+type Mutex struct {
+	A, B string
+}
+
+// Name implements Assertion.
+func (a Mutex) Name() string { return "mutex_" + a.A + "_" + a.B }
+
+// Describe implements Assertion.
+func (a Mutex) Describe() string {
+	return fmt.Sprintf("assert property (!(%s && %s));", a.A, a.B)
+}
+
+// Check implements Assertion.
+func (a Mutex) Check(_, cur map[string]uint64) bool {
+	return cur[a.A] == 0 || cur[a.B] == 0
+}
+
+// ResetValue asserts Signal == Value on any cycle where the (active-low)
+// reset input is asserted.
+type ResetValue struct {
+	Reset  string // reset input name (active low)
+	Signal string
+	Value  uint64
+}
+
+// Name implements Assertion.
+func (a ResetValue) Name() string { return "reset_" + a.Signal }
+
+// Describe implements Assertion.
+func (a ResetValue) Describe() string {
+	return fmt.Sprintf("assert property (!%s |-> %s == %d);", a.Reset, a.Signal, a.Value)
+}
+
+// Check implements Assertion.
+func (a ResetValue) Check(_, cur map[string]uint64) bool {
+	if cur[a.Reset] != 0 {
+		return true
+	}
+	return cur[a.Signal] == a.Value
+}
+
+// Implication asserts that Antecedent(cur) implies Consequent(cur).
+type Implication struct {
+	Label      string
+	Antecedent func(map[string]uint64) bool
+	Consequent func(map[string]uint64) bool
+	Text       string
+}
+
+// Name implements Assertion.
+func (a Implication) Name() string { return "impl_" + a.Label }
+
+// Describe implements Assertion.
+func (a Implication) Describe() string { return a.Text }
+
+// Check implements Assertion.
+func (a Implication) Check(_, cur map[string]uint64) bool {
+	if !a.Antecedent(cur) {
+		return true
+	}
+	return a.Consequent(cur)
+}
+
+// Invariant asserts a free-form predicate over current values.
+type Invariant struct {
+	Label string
+	Pred  func(map[string]uint64) bool
+	Text  string
+}
+
+// Name implements Assertion.
+func (a Invariant) Name() string { return "inv_" + a.Label }
+
+// Describe implements Assertion.
+func (a Invariant) Describe() string { return a.Text }
+
+// Check implements Assertion.
+func (a Invariant) Check(_, cur map[string]uint64) bool { return a.Pred(cur) }

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"uvllm/internal/faultgen"
+	"uvllm/internal/lint"
+	"uvllm/internal/locate"
+	"uvllm/internal/metrics"
+	"uvllm/internal/verilog"
+)
+
+// Strider reimplements the mechanism of Strider (Yang et al., TCAD 2024):
+// signal-value-transition-guided defect repair. It localizes suspicious
+// lines from observed mismatches (reusing the same dynamic-slicing engine
+// UVLLM uses), then searches template mutations of those lines, accepting
+// the first candidate that passes its own random testbench. It handles
+// functional defects only — syntax-broken input cannot be simulated.
+type Strider struct {
+	Cost   metrics.CostModel
+	Budget int // candidate mutations to try
+	BenchN int // vectors in its acceptance bench
+}
+
+// NewStrider builds the baseline with defaults.
+func NewStrider() *Strider {
+	return &Strider{Cost: defaultCost, Budget: 16, BenchN: 8}
+}
+
+// Repair runs the search on one benchmark instance.
+func (x *Strider) Repair(f *faultgen.Fault) Outcome {
+	return templateSearch(f, x.Budget, x.BenchN, x.Cost, false)
+}
+
+// RTLRepair reimplements the mechanism of RTL-Repair (Laeufer et al.,
+// ASPLOS 2024): template-based repair with a small solver-guided search.
+// Its template set additionally covers declaration widths and part-select
+// bounds, which is why the paper finds it strongest on bitwidth defects.
+type RTLRepair struct {
+	Cost   metrics.CostModel
+	Budget int
+	BenchN int
+}
+
+// NewRTLRepair builds the baseline with defaults.
+func NewRTLRepair() *RTLRepair {
+	return &RTLRepair{Cost: defaultCost, Budget: 28, BenchN: 8}
+}
+
+// Repair runs the search on one benchmark instance.
+func (x *RTLRepair) Repair(f *faultgen.Fault) Outcome {
+	return templateSearch(f, x.Budget, x.BenchN, x.Cost, true)
+}
+
+func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostModel, declTemplates bool) Outcome {
+	m := f.Meta()
+	out := Outcome{Final: f.Source}
+
+	// Template tools cannot start from code that does not compile.
+	if rep := lint.Lint(f.Source); hasSyntaxErr(rep) {
+		return out
+	}
+	pass, log, n := RandomOwnBench(f.Source, m, benchN, 5)
+	out.Seconds += cost.Sim(n)
+	if pass {
+		out.Hit = true // escaped detection: counts as a hit, not a fix
+		return out
+	}
+
+	// Localize suspicious lines from the mismatch log. Template tools use
+	// a depth-1 localization (direct definitions of the mismatching
+	// signals) -- shallower than UVLLM's transitive dynamic slice, which
+	// is part of why their repair scope is narrower.
+	_, ms, _ := locate.ErrChk(log, nil)
+	suspicious := map[int]bool{}
+	if fl, perrs := verilog.Parse(f.Source); len(perrs) == 0 && len(ms) > 0 {
+		g := locate.BuildDFG(fl)
+		for _, sig := range ms {
+			for _, def := range g.Defs[sig] {
+				suspicious[def.Line] = true
+			}
+		}
+	}
+
+	tried := 0
+	for _, cand := range enumerateMutations(f.Source, suspicious, declTemplates) {
+		if tried >= budget {
+			break
+		}
+		tried++
+		if rep := lint.Lint(cand); hasSyntaxErr(rep) {
+			continue
+		}
+		ok, _, n := RandomOwnBench(cand, m, benchN, 5)
+		out.Seconds += cost.Sim(n)
+		if ok {
+			out.Hit = true
+			out.Final = cand
+			return out
+		}
+	}
+	return out
+}
+
+func hasSyntaxErr(rep *lint.Report) bool {
+	for _, d := range rep.Errors() {
+		if d.Code == lint.CodeSyntax {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	decConstTplRe = regexp.MustCompile(`(\d+)'d(\d+)`)
+	binConstTplRe = regexp.MustCompile(`(\d+)'b([01]+)`)
+	rangeTplRe    = regexp.MustCompile(`\[(\d+):(\d+)\]`)
+)
+
+// enumerateMutations yields candidate repairs: operator swaps, constant
+// tweaks and (for RTL-Repair) range adjustments, applied to suspicious
+// lines first and the rest of the behavioral code after.
+func enumerateMutations(src string, suspicious map[int]bool, declTemplates bool) []string {
+	ls := strings.Split(src, "\n")
+	order := make([]int, 0, len(ls))
+	for i := range ls {
+		if suspicious[i+1] {
+			order = append(order, i)
+		}
+	}
+	for i := range ls {
+		if !suspicious[i+1] {
+			order = append(order, i)
+		}
+	}
+	var out []string
+	emitLine := func(li int, newLine string) {
+		cp := append([]string(nil), ls...)
+		cp[li] = newLine
+		out = append(out, strings.Join(cp, "\n"))
+	}
+	opSwaps := []struct{ from, to string }{
+		{" + ", " - "}, {" - ", " + "}, {" & ", " | "}, {" | ", " & "},
+		{" ^ ", " | "}, {" & ", " ^ "}, {" < ", " > "}, {" > ", " < "},
+		{" < ", " <= "}, {"==", "!="}, {"!=", "=="},
+	}
+	for _, li := range order {
+		line := ls[li]
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") || strings.HasPrefix(t, "module") {
+			continue
+		}
+		isDecl := strings.HasPrefix(t, "input") || strings.HasPrefix(t, "output") ||
+			strings.HasPrefix(t, "wire") || strings.HasPrefix(t, "reg")
+		if !isDecl {
+			for _, sw := range opSwaps {
+				if i := strings.Index(line, sw.from); i >= 0 {
+					emitLine(li, line[:i]+sw.to+line[i+len(sw.from):])
+				}
+			}
+			// Constant tweaks: V-1, V+1, 0<->1.
+			if mt := decConstTplRe.FindStringSubmatchIndex(line); mt != nil {
+				v, _ := strconv.ParseUint(line[mt[4]:mt[5]], 10, 64)
+				if v > 0 {
+					emitLine(li, line[:mt[4]]+strconv.FormatUint(v-1, 10)+line[mt[5]:])
+				}
+				emitLine(li, line[:mt[4]]+strconv.FormatUint(v+1, 10)+line[mt[5]:])
+			}
+			if mt := binConstTplRe.FindStringSubmatchIndex(line); mt != nil {
+				digits := line[mt[4]:mt[5]]
+				for bit := 0; bit < len(digits); bit++ {
+					fl := []byte(digits)
+					if fl[bit] == '0' {
+						fl[bit] = '1'
+					} else {
+						fl[bit] = '0'
+					}
+					emitLine(li, line[:mt[4]]+string(fl)+line[mt[5]:])
+				}
+			}
+			// Sensitivity repair template.
+			if strings.Contains(line, "@(posedge clk)") && strings.Contains(src, "rst_n") {
+				emitLine(li, strings.Replace(line, "@(posedge clk)", "@(posedge clk or negedge rst_n)", 1))
+			}
+		}
+		if declTemplates {
+			// RTL-Repair's width templates on any line with a range.
+			for _, mt := range rangeTplRe.FindAllStringSubmatchIndex(line, -1) {
+				msb, _ := strconv.Atoi(line[mt[2]:mt[3]])
+				emitLine(li, line[:mt[2]]+strconv.Itoa(msb+1)+line[mt[3]:])
+				if msb > 1 {
+					emitLine(li, line[:mt[2]]+strconv.Itoa(msb-1)+line[mt[3]:])
+				}
+			}
+		}
+	}
+	return out
+}

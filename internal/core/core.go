@@ -1,0 +1,306 @@
+// Package core implements the UVLLM framework pipeline of paper Fig. 2:
+// pre-processing (Alg. 1), UVM processing, post-processing localization
+// (Alg. 2) and the LLM repair stage, iterated under the score-register
+// rollback mechanism until the DUT passes its UVM testbench or the
+// iteration budget is exhausted.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"uvllm/internal/lint"
+	"uvllm/internal/llm"
+	"uvllm/internal/locate"
+	"uvllm/internal/metrics"
+	"uvllm/internal/preproc"
+	"uvllm/internal/repair"
+	"uvllm/internal/sim"
+	"uvllm/internal/synth"
+	"uvllm/internal/uvm"
+)
+
+// Stage identifies which pipeline segment produced the final fix — the
+// accounting axis of paper Table II.
+type Stage string
+
+// Stages.
+const (
+	StageNone Stage = "none"
+	StagePre  Stage = "pre-processing"
+	StageMS   Stage = "repair-ms"
+	StageSL   Stage = "repair-sl"
+)
+
+// Options tunes the pipeline.
+type Options struct {
+	MaxIterations   int         // UVM/repair loop budget; paper uses 5
+	SLThreshold     int         // iteration at which SL mode engages (Alg. 2's TH)
+	Mode            llm.GenMode // pair (default) or complete (Table III ablation)
+	UVMVectors      int         // transactions per UVM run
+	Seed            int64
+	DisableRollback bool // ablation: accept every candidate
+	Cost            metrics.CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 5
+	}
+	if o.SLThreshold == 0 {
+		o.SLThreshold = 4
+	}
+	if o.UVMVectors == 0 {
+		o.UVMVectors = 500
+	}
+	if o.Cost == (metrics.CostModel{}) {
+		o.Cost = metrics.DefaultCostModel()
+	}
+	return o
+}
+
+// Input is one verification job.
+type Input struct {
+	Source     string // the DUT as received
+	Spec       string // design specification
+	Top        string // top module name
+	Clock      string // clock input ("" for combinational)
+	RefName    string // reference model name
+	ModuleName string
+	Client     llm.Client
+	Opts       Options
+}
+
+// StageTimes is the modeled execution-time split across pipeline segments.
+type StageTimes struct {
+	Pre float64
+	MS  float64
+	SL  float64
+}
+
+// Total is the end-to-end modeled execution time.
+func (t StageTimes) Total() float64 { return t.Pre + t.MS + t.SL }
+
+// Result is the pipeline outcome for one DUT.
+type Result struct {
+	Success    bool    // final UVM testbench passes (drives HR)
+	PassRate   float64 // best scoreboard pass rate reached
+	FinalScore float64 // scoreboard pass rate of the Final source
+	FixedStage Stage   // segment whose repair produced the passing code
+	Final      string  // final source
+	Iterations int
+	Times      StageTimes
+	Usage      llm.Usage
+	Coverage   float64
+	Log        []string
+}
+
+type evalResult struct {
+	score float64
+	log   string
+	wave  *sim.Waveform
+	cov   float64
+	err   error
+}
+
+// Verify runs the full UVLLM pipeline on one DUT.
+func Verify(in Input) Result {
+	opts := in.Opts.withDefaults()
+	res := Result{Final: in.Source, FixedStage: StageNone}
+
+	// Step 1: pre-processing (Alg. 1).
+	preUsage := llm.Usage{}
+	pres := preproc.Run(in.Source, in.Spec, in.ModuleName, in.Client, preproc.Options{Mode: opts.Mode}, &preUsage)
+	res.Usage.Calls += preUsage.Calls
+	res.Usage.InputTokens += preUsage.InputTokens
+	res.Usage.OutputTokens += preUsage.OutputTokens
+	res.Times.Pre += opts.Cost.Lint(pres.LintRuns) + llmTime(opts.Cost, preUsage)
+	res.Log = append(res.Log, pres.Log...)
+	cur := pres.Source
+	lastStage := StageNone
+	if pres.Changed {
+		lastStage = StagePre
+	}
+
+	reg := repair.ScoreRegister{Disabled: opts.DisableRollback}
+	var lastPairs []llm.PatchPair
+	var bestEval evalResult
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		res.Iterations = iter
+		stage, llmStage := StageMS, llm.StageMS
+		if iter >= opts.SLThreshold {
+			stage, llmStage = StageSL, llm.StageSL
+		}
+
+		// Step 2: UVM processing.
+		ev := evaluate(cur, in, opts)
+		res.Times.MS += opts.Cost.Sim(opts.UVMVectors) // testing time accrues to the repair loop
+		if ev.cov > res.Coverage {
+			res.Coverage = ev.cov
+		}
+		if ev.err != nil {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: simulation failed: %v", iter, ev.err))
+		}
+		if ev.score > res.PassRate {
+			res.PassRate = ev.score
+		}
+		if ev.score == 1.0 {
+			res.Success = true
+			res.FixedStage = lastStage
+			res.Final = cur
+			res.FinalScore = 1.0
+			return res
+		}
+
+		// Rollback check (Sec. III-C).
+		next, accepted := reg.Offer(cur, ev.score, lastPairs)
+		if accepted || reg.Disabled {
+			bestEval = ev
+		}
+		if !accepted {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: rollback (score %.2f < best %.2f)", iter, ev.score, reg.Best().Score))
+			cur = next
+			ev = bestEval
+		}
+
+		if iter == opts.MaxIterations {
+			break
+		}
+
+		// Step 3: post-processing localization (Alg. 2).
+		info := locate.ErrInfoFetch(cur, ev.log, ev.wave, iter, opts.SLThreshold)
+		errText := info.Format(cur)
+		if ev.err != nil {
+			errText = "simulation error: " + ev.err.Error() + "\n" + errText
+		}
+
+		// Step 4: repair agent (Sec. III-D).
+		req := llm.BuildRepairRequest(llm.RepairContext{
+			ModuleName:    in.ModuleName,
+			Spec:          in.Spec,
+			Source:        cur,
+			Stage:         llmStage,
+			ErrorInfo:     errText,
+			DamageRepairs: reg.Damage,
+			Iteration:     iter,
+			Mode:          opts.Mode,
+		})
+		resp, err := in.Client.Complete(req)
+		if err != nil {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: LLM error: %v", iter, err))
+			continue
+		}
+		res.Usage.Add(resp)
+		callTime := opts.Cost.LLMCall(resp.InputTokens, resp.OutputTokens)
+		if stage == StageSL {
+			res.Times.SL += callTime
+		} else {
+			res.Times.MS += callTime
+		}
+		reply, err := llm.ParseRepairReply(resp.Content)
+		if err != nil {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: unparseable reply: %v", iter, err))
+			continue
+		}
+		cand, err := repair.ApplyReply(cur, reply, opts.Mode)
+		if err != nil {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: %v", iter, err))
+			continue
+		}
+		if cand == cur {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: no-op repair", iter))
+			continue
+		}
+
+		// Synthesis check (paper Fig. 2: the repaired DUT "is then
+		// synthesized as the stage output"): a patch that re-introduces
+		// syntax errors is routed back through pre-processing (paper
+		// Result 4: "new syntax issues ... addressed by the
+		// pre-processor"), and a patch that breaks synthesizability
+		// (combinational cycles, latches) is discarded outright.
+		if rep := lint.Lint(cand); len(rep.Errors()) > 0 {
+			fixUsage := llm.Usage{}
+			p2 := preproc.Run(cand, in.Spec, in.ModuleName, in.Client, preproc.Options{Mode: opts.Mode}, &fixUsage)
+			res.Usage.Calls += fixUsage.Calls
+			res.Usage.InputTokens += fixUsage.InputTokens
+			res.Usage.OutputTokens += fixUsage.OutputTokens
+			res.Times.Pre += opts.Cost.Lint(p2.LintRuns) + llmTime(opts.Cost, fixUsage)
+			if !p2.Clean {
+				res.Log = append(res.Log, fmt.Sprintf("iter %d: candidate unsalvageable, discarded", iter))
+				continue
+			}
+			cand = p2.Source
+		}
+		if err := synthGate(cand, in.Top); err != nil {
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: synthesis rejected candidate: %v", iter, err))
+			continue
+		}
+		cur = cand
+		lastStage = stage
+		lastPairs = reply.Correct
+	}
+
+	res.Final = reg.Best().Source
+	if res.Final == "" {
+		res.Final = cur
+	}
+	if opts.DisableRollback {
+		// Without the score register the delivered code is whatever the
+		// last iteration left behind.
+		res.Final = cur
+	}
+	fe := evaluate(res.Final, in, opts)
+	res.FinalScore = fe.score
+	return res
+}
+
+// synthGate runs the synthesis step on a candidate. Constructs outside
+// the synthesizer's scope (hierarchy, memories) pass the gate — those
+// designs are validated by simulation alone, as the unsupported-construct
+// errors are properties of the synthesizer, not of the candidate.
+func synthGate(src, top string) error {
+	_, err := synth.SynthesizeSource(src, top)
+	if err == nil {
+		return nil
+	}
+	if strings.Contains(err.Error(), "unsupported") {
+		return nil
+	}
+	return err
+}
+
+func evaluate(src string, in Input, opts Options) evalResult {
+	env, err := uvm.NewEnv(uvm.Config{
+		Source: src, Top: in.Top, Clock: in.Clock, RefName: in.RefName, Seed: opts.Seed,
+	})
+	if err != nil {
+		return evalResult{err: err, log: "UVM_FATAL @ 0: elaboration failed: " + err.Error()}
+	}
+	score := env.Run(randomSeq(env, opts.UVMVectors))
+	return evalResult{
+		score: score,
+		log:   env.Log(),
+		wave:  env.Waveform(),
+		cov:   env.Cov.Percent(),
+		err:   env.Fatal(),
+	}
+}
+
+func randomSeq(env *uvm.Env, n int) *uvm.RandomSequence {
+	var ports []sim.PortInfo
+	for _, p := range env.DUT.Sim.Design().Inputs() {
+		if p.Name == env.DUT.Clock {
+			continue
+		}
+		ports = append(ports, p)
+	}
+	name, _ := sim.FindReset(env.DUT.Sim.Design())
+	return &uvm.RandomSequence{Ports: ports, N: n, ResetName: name, ResetEvery: 50}
+}
+
+func llmTime(c metrics.CostModel, u llm.Usage) float64 {
+	return float64(u.Calls)*c.LLMBaseSeconds +
+		c.LLMPerKInputTok*float64(u.InputTokens)/1000 +
+		c.LLMPerKOutputTok*float64(u.OutputTokens)/1000
+}

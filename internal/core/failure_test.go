@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+	"uvllm/internal/llm"
+)
+
+// Failure-injection tests: the pipeline must degrade gracefully when the
+// LLM misbehaves — API errors, garbage output, malformed JSON, unusable
+// patches — because robustness to model unreliability is one of the
+// paper's core motivations.
+
+// errClient always fails, like a dead API endpoint.
+type errClient struct{ calls int }
+
+func (c *errClient) Complete(llm.Request) (llm.Response, error) {
+	c.calls++
+	return llm.Response{}, fmt.Errorf("api: connection reset")
+}
+
+// garbageClient returns non-JSON prose.
+type garbageClient struct{}
+
+func (garbageClient) Complete(req llm.Request) (llm.Response, error) {
+	content := "I am sorry, but I cannot help with that request."
+	return llm.Response{
+		Content:      content,
+		InputTokens:  llm.CountTokens(req.Text()),
+		OutputTokens: llm.CountTokens(content),
+	}, nil
+}
+
+// badPatchClient returns well-formed JSON whose patches never match.
+type badPatchClient struct{}
+
+func (badPatchClient) Complete(req llm.Request) (llm.Response, error) {
+	content := llm.FormatReply(&llm.RepairReply{
+		ModuleName: "x", Analysis: "confused",
+		Correct: []llm.PatchPair{{Original: "line that does not exist anywhere", Patched: "still nothing"}},
+	})
+	return llm.Response{Content: content, InputTokens: 10, OutputTokens: 20}, nil
+}
+
+// breakerClient returns patches that destroy the syntax every time.
+type breakerClient struct{}
+
+func (breakerClient) Complete(req llm.Request) (llm.Response, error) {
+	content := llm.FormatReply(&llm.RepairReply{
+		ModuleName: "x", Analysis: "let me remove this",
+		Correct: []llm.PatchPair{{Original: "endmodule", Patched: "endmodul ((("}},
+	})
+	return llm.Response{Content: content, InputTokens: 10, OutputTokens: 20}, nil
+}
+
+func funcFault(t *testing.T) (*faultgen.Fault, *dataset.Module) {
+	t.Helper()
+	f := pickFault(t, "counter_12bit", faultgen.FuncLogic)
+	return f, dataset.ByName("counter_12bit")
+}
+
+func runWith(t *testing.T, client llm.Client) Result {
+	t.Helper()
+	f, m := funcFault(t)
+	return Verify(Input{
+		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
+		RefName: m.Name, ModuleName: m.Name, Client: client,
+		Opts: core0(),
+	})
+}
+
+func core0() Options { return Options{Seed: 1, UVMVectors: 100} }
+
+func TestPipelineSurvivesDeadAPI(t *testing.T) {
+	c := &errClient{}
+	res := runWith(t, c)
+	if res.Success {
+		t.Fatal("cannot succeed with a dead API")
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d, want full budget", res.Iterations)
+	}
+	if c.calls == 0 {
+		t.Error("client never consulted")
+	}
+	joined := strings.Join(res.Log, "\n")
+	if !strings.Contains(joined, "LLM error") {
+		t.Errorf("log does not mention the API failure:\n%s", joined)
+	}
+	// The best (original) source must survive.
+	if res.Final == "" {
+		t.Error("final source lost")
+	}
+}
+
+func TestPipelineSurvivesGarbageOutput(t *testing.T) {
+	res := runWith(t, garbageClient{})
+	if res.Success {
+		t.Fatal("cannot succeed on refusal prose")
+	}
+	joined := strings.Join(res.Log, "\n")
+	if !strings.Contains(joined, "unparseable") {
+		t.Errorf("log does not mention unparseable replies:\n%s", joined)
+	}
+}
+
+func TestPipelineSurvivesUnusablePatches(t *testing.T) {
+	res := runWith(t, badPatchClient{})
+	if res.Success {
+		t.Fatal("cannot succeed with unmatchable patches")
+	}
+	if res.PassRate >= 1.0 {
+		t.Error("pass rate inconsistent")
+	}
+}
+
+func TestPipelineSurvivesSyntaxBreakingPatches(t *testing.T) {
+	// Every repair attempt breaks the syntax; the synthesis check plus
+	// pre-processing must discard the candidates and keep the best code.
+	res := runWith(t, breakerClient{})
+	if res.Success {
+		t.Fatal("cannot succeed when every patch breaks the code")
+	}
+	// Final code must still parse (it is the pre-repair best version).
+	if strings.Contains(res.Final, "endmodul (((") {
+		t.Error("broken candidate leaked into the final source")
+	}
+}
+
+func TestPreprocSurvivesDeadAPIOnSyntaxFault(t *testing.T) {
+	f := pickFault(t, "adder_8bit", faultgen.SynKeywordTypo)
+	m := dataset.ByName("adder_8bit")
+	res := Verify(Input{
+		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
+		RefName: m.Name, ModuleName: m.Name, Client: &errClient{},
+		Opts: core0(),
+	})
+	if res.Success {
+		t.Fatal("syntax fault cannot be fixed with a dead API")
+	}
+	if res.Times.Pre <= 0 {
+		t.Error("preprocessing time missing")
+	}
+}

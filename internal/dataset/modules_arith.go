@@ -1,0 +1,236 @@
+package dataset
+
+func init() {
+	register(&Module{
+		Name: "accu", Category: Arithmetic, Top: "accu",
+		Clock: "clk", HasReset: true, Complexity: 2,
+		Spec: `accu is an 8-bit input accumulator. On every rising clock edge
+with en high, the 8-bit input d is added into the 16-bit register sum.
+An active-low asynchronous reset rst_n clears sum to zero. When en is low
+the accumulated value holds.`,
+		Source: `module accu(
+    input clk,
+    input rst_n,
+    input en,
+    input [7:0] d,
+    output reg [15:0] sum
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sum <= 16'd0;
+        end else if (en) begin
+            sum <= sum + {8'd0, d};
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "adder_8bit", Category: Arithmetic, Top: "adder_8bit",
+		Complexity: 1,
+		Spec: `adder_8bit is a combinational 8-bit full adder. It adds the
+8-bit operands a and b with the carry-in bit cin, producing the 8-bit
+result sum and the carry-out bit cout.`,
+		Source: `module adder_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    input cin,
+    output [7:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + {7'd0, cin};
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "adder_16bit", Category: Arithmetic, Top: "adder_16bit",
+		Complexity: 2,
+		Spec: `adder_16bit is a combinational 16-bit ripple adder built from
+two adder_8bit slices. It adds a and b with carry-in cin, producing the
+16-bit sum and carry-out cout. The low slice's carry-out feeds the high
+slice's carry-in.`,
+		Source: `module adder_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    input cin,
+    output [7:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + {7'd0, cin};
+endmodule
+
+module adder_16bit(
+    input [15:0] a,
+    input [15:0] b,
+    input cin,
+    output [15:0] sum,
+    output cout
+);
+    wire c_mid;
+    adder_8bit lo (.a(a[7:0]), .b(b[7:0]), .cin(cin), .sum(sum[7:0]), .cout(c_mid));
+    adder_8bit hi (.a(a[15:8]), .b(b[15:8]), .cin(c_mid), .sum(sum[15:8]), .cout(cout));
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "adder_32bit", Category: Arithmetic, Top: "adder_32bit",
+		Complexity: 3,
+		Spec: `adder_32bit is a combinational 32-bit ripple adder built
+hierarchically from two 16-bit adders, each of which is built from two
+8-bit slices. It adds a and b with carry-in cin, producing the 32-bit sum
+and carry-out cout.`,
+		Source: `module adder_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    input cin,
+    output [7:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + {7'd0, cin};
+endmodule
+
+module adder_16bit(
+    input [15:0] a,
+    input [15:0] b,
+    input cin,
+    output [15:0] sum,
+    output cout
+);
+    wire c_mid;
+    adder_8bit lo (.a(a[7:0]), .b(b[7:0]), .cin(cin), .sum(sum[7:0]), .cout(c_mid));
+    adder_8bit hi (.a(a[15:8]), .b(b[15:8]), .cin(c_mid), .sum(sum[15:8]), .cout(cout));
+endmodule
+
+module adder_32bit(
+    input [31:0] a,
+    input [31:0] b,
+    input cin,
+    output [31:0] sum,
+    output cout
+);
+    wire c_mid;
+    adder_16bit lo (.a(a[15:0]), .b(b[15:0]), .cin(cin), .sum(sum[15:0]), .cout(c_mid));
+    adder_16bit hi (.a(a[31:16]), .b(b[31:16]), .cin(c_mid), .sum(sum[31:16]), .cout(cout));
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "multi_8bit", Category: Arithmetic, Top: "multi_8bit",
+		Complexity: 3,
+		Spec: `multi_8bit is a combinational 8x8 shift-and-add multiplier.
+For each set bit i of operand b, operand a shifted left by i is added into
+the 16-bit product p.`,
+		Source: `module multi_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    output reg [15:0] p
+);
+    integer i;
+    always @(*) begin
+        p = 16'd0;
+        for (i = 0; i < 8; i = i + 1) begin
+            if (b[i]) begin
+                p = p + ({8'd0, a} << i);
+            end
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "multi_16bit", Category: Arithmetic, Top: "multi_16bit",
+		Clock: "clk", HasReset: true, Complexity: 3,
+		Spec: `multi_16bit is a registered 16x16 multiplier. On a rising
+clock edge with en high it captures p = a * b (32 bits) and raises done
+for that cycle; with en low, done is low and p holds its value. rst_n is
+an active-low asynchronous reset clearing p and done.`,
+		Source: `module multi_16bit(
+    input clk,
+    input rst_n,
+    input en,
+    input [15:0] a,
+    input [15:0] b,
+    output reg [31:0] p,
+    output reg done
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            p <= 32'd0;
+            done <= 1'b0;
+        end else if (en) begin
+            p <= a * b;
+            done <= 1'b1;
+        end else begin
+            done <= 1'b0;
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "div_8bit", Category: Arithmetic, Top: "div_8bit",
+		Complexity: 3,
+		Spec: `div_8bit is a combinational 8-bit unsigned divider producing
+quotient q = a / b and remainder r = a % b. When the divisor b is zero,
+the divide-by-zero flag dbz is raised and both q and r are forced to 0.`,
+		Source: `module div_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] q,
+    output [7:0] r,
+    output dbz
+);
+    assign dbz = (b == 8'd0) ? 1'b1 : 1'b0;
+    assign q = dbz ? 8'd0 : a / b;
+    assign r = dbz ? 8'd0 : a % b;
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "alu", Category: Arithmetic, Top: "alu",
+		Complexity: 3,
+		Spec: `alu is a combinational 8-bit arithmetic logic unit. The 3-bit
+opcode op selects: 0 add, 1 subtract, 2 bitwise and, 3 bitwise or,
+4 bitwise xor, 5 set-less-than (y = 1 if a < b else 0), 6 logical shift
+left by b[2:0], 7 logical shift right by b[2:0]. The zero flag is high
+when the result y is zero.`,
+		Source: `module alu(
+    input [7:0] a,
+    input [7:0] b,
+    input [2:0] op,
+    output reg [7:0] y,
+    output zero
+);
+    localparam OP_ADD = 3'd0;
+    localparam OP_SUB = 3'd1;
+    localparam OP_AND = 3'd2;
+    localparam OP_OR = 3'd3;
+    localparam OP_XOR = 3'd4;
+    localparam OP_SLT = 3'd5;
+    localparam OP_SHL = 3'd6;
+    localparam OP_SHR = 3'd7;
+    always @(*) begin
+        case (op)
+            OP_ADD: y = a + b;
+            OP_SUB: y = a - b;
+            OP_AND: y = a & b;
+            OP_OR: y = a | b;
+            OP_XOR: y = a ^ b;
+            OP_SLT: y = (a < b) ? 8'd1 : 8'd0;
+            OP_SHL: y = a << b[2:0];
+            OP_SHR: y = a >> b[2:0];
+            default: y = 8'd0;
+        endcase
+    end
+    assign zero = (y == 8'd0) ? 1'b1 : 1'b0;
+endmodule
+`,
+	})
+}

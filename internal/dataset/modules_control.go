@@ -1,0 +1,246 @@
+package dataset
+
+func init() {
+	register(&Module{
+		Name: "counter_12bit", Category: Control, Top: "counter_12bit",
+		Clock: "clk", HasReset: true, Complexity: 1,
+		Spec: `counter_12bit is a 12-bit up counter. On every rising clock
+edge with en high, count increments by one, wrapping from 4095 back to 0.
+The carry output is high while count equals 4095. rst_n is an active-low
+asynchronous reset clearing count.`,
+		Source: `module counter_12bit(
+    input clk,
+    input rst_n,
+    input en,
+    output reg [11:0] count,
+    output carry
+);
+    assign carry = (count == 12'hFFF) ? 1'b1 : 1'b0;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            count <= 12'd0;
+        end else if (en) begin
+            count <= count + 12'd1;
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "updown_counter", Category: Control, Top: "updown_counter",
+		Clock: "clk", HasReset: true, Complexity: 2,
+		Spec: `updown_counter is an 8-bit loadable up/down counter. On a
+rising clock edge: if load is high, q takes the value d; otherwise if up
+is high q increments, else q decrements, both wrapping modulo 256. rst_n
+is an active-low asynchronous reset clearing q.`,
+		Source: `module updown_counter(
+    input clk,
+    input rst_n,
+    input load,
+    input up,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            q <= 8'd0;
+        end else if (load) begin
+            q <= d;
+        end else if (up) begin
+            q <= q + 8'd1;
+        end else begin
+            q <= q - 8'd1;
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "ring_counter", Category: Control, Top: "ring_counter",
+		Clock: "clk", HasReset: true, Complexity: 1,
+		Spec: `ring_counter is a 4-bit one-hot ring counter. Reset (active-
+low, asynchronous) initializes q to 4'b0001; every rising clock edge
+rotates the single hot bit one position toward the MSB, wrapping around.`,
+		Source: `module ring_counter(
+    input clk,
+    input rst_n,
+    output reg [3:0] q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            q <= 4'b0001;
+        end else begin
+            q <= {q[2:0], q[3]};
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "seq_detector", Category: Control, Top: "seq_detector",
+		Clock: "clk", HasReset: true, Complexity: 4, IsFSM: true,
+		Spec: `seq_detector is a Moore finite state machine that detects the
+overlapping bit pattern 1011 on the serial input x. The output z goes
+high for one cycle, the cycle after the final 1 of the pattern has been
+sampled. States: S0 idle, S1 saw "1", S2 saw "10", S3 saw "101",
+S4 pattern complete (z = 1). Overlap is honored: from S4, input 1 moves
+to S1 and input 0 moves to S2. rst_n is an active-low asynchronous reset
+returning the machine to S0.`,
+		Source: `module seq_detector(
+    input clk,
+    input rst_n,
+    input x,
+    output reg z
+);
+    localparam S0 = 3'd0;
+    localparam S1 = 3'd1;
+    localparam S2 = 3'd2;
+    localparam S3 = 3'd3;
+    localparam S4 = 3'd4;
+    reg [2:0] state;
+    reg [2:0] next;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            state <= S0;
+        end else begin
+            state <= next;
+        end
+    end
+    always @(*) begin
+        case (state)
+            S0: next = x ? S1 : S0;
+            S1: next = x ? S1 : S2;
+            S2: next = x ? S3 : S0;
+            S3: next = x ? S4 : S2;
+            S4: next = x ? S1 : S2;
+            default: next = S0;
+        endcase
+    end
+    always @(*) begin
+        z = (state == S4) ? 1'b1 : 1'b0;
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "traffic_light", Category: Control, Top: "traffic_light",
+		Clock: "clk", HasReset: true, Complexity: 4, IsFSM: true,
+		Spec: `traffic_light is a Moore FSM cycling through green (5 cycles),
+yellow (2 cycles) and red (4 cycles), then back to green. Exactly one of
+the outputs green, yellow, red is high at any time. rst_n is an
+active-low asynchronous reset that returns to the start of the green
+phase.`,
+		Source: `module traffic_light(
+    input clk,
+    input rst_n,
+    output reg red,
+    output reg yellow,
+    output reg green
+);
+    localparam S_GREEN = 2'd0;
+    localparam S_YELLOW = 2'd1;
+    localparam S_RED = 2'd2;
+    localparam GREEN_T = 5;
+    localparam YELLOW_T = 2;
+    localparam RED_T = 4;
+    reg [1:0] state;
+    reg [3:0] timer;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            state <= S_GREEN;
+            timer <= 4'd0;
+        end else begin
+            case (state)
+                S_GREEN: begin
+                    if (timer == GREEN_T - 1) begin
+                        state <= S_YELLOW;
+                        timer <= 4'd0;
+                    end else begin
+                        timer <= timer + 4'd1;
+                    end
+                end
+                S_YELLOW: begin
+                    if (timer == YELLOW_T - 1) begin
+                        state <= S_RED;
+                        timer <= 4'd0;
+                    end else begin
+                        timer <= timer + 4'd1;
+                    end
+                end
+                S_RED: begin
+                    if (timer == RED_T - 1) begin
+                        state <= S_GREEN;
+                        timer <= 4'd0;
+                    end else begin
+                        timer <= timer + 4'd1;
+                    end
+                end
+                default: begin
+                    state <= S_GREEN;
+                    timer <= 4'd0;
+                end
+            endcase
+        end
+    end
+    always @(*) begin
+        green = (state == S_GREEN) ? 1'b1 : 1'b0;
+        yellow = (state == S_YELLOW) ? 1'b1 : 1'b0;
+        red = (state == S_RED) ? 1'b1 : 1'b0;
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "vending_machine", Category: Control, Top: "vending_machine",
+		Clock: "clk", HasReset: true, Complexity: 4, IsFSM: true,
+		Spec: `vending_machine accepts coins and dispenses an item priced at
+20 units. The 2-bit input coin encodes: 0 none, 1 a 5-unit coin, 2 a
+10-unit coin, 3 a 25-unit coin, sampled on each rising clock edge. When
+the inserted total reaches or exceeds 20, dispense goes high for one
+cycle, change outputs the overpayment, and the total resets to zero.
+Otherwise dispense and change are zero and the total accumulates. rst_n
+is an active-low asynchronous reset clearing everything.`,
+		Source: `module vending_machine(
+    input clk,
+    input rst_n,
+    input [1:0] coin,
+    output reg dispense,
+    output reg [5:0] change
+);
+    localparam PRICE = 20;
+    reg [5:0] total;
+    reg [5:0] value;
+    always @(*) begin
+        case (coin)
+            2'd1: value = 6'd5;
+            2'd2: value = 6'd10;
+            2'd3: value = 6'd25;
+            default: value = 6'd0;
+        endcase
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            total <= 6'd0;
+            dispense <= 1'b0;
+            change <= 6'd0;
+        end else begin
+            if (total + value >= PRICE) begin
+                dispense <= 1'b1;
+                change <= total + value - PRICE;
+                total <= 6'd0;
+            end else begin
+                dispense <= 1'b0;
+                change <= 6'd0;
+                total <= total + value;
+            end
+        end
+    end
+endmodule
+`,
+	})
+}

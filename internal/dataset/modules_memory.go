@@ -1,0 +1,142 @@
+package dataset
+
+func init() {
+	register(&Module{
+		Name: "ram_sp", Category: Memory, Top: "ram_sp",
+		Clock: "clk", HasReset: false, Complexity: 2,
+		Spec: `ram_sp is a 16-word by 8-bit single-port synchronous RAM. On a
+rising clock edge, if we is high the word at addr is written with din.
+The read port is synchronous: dout is registered and always presents the
+word that was at addr before the edge (read-before-write behavior).`,
+		Source: `module ram_sp(
+    input clk,
+    input we,
+    input [3:0] addr,
+    input [7:0] din,
+    output reg [7:0] dout
+);
+    reg [7:0] mem [0:15];
+    always @(posedge clk) begin
+        if (we) begin
+            mem[addr] <= din;
+        end
+        dout <= mem[addr];
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "fifo_sync", Category: Memory, Top: "fifo_sync",
+		Clock: "clk", HasReset: true, Complexity: 4,
+		Spec: `fifo_sync is an 8-deep, 8-bit-wide synchronous FIFO with
+wrap-around pointers. Writes occur on a rising edge when wr_en is high
+and the FIFO is not full; reads advance the read pointer when rd_en is
+high and the FIFO is not empty. dout combinationally presents the word
+at the read pointer. full and empty are pointer-derived status flags.
+rst_n is an active-low asynchronous reset clearing both pointers.`,
+		Source: `module fifo_sync(
+    input clk,
+    input rst_n,
+    input wr_en,
+    input rd_en,
+    input [7:0] din,
+    output [7:0] dout,
+    output full,
+    output empty
+);
+    reg [7:0] mem [0:7];
+    reg [3:0] wptr;
+    reg [3:0] rptr;
+    assign empty = (wptr == rptr) ? 1'b1 : 1'b0;
+    assign full = ((wptr[3] != rptr[3]) && (wptr[2:0] == rptr[2:0])) ? 1'b1 : 1'b0;
+    assign dout = mem[rptr[2:0]];
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            wptr <= 4'd0;
+            rptr <= 4'd0;
+        end else begin
+            if (wr_en && !full) begin
+                mem[wptr[2:0]] <= din;
+                wptr <= wptr + 4'd1;
+            end
+            if (rd_en && !empty) begin
+                rptr <= rptr + 4'd1;
+            end
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "lifo_stack", Category: Memory, Top: "lifo_stack",
+		Clock: "clk", HasReset: true, Complexity: 3,
+		Spec: `lifo_stack is an 8-deep, 8-bit-wide hardware stack. On a
+rising edge, push (when not full) stores din and increments the stack
+pointer; otherwise pop (when not empty) decrements it. Push wins when
+both are asserted. dout combinationally presents the top of stack (zero
+when empty). full and empty reflect the pointer. rst_n is an active-low
+asynchronous reset clearing the pointer.`,
+		Source: `module lifo_stack(
+    input clk,
+    input rst_n,
+    input push,
+    input pop,
+    input [7:0] din,
+    output [7:0] dout,
+    output full,
+    output empty
+);
+    reg [7:0] mem [0:7];
+    reg [3:0] sp;
+    assign empty = (sp == 4'd0) ? 1'b1 : 1'b0;
+    assign full = (sp == 4'd8) ? 1'b1 : 1'b0;
+    assign dout = empty ? 8'd0 : mem[sp - 4'd1];
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sp <= 4'd0;
+        end else begin
+            if (push && !full) begin
+                mem[sp[2:0]] <= din;
+                sp <= sp + 4'd1;
+            end else if (pop && !empty) begin
+                sp <= sp - 4'd1;
+            end
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "shift_register", Category: Memory, Top: "shift_register",
+		Clock: "clk", HasReset: true, Complexity: 2,
+		Spec: `shift_register is an 8-bit bidirectional shift register. On a
+rising clock edge with en high: when dir is 0 the register shifts left
+(toward the MSB) taking sin into bit 0; when dir is 1 it shifts right
+taking sin into bit 7. With en low the value holds. rst_n is an
+active-low asynchronous reset clearing q.`,
+		Source: `module shift_register(
+    input clk,
+    input rst_n,
+    input en,
+    input dir,
+    input sin,
+    output reg [7:0] q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            q <= 8'd0;
+        end else if (en) begin
+            if (dir) begin
+                q <= {sin, q[7:1]};
+            end else begin
+                q <= {q[6:0], sin};
+            end
+        end
+    end
+endmodule
+`,
+	})
+}

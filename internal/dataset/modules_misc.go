@@ -1,0 +1,215 @@
+package dataset
+
+func init() {
+	register(&Module{
+		Name: "mux4", Category: Miscellaneous, Top: "mux4",
+		Complexity: 1,
+		Spec: `mux4 is a combinational 4-to-1 multiplexer for 8-bit data.
+The 2-bit select sel routes one of d0, d1, d2, d3 to the output y.`,
+		Source: `module mux4(
+    input [1:0] sel,
+    input [7:0] d0,
+    input [7:0] d1,
+    input [7:0] d2,
+    input [7:0] d3,
+    output reg [7:0] y
+);
+    always @(*) begin
+        case (sel)
+            2'd0: y = d0;
+            2'd1: y = d1;
+            2'd2: y = d2;
+            default: y = d3;
+        endcase
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "demux4", Category: Miscellaneous, Top: "demux4",
+		Complexity: 1,
+		Spec: `demux4 is a combinational 1-to-4 demultiplexer for 8-bit
+data. The input d is routed to the output selected by sel (y0 for 0
+through y3 for 3); the other outputs are zero.`,
+		Source: `module demux4(
+    input [1:0] sel,
+    input [7:0] d,
+    output reg [7:0] y0,
+    output reg [7:0] y1,
+    output reg [7:0] y2,
+    output reg [7:0] y3
+);
+    always @(*) begin
+        y0 = 8'd0;
+        y1 = 8'd0;
+        y2 = 8'd0;
+        y3 = 8'd0;
+        case (sel)
+            2'd0: y0 = d;
+            2'd1: y1 = d;
+            2'd2: y2 = d;
+            default: y3 = d;
+        endcase
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "decoder3to8", Category: Miscellaneous, Top: "decoder3to8",
+		Complexity: 1,
+		Spec: `decoder3to8 is a combinational 3-to-8 one-hot decoder with an
+enable. When en is high, output bit a of y is set and all others are
+clear; when en is low, y is all zeros.`,
+		Source: `module decoder3to8(
+    input en,
+    input [2:0] a,
+    output reg [7:0] y
+);
+    always @(*) begin
+        if (en) begin
+            y = 8'd1 << a;
+        end else begin
+            y = 8'd0;
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "priority_encoder", Category: Miscellaneous, Top: "priority_encoder",
+		Complexity: 2,
+		Spec: `priority_encoder is a combinational 8-to-3 priority encoder.
+out is the index of the highest set bit of in, and valid indicates that
+at least one input bit is set. With in == 0, out is 0 and valid is low.`,
+		Source: `module priority_encoder(
+    input [7:0] in,
+    output reg [2:0] out,
+    output reg valid
+);
+    integer i;
+    always @(*) begin
+        out = 3'd0;
+        valid = 1'b0;
+        for (i = 0; i < 8; i = i + 1) begin
+            if (in[i]) begin
+                out = i[2:0];
+                valid = 1'b1;
+            end
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "comparator_4bit", Category: Miscellaneous, Top: "comparator_4bit",
+		Complexity: 1,
+		Spec: `comparator_4bit is a combinational 4-bit unsigned magnitude
+comparator with three one-hot outputs: gt when a > b, eq when a == b and
+lt when a < b.`,
+		Source: `module comparator_4bit(
+    input [3:0] a,
+    input [3:0] b,
+    output gt,
+    output eq,
+    output lt
+);
+    assign gt = (a > b) ? 1'b1 : 1'b0;
+    assign eq = (a == b) ? 1'b1 : 1'b0;
+    assign lt = (a < b) ? 1'b1 : 1'b0;
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "parity_gen", Category: Miscellaneous, Top: "parity_gen",
+		Complexity: 1,
+		Spec: `parity_gen computes the parity bit of an 8-bit data word.
+With odd_sel low it outputs even parity (XOR of all bits); with odd_sel
+high it outputs odd parity (the complement).`,
+		Source: `module parity_gen(
+    input [7:0] data,
+    input odd_sel,
+    output parity
+);
+    assign parity = odd_sel ? ~(^data) : (^data);
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "gray_code", Category: Miscellaneous, Top: "gray_code",
+		Complexity: 1,
+		Spec: `gray_code is a combinational 4-bit binary to Gray code
+converter: gray = bin XOR (bin >> 1).`,
+		Source: `module gray_code(
+    input [3:0] bin,
+    output [3:0] gray
+);
+    assign gray = bin ^ (bin >> 1);
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "edge_detector", Category: Miscellaneous, Top: "edge_detector",
+		Clock: "clk", HasReset: true, Complexity: 2,
+		Spec: `edge_detector registers the input sig and produces one-cycle
+pulses: rise is high the cycle after a 0-to-1 transition of sig, fall
+the cycle after a 1-to-0 transition. rst_n is an active-low asynchronous
+reset clearing the history and both outputs.`,
+		Source: `module edge_detector(
+    input clk,
+    input rst_n,
+    input sig,
+    output reg rise,
+    output reg fall
+);
+    reg prev;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            prev <= 1'b0;
+            rise <= 1'b0;
+            fall <= 1'b0;
+        end else begin
+            rise <= sig & ~prev;
+            fall <= ~sig & prev;
+            prev <= sig;
+        end
+    end
+endmodule
+`,
+	})
+
+	register(&Module{
+		Name: "clk_divider", Category: Miscellaneous, Top: "clk_divider",
+		Clock: "clk", HasReset: true, Complexity: 2,
+		Spec: `clk_divider divides the input clock with a free-running 3-bit
+counter. Outputs div2, div4 and div8 are the counter bits 0, 1 and 2,
+toggling at 1/2, 1/4 and 1/8 of the clock rate. rst_n is an active-low
+asynchronous reset clearing the counter.`,
+		Source: `module clk_divider(
+    input clk,
+    input rst_n,
+    output div2,
+    output div4,
+    output div8
+);
+    reg [2:0] cnt;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            cnt <= 3'd0;
+        end else begin
+            cnt <= cnt + 3'd1;
+        end
+    end
+    assign div2 = cnt[0];
+    assign div4 = cnt[1];
+    assign div8 = cnt[2];
+endmodule
+`,
+	})
+}

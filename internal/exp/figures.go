@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+)
+
+// Rates bundles the two headline metrics for one method on one slice of
+// the benchmark.
+type Rates struct {
+	HR float64 // Hit Rate, % (Eq. 1): the method's own testbench passes
+	FR float64 // Fix Rate, % (Eq. 2): expert validation passes
+	N  int
+}
+
+func computeRates(recs []*Record, hit, fix func(*Record) bool) Rates {
+	r := Rates{N: len(recs)}
+	if len(recs) == 0 {
+		return r
+	}
+	h, f := 0, 0
+	for _, rec := range recs {
+		if hit(rec) {
+			h++
+		}
+		if fix(rec) {
+			f++
+		}
+	}
+	r.HR = 100 * float64(h) / float64(len(recs))
+	r.FR = 100 * float64(f) / float64(len(recs))
+	return r
+}
+
+// Method accessors shared by the figures.
+var (
+	uvllmHit   = func(r *Record) bool { return r.UVLLM.Success }
+	uvllmFix   = func(r *Record) bool { return r.UVLLMFix }
+	meicHit    = func(r *Record) bool { return r.MEIC.Hit }
+	meicFix    = func(r *Record) bool { return r.MEICFix }
+	rawHit     = func(r *Record) bool { return r.Raw.Hit }
+	rawFix     = func(r *Record) bool { return r.RawFix }
+	striderHit = func(r *Record) bool { return r.Strider != nil && r.Strider.Hit }
+	striderFix = func(r *Record) bool { return r.StriderFix }
+	rtlHit     = func(r *Record) bool { return r.RTLRepair != nil && r.RTLRepair.Hit }
+	rtlFix     = func(r *Record) bool { return r.RTLRepairFix }
+)
+
+// Fig5Row is one category of the syntax-error comparison (paper Fig. 5).
+type Fig5Row struct {
+	Category string
+	UVLLM    Rates
+	MEIC     Rates
+	Raw      Rates
+}
+
+// Fig5 computes HR vs FR for syntax errors across the five categories and
+// the average row, for UVLLM, MEIC and raw GPT-4-turbo.
+func Fig5(recs []*Record) []Fig5Row {
+	var rows []Fig5Row
+	byCat := map[string][]*Record{}
+	var order []string
+	for _, c := range faultgen.SyntaxClasses() {
+		order = append(order, c.Fig5Category())
+	}
+	var all []*Record
+	for _, r := range recs {
+		if !r.Fault.Class.IsSyntax() {
+			continue
+		}
+		cat := r.Fault.Class.Fig5Category()
+		byCat[cat] = append(byCat[cat], r)
+		all = append(all, r)
+	}
+	for _, cat := range order {
+		rows = append(rows, fig5Row(cat, byCat[cat]))
+	}
+	rows = append(rows, fig5Row("Average", all))
+	return rows
+}
+
+func fig5Row(cat string, recs []*Record) Fig5Row {
+	return Fig5Row{
+		Category: cat,
+		UVLLM:    computeRates(recs, uvllmHit, uvllmFix),
+		MEIC:     computeRates(recs, meicHit, meicFix),
+		Raw:      computeRates(recs, rawHit, rawFix),
+	}
+}
+
+// FormatFig5 renders the figure as an aligned text table.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — HR vs FR, syntax errors (%)\n")
+	fmt.Fprintf(&b, "%-24s %4s | %7s %7s | %7s %7s | %7s %7s\n",
+		"Category", "N", "UV-FR", "UV-HR", "MEIC-FR", "MEIC-HR", "GPT-FR", "GPT-HR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %4d | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f\n",
+			r.Category, r.UVLLM.N,
+			r.UVLLM.FR, r.UVLLM.HR, r.MEIC.FR, r.MEIC.HR, r.Raw.FR, r.Raw.HR)
+	}
+	return b.String()
+}
+
+// Fig6Row is one category of the functional-error comparison (paper
+// Fig. 6).
+type Fig6Row struct {
+	Category  string
+	UVLLM     Rates
+	Raw       Rates
+	Strider   Rates
+	MEIC      Rates
+	RTLRepair Rates
+}
+
+// Fig6 computes HR vs FR for functional errors across the four categories
+// plus the average, for all five methods.
+func Fig6(recs []*Record) []Fig6Row {
+	byCat := map[string][]*Record{}
+	var order []string
+	for _, c := range faultgen.FunctionalClasses() {
+		order = append(order, c.Fig6Category())
+	}
+	var all []*Record
+	for _, r := range recs {
+		if r.Fault.Class.IsSyntax() {
+			continue
+		}
+		cat := r.Fault.Class.Fig6Category()
+		byCat[cat] = append(byCat[cat], r)
+		all = append(all, r)
+	}
+	var rows []Fig6Row
+	for _, cat := range order {
+		rows = append(rows, fig6Row(cat, byCat[cat]))
+	}
+	rows = append(rows, fig6Row("Average", all))
+	return rows
+}
+
+func fig6Row(cat string, recs []*Record) Fig6Row {
+	return Fig6Row{
+		Category:  cat,
+		UVLLM:     computeRates(recs, uvllmHit, uvllmFix),
+		Raw:       computeRates(recs, rawHit, rawFix),
+		Strider:   computeRates(recs, striderHit, striderFix),
+		MEIC:      computeRates(recs, meicHit, meicFix),
+		RTLRepair: computeRates(recs, rtlHit, rtlFix),
+	}
+}
+
+// FormatFig6 renders the figure as an aligned text table.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — HR vs FR, functional errors (%)\n")
+	fmt.Fprintf(&b, "%-20s %4s | %6s %6s | %6s | %7s | %6s | %6s | %6s\n",
+		"Category", "N", "UV-FR", "UV-HR", "GPT-FR", "Strider", "MEIC", "RTLrep", "HR-gap")
+	for _, r := range rows {
+		gap := r.MEIC.HR - r.MEIC.FR
+		fmt.Fprintf(&b, "%-20s %4d | %6.2f %6.2f | %6.2f | %7.2f | %6.2f | %6.2f | %6.2f\n",
+			r.Category, r.UVLLM.N,
+			r.UVLLM.FR, r.UVLLM.HR, r.Raw.FR, r.Strider.FR, r.MEIC.FR, r.RTLRepair.FR, gap)
+	}
+	return b.String()
+}
+
+// Fig7Cell is one (module, class) cell of the heat map.
+type Fig7Cell struct {
+	Applicable bool
+	N          int
+	FR         float64 // fraction in [0,1], as the paper's heat map
+}
+
+// Fig7Row is one module of the heat map with per-class cells and the
+// weighted syntax/functional means.
+type Fig7Row struct {
+	Module   string
+	Category dataset.Category
+	Cells    map[faultgen.Class]Fig7Cell
+	Syntax   Fig7Cell // weighted mean over syntax classes
+	Function Fig7Cell // weighted mean over functional classes
+}
+
+// Fig7 computes the 27-module × 9-class fix-rate heat map for UVLLM.
+func Fig7(recs []*Record) []Fig7Row {
+	byMod := map[string][]*Record{}
+	for _, r := range recs {
+		byMod[r.Fault.Module] = append(byMod[r.Fault.Module], r)
+	}
+	var rows []Fig7Row
+	for _, m := range dataset.All() {
+		row := Fig7Row{Module: m.Name, Category: m.Category, Cells: map[faultgen.Class]Fig7Cell{}}
+		for _, c := range faultgen.Classes() {
+			var cell Fig7Cell
+			hits := 0
+			for _, r := range byMod[m.Name] {
+				if r.Fault.Class != c {
+					continue
+				}
+				cell.Applicable = true
+				cell.N++
+				if r.UVLLMFix {
+					hits++
+				}
+			}
+			if cell.N > 0 {
+				cell.FR = float64(hits) / float64(cell.N)
+			}
+			row.Cells[c] = cell
+			agg := &row.Syntax
+			if !c.IsSyntax() {
+				agg = &row.Function
+			}
+			if cell.Applicable {
+				agg.Applicable = true
+				agg.FR = (agg.FR*float64(agg.N) + cell.FR*float64(cell.N)) / float64(agg.N+cell.N)
+				agg.N += cell.N
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFig7 renders the heat map as a text grid; "  × " marks cells the
+// module's structure cannot express (the paper's × symbol).
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — FR heat map (fraction fixed; x = not expressible)\n")
+	fmt.Fprintf(&b, "%-18s", "Module")
+	short := []string{"Semi", "Scope", "BadOp", "Typo", "Lit", "Decl", "Cond", "Bitw", "Logic"}
+	for _, s := range short {
+		fmt.Fprintf(&b, " %5s", s)
+	}
+	fmt.Fprintf(&b, " | %6s %6s\n", "Syntax", "Func")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s", r.Module)
+		for _, c := range faultgen.Classes() {
+			cell := r.Cells[c]
+			if !cell.Applicable {
+				fmt.Fprintf(&b, " %5s", "x")
+			} else {
+				fmt.Fprintf(&b, " %5.2f", cell.FR)
+			}
+		}
+		b.WriteString(" |")
+		for _, agg := range []Fig7Cell{r.Syntax, r.Function} {
+			if !agg.Applicable {
+				fmt.Fprintf(&b, " %6s", "x")
+			} else {
+				fmt.Fprintf(&b, " %6.2f", agg.FR)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"uvllm/internal/faultgen"
+	"uvllm/internal/metrics"
+)
+
+// PassAtKResult is the multi-sample study: the paper queries the LLM five
+// times per instance "to reduce the randomness of the response"; this
+// study quantifies what additional samples buy by re-running UVLLM under
+// k independent seeds and estimating pass@k (Chen et al. 2021, the metric
+// the paper cites for functional correctness).
+type PassAtKResult struct {
+	Instances int
+	Samples   int
+	PassAt    []float64 // PassAt[i] = estimated pass@(i+1), in percent
+}
+
+// PassAtKStudy evaluates the first `instances` benchmark entries with
+// `samples` seeds each (UVLLM only, expert-validated fixes).
+func PassAtKStudy(instances, samples int) PassAtKResult {
+	all := faultgen.Benchmark()
+	if instances <= 0 || instances > len(all) {
+		instances = len(all)
+	}
+	subset := all[:instances]
+
+	// passes[i] = number of seeds that produced an expert-validated fix.
+	passes := make([]int, len(subset))
+	for s := 0; s < samples; s++ {
+		recs := Run(Config{Seed: int64(100 + s), SkipBaselines: true, Instances: subset})
+		for i, r := range recs {
+			if r.UVLLMFix {
+				passes[i]++
+			}
+		}
+	}
+	res := PassAtKResult{Instances: instances, Samples: samples}
+	for k := 1; k <= samples; k++ {
+		sum := 0.0
+		for _, c := range passes {
+			sum += metrics.PassAtK(samples, c, k)
+		}
+		res.PassAt = append(res.PassAt, 100*sum/float64(len(subset)))
+	}
+	return res
+}
+
+// FormatPassAtK renders the study.
+func FormatPassAtK(r PassAtKResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pass@k study (%d instances x %d seeds, UVLLM, expert-validated)\n",
+		r.Instances, r.Samples)
+	for i, p := range r.PassAt {
+		fmt.Fprintf(&b, "  pass@%d = %.2f%%\n", i+1, p)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Headline summarizes the paper's headline claims against the measured
+// run: syntax FR, functional FR, overall FR, coverage and MEIC speedup.
+type Headline struct {
+	SyntaxFR      float64 // paper: 86.99
+	FuncFR        float64 // paper: 71.92
+	OverallFR     float64 // paper: 79.75
+	SyntaxHRFRGap float64 // paper: ~0
+	FuncHRFRGap   float64 // paper: 1.4
+	MeanCoverage  float64 // paper: "nearly 100% test coverage"
+	Speedup       float64 // paper: 10.42x vs MEIC
+}
+
+// ComputeHeadline derives the headline numbers from the cached records.
+func ComputeHeadline() Headline {
+	rows := Table2(Records())
+	var h Headline
+	for _, r := range rows {
+		switch r.Group {
+		case "Syntax":
+			h.SyntaxFR = r.FR
+		case "Function":
+			h.FuncFR = r.FR
+		case "Overall":
+			h.OverallFR = r.FR
+			h.Speedup = r.Speedup
+		}
+	}
+	syn := computeRates(SyntaxRecords(), uvllmHit, uvllmFix)
+	fn := computeRates(FunctionalRecords(), uvllmHit, uvllmFix)
+	h.SyntaxHRFRGap = syn.HR - syn.FR
+	h.FuncHRFRGap = fn.HR - fn.FR
+	cov, n := 0.0, 0
+	for _, r := range Records() {
+		if r.UVLLM.Coverage > 0 {
+			cov += r.UVLLM.Coverage
+			n++
+		}
+	}
+	if n > 0 {
+		h.MeanCoverage = cov / float64(n)
+	}
+	return h
+}
+
+// FormatHeadline renders the paper-vs-measured comparison.
+func FormatHeadline(h Headline) string {
+	var b strings.Builder
+	b.WriteString("Headline: paper vs measured\n")
+	row := func(name string, paper, got float64, unit string) {
+		fmt.Fprintf(&b, "  %-28s paper %8.2f%s   measured %8.2f%s\n", name, paper, unit, got, unit)
+	}
+	row("Syntax FR", 86.99, h.SyntaxFR, "%")
+	row("Functional FR", 71.92, h.FuncFR, "%")
+	row("Overall FR", 79.75, h.OverallFR, "%")
+	row("Syntax HR-FR gap", 0.00, h.SyntaxHRFRGap, "%")
+	row("Functional HR-FR gap", 1.40, h.FuncHRFRGap, "%")
+	row("UVM coverage", 100.00, h.MeanCoverage, "%")
+	row("Speedup vs MEIC", 10.42, h.Speedup, "x")
+	return b.String()
+}
+
+// FullReport renders every figure and table plus the headline block.
+func FullReport() string {
+	var b strings.Builder
+	recs := Records()
+	b.WriteString(FormatHeadline(ComputeHeadline()))
+	b.WriteString("\n")
+	b.WriteString(FormatFig5(Fig5(recs)))
+	b.WriteString("\n")
+	b.WriteString(FormatFig6(Fig6(recs)))
+	b.WriteString("\n")
+	b.WriteString(FormatFig7(Fig7(recs)))
+	b.WriteString("\n")
+	b.WriteString(FormatTable2(Table2(recs)))
+	b.WriteString("\n")
+	b.WriteString(FormatTable3(Table3()))
+	return b.String()
+}

@@ -1,0 +1,169 @@
+// Package exp is the evaluation harness: it runs UVLLM and every baseline
+// over the 331-instance error benchmark and regenerates each figure and
+// table of the paper's evaluation section (Figs. 5–7, Tables II–III).
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"uvllm/internal/baseline"
+	"uvllm/internal/core"
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+	"uvllm/internal/llm"
+)
+
+// Record is the full evaluation of one benchmark instance.
+type Record struct {
+	Fault *faultgen.Fault
+
+	UVLLM    core.Result
+	UVLLMFix bool // expert-validated (FR numerator)
+
+	MEIC    baseline.Outcome
+	MEICFix bool
+
+	Raw    baseline.Outcome
+	RawFix bool
+
+	// Template tools run on functional instances only (they cannot start
+	// from syntax-broken code); nil otherwise.
+	Strider      *baseline.Outcome
+	StriderFix   bool
+	RTLRepair    *baseline.Outcome
+	RTLRepairFix bool
+}
+
+// Config selects what to run.
+type Config struct {
+	Seed            int64
+	Mode            llm.GenMode
+	Profile         *llm.Profile // nil = DefaultProfile
+	SkipBaselines   bool
+	DisableRollback bool
+	SLThreshold     int               // 0 = default
+	Instances       []*faultgen.Fault // nil = full benchmark
+	Workers         int               // 0 = NumCPU
+}
+
+func oracleFor(f *faultgen.Fault, prof llm.Profile, seed int64) *llm.Oracle {
+	m := f.Meta()
+	return llm.NewOracle(llm.Knowledge{
+		FaultID: f.ID, Golden: f.Golden, Class: string(f.Class),
+		Complexity: m.Complexity, IsFSM: m.IsFSM,
+	}, prof, seed)
+}
+
+// Run evaluates all configured instances, in parallel, deterministically.
+func Run(cfg Config) []*Record {
+	instances := cfg.Instances
+	if instances == nil {
+		instances = faultgen.Benchmark()
+	}
+	prof := llm.DefaultProfile()
+	if cfg.Profile != nil {
+		prof = *cfg.Profile
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	recs := make([]*Record, len(instances))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				recs[i] = runOne(instances[i], cfg, prof)
+			}
+		}()
+	}
+	for i := range instances {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return recs
+}
+
+func runOne(f *faultgen.Fault, cfg Config, prof llm.Profile) *Record {
+	m := f.Meta()
+	rec := &Record{Fault: f}
+
+	// UVLLM.
+	rec.UVLLM = core.Verify(core.Input{
+		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
+		RefName: m.Name, ModuleName: m.Name,
+		Client: oracleFor(f, prof, cfg.Seed),
+		Opts: core.Options{
+			Seed: cfg.Seed, Mode: cfg.Mode,
+			DisableRollback: cfg.DisableRollback,
+			SLThreshold:     cfg.SLThreshold,
+		},
+	})
+	rec.UVLLMFix = rec.UVLLM.Success && ExpertPass(rec.UVLLM.Final, m)
+
+	if cfg.SkipBaselines {
+		return rec
+	}
+
+	meic := baseline.NewMEIC(oracleFor(f, prof, cfg.Seed))
+	rec.MEIC = meic.Repair(f)
+	rec.MEICFix = rec.MEIC.Hit && ExpertPass(rec.MEIC.Final, m)
+
+	raw := baseline.NewRawLLM(oracleFor(f, prof, cfg.Seed))
+	rec.Raw = raw.Repair(f)
+	rec.RawFix = rec.Raw.Hit && ExpertPass(rec.Raw.Final, m)
+
+	if !f.Class.IsSyntax() {
+		so := baseline.NewStrider().Repair(f)
+		rec.Strider = &so
+		rec.StriderFix = so.Hit && ExpertPass(so.Final, m)
+		ro := baseline.NewRTLRepair().Repair(f)
+		rec.RTLRepair = &ro
+		rec.RTLRepairFix = ro.Hit && ExpertPass(ro.Final, m)
+	}
+	return rec
+}
+
+var (
+	fullOnce sync.Once
+	fullRecs []*Record
+)
+
+// Records returns the cached full-benchmark evaluation at the default
+// configuration (seed 1, pair mode, all baselines).
+func Records() []*Record {
+	fullOnce.Do(func() {
+		fullRecs = Run(Config{Seed: 1})
+	})
+	return fullRecs
+}
+
+// SyntaxRecords filters the cached records to syntax-class instances.
+func SyntaxRecords() []*Record {
+	var out []*Record
+	for _, r := range Records() {
+		if r.Fault.Class.IsSyntax() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FunctionalRecords filters the cached records to functional instances.
+func FunctionalRecords() []*Record {
+	var out []*Record
+	for _, r := range Records() {
+		if !r.Fault.Class.IsSyntax() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// groupOf maps a module to its Table II group.
+func groupOf(f *faultgen.Fault) dataset.Category { return f.Meta().Category }

@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"uvllm/internal/core"
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+	"uvllm/internal/llm"
+)
+
+// Table2Row is one row of paper Table II: the segmented stage
+// contributions to fix rate and execution time for a module group and an
+// error kind, alongside the MEIC comparison.
+type Table2Row struct {
+	Group   string // "Arithmetic s", "Control f", "Syntax", "Overall", ...
+	N       int
+	PreFR   float64
+	PreT    float64
+	MSFR    float64
+	MST     float64
+	SLFR    float64
+	SLT     float64
+	FR      float64 // UVLLM total FR
+	T       float64 // UVLLM total Texec (s)
+	MEICFR  float64
+	MEICT   float64
+	Speedup float64
+}
+
+// Table2 computes the full segmented table from the evaluation records.
+func Table2(recs []*Record) []Table2Row {
+	var rows []Table2Row
+	kindRecs := map[string][]*Record{}
+	for _, cat := range dataset.Categories() {
+		for _, kind := range []string{"s", "f"} {
+			var grp []*Record
+			for _, r := range recs {
+				if groupOf(r.Fault) != cat {
+					continue
+				}
+				if (kind == "s") != r.Fault.Class.IsSyntax() {
+					continue
+				}
+				grp = append(grp, r)
+			}
+			rows = append(rows, table2Row(fmt.Sprintf("%s %s", cat, kind), grp))
+			kindRecs[kind] = append(kindRecs[kind], grp...)
+		}
+	}
+	rows = append(rows, table2Row("Syntax", kindRecs["s"]))
+	rows = append(rows, table2Row("Function", kindRecs["f"]))
+	rows = append(rows, table2Row("Overall", append(append([]*Record{}, kindRecs["s"]...), kindRecs["f"]...)))
+	return rows
+}
+
+func table2Row(name string, recs []*Record) Table2Row {
+	row := Table2Row{Group: name, N: len(recs)}
+	if len(recs) == 0 {
+		return row
+	}
+	nf := float64(len(recs))
+	for _, r := range recs {
+		if r.UVLLMFix {
+			switch r.UVLLM.FixedStage {
+			case core.StagePre:
+				row.PreFR++
+			case core.StageMS:
+				row.MSFR++
+			case core.StageSL:
+				row.SLFR++
+			}
+			row.FR++
+		}
+		row.PreT += r.UVLLM.Times.Pre
+		row.MST += r.UVLLM.Times.MS
+		row.SLT += r.UVLLM.Times.SL
+		if r.MEICFix {
+			row.MEICFR++
+		}
+		row.MEICT += r.MEIC.Seconds
+	}
+	row.PreFR = 100 * row.PreFR / nf
+	row.MSFR = 100 * row.MSFR / nf
+	row.SLFR = 100 * row.SLFR / nf
+	row.FR = 100 * row.FR / nf
+	row.MEICFR = 100 * row.MEICFR / nf
+	row.PreT /= nf
+	row.MST /= nf
+	row.SLT /= nf
+	row.T = row.PreT + row.MST + row.SLT
+	row.MEICT /= nf
+	if row.T > 0 {
+		row.Speedup = row.MEICT / row.T
+	}
+	return row
+}
+
+// FormatTable2 renders the table in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II — segmented stage contributions (FR %, Texec s)\n")
+	fmt.Fprintf(&b, "%-16s %4s | %6s %6s | %6s %6s | %6s %6s | %6s %7s | %6s %8s | %8s\n",
+		"Group", "N",
+		"PreFR", "PreT", "MSFR", "MST", "SLFR", "SLT",
+		"FR", "Texec", "MEICFR", "MEICT", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %4d | %6.2f %6.2f | %6.2f %6.2f | %6.2f %6.2f | %6.2f %7.2f | %6.2f %8.2f | %7.2fx\n",
+			r.Group, r.N,
+			r.PreFR, r.PreT, r.MSFR, r.MST, r.SLFR, r.SLT,
+			r.FR, r.T, r.MEICFR, r.MEICT, r.Speedup)
+	}
+	return b.String()
+}
+
+// Table3Row is one row of the ablation study (paper Table III): the
+// repair-generation form.
+type Table3Row struct {
+	Variant string
+	SynFR   float64
+	FuncFR  float64
+	SynT    float64
+	FuncT   float64
+}
+
+var (
+	completeOnce sync.Once
+	completeRecs []*Record
+)
+
+// CompleteModeRecords runs (and caches) the full benchmark with the
+// complete-code generation mode, UVLLM only.
+func CompleteModeRecords() []*Record {
+	completeOnce.Do(func() {
+		completeRecs = Run(Config{Seed: 1, Mode: llm.ModeComplete, SkipBaselines: true})
+	})
+	return completeRecs
+}
+
+// Table3 computes the ablation table from the two cached runs.
+func Table3() []Table3Row {
+	return []Table3Row{
+		table3Row("UVLLM_pair", Records()),
+		table3Row("UVLLM_comp", CompleteModeRecords()),
+	}
+}
+
+func table3Row(name string, recs []*Record) Table3Row {
+	row := Table3Row{Variant: name}
+	var synN, funcN, synFix, funcFix int
+	var synT, funcT float64
+	for _, r := range recs {
+		if r.Fault.Class.IsSyntax() {
+			synN++
+			synT += r.UVLLM.Times.Total()
+			if r.UVLLMFix {
+				synFix++
+			}
+		} else {
+			funcN++
+			funcT += r.UVLLM.Times.Total()
+			if r.UVLLMFix {
+				funcFix++
+			}
+		}
+	}
+	if synN > 0 {
+		row.SynFR = 100 * float64(synFix) / float64(synN)
+		row.SynT = synT / float64(synN)
+	}
+	if funcN > 0 {
+		row.FuncFR = 100 * float64(funcFix) / float64(funcN)
+		row.FuncT = funcT / float64(funcN)
+	}
+	return row
+}
+
+// FormatTable3 renders the ablation table.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table III — ablation: repair generation form\n")
+	fmt.Fprintf(&b, "%-12s | %9s %9s | %9s %9s\n", "Framework", "FR-Syn%", "FR-Func%", "T-Syn s", "T-Func s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s | %9.2f %9.2f | %9.2f %9.2f\n", r.Variant, r.SynFR, r.FuncFR, r.SynT, r.FuncT)
+	}
+	return b.String()
+}
+
+// AblationRollback re-runs a slice of the benchmark with the rollback
+// mechanism disabled (UVLLM only) and reports the FR with and without it
+// — the design-choice bench DESIGN.md calls out. instances caps the
+// subset size (0 = full benchmark).
+func AblationRollback(instances int) (withFR, withoutFR, withQuality, withoutQuality float64) {
+	recs := Records()
+	if instances > 0 && instances < len(recs) {
+		recs = recs[:instances]
+	}
+	var faults []*faultgen.Fault
+	fixed, failN := 0, 0
+	for _, r := range recs {
+		faults = append(faults, r.Fault)
+		if r.UVLLMFix {
+			fixed++
+		}
+		if !r.UVLLM.Success {
+			withQuality += r.UVLLM.FinalScore
+			failN++
+		}
+	}
+	withFR = 100 * float64(fixed) / float64(len(recs))
+	if failN > 0 {
+		withQuality = 100 * withQuality / float64(failN)
+	}
+
+	raw := Run(Config{Seed: 1, SkipBaselines: true, DisableRollback: true, Instances: faults})
+	fixed, failN = 0, 0
+	for _, r := range raw {
+		if r.UVLLMFix {
+			fixed++
+		}
+		if !r.UVLLM.Success {
+			withoutQuality += r.UVLLM.FinalScore
+			failN++
+		}
+	}
+	withoutFR = 100 * float64(fixed) / float64(len(raw))
+	if failN > 0 {
+		withoutQuality = 100 * withoutQuality / float64(failN)
+	}
+	return withFR, withoutFR, withQuality, withoutQuality
+}
+
+// AblationLocalization re-runs a slice of the benchmark with SL mode
+// engaged from the first iteration versus the default MS→SL escalation,
+// reporting (escalated FR, immediate-SL FR, escalated mean Texec,
+// immediate-SL mean Texec).
+func AblationLocalization(instances int) (escFR, slFR, escT, slT float64) {
+	recs := Records()
+	if instances > 0 && instances < len(recs) {
+		recs = recs[:instances]
+	}
+	var faults []*faultgen.Fault
+	fixed := 0
+	for _, r := range recs {
+		faults = append(faults, r.Fault)
+		if r.UVLLMFix {
+			fixed++
+		}
+		escT += r.UVLLM.Times.Total()
+	}
+	escFR = 100 * float64(fixed) / float64(len(recs))
+	escT /= float64(len(recs))
+
+	raw := Run(Config{Seed: 1, SkipBaselines: true, SLThreshold: 1, Instances: faults})
+	fixed = 0
+	for _, r := range raw {
+		if r.UVLLMFix {
+			fixed++
+		}
+		slT += r.UVLLM.Times.Total()
+	}
+	slFR = 100 * float64(fixed) / float64(len(raw))
+	slT /= float64(len(raw))
+	return escFR, slFR, escT, slT
+}

@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"uvllm/internal/baseline"
+	"uvllm/internal/dataset"
+	"uvllm/internal/lint"
+	"uvllm/internal/sim"
+)
+
+// ExpertPass is the independent validation behind the Fix Rate (paper
+// Eq. 2): "after expert review, if the fix is confirmed effective across
+// additional scenarios". The expert is simulated by a validation suite no
+// method sees during repair:
+//
+//   - the linter must report no errors;
+//   - a long constrained-random regression (800 vectors, a seed none of
+//     the methods use) must pass against the golden model;
+//   - the directed corner vectors must pass as well.
+func ExpertPass(source string, m *dataset.Module) bool {
+	if source == "" {
+		return false
+	}
+	rep := lint.Lint(source)
+	if len(rep.Errors()) > 0 {
+		return false
+	}
+	ok, _, _ := baseline.RandomOwnBench(source, m, 800, 987654)
+	if !ok {
+		return false
+	}
+	s, err := sim.CompileAndNew(m.Source, m.Top)
+	if err != nil {
+		return false
+	}
+	ok, _, _ = baseline.RunOwnBench(source, m, baseline.WeakBench(m, s.Design()))
+	return ok
+}

@@ -1,0 +1,80 @@
+// Package faultgen is UVLLM's paradigm error generator (paper Sec. III-E):
+// it injects the human-style defect classes of Table I into the verified
+// benchmark modules and validates that every injected error is actually
+// triggerable — either the linter reports it or the UVM testbench observes
+// a mismatch — so that no benchmark instance can "pass without repair".
+package faultgen
+
+// Class is one of the nine injected error classes (paper Fig. 7 uses nine
+// distinct types per module).
+type Class string
+
+// The nine fault classes. Syn* are syntax errors (Fig. 5's five
+// categories); Func* are functional errors (Fig. 6's four categories).
+const (
+	SynMissingSemi      Class = "SynMissingSemi"      // dropped ';' / 'end' / 'endmodule'
+	SynUndeclared       Class = "SynUndeclared"       // deleted declaration
+	SynBadOperator      Class = "SynBadOperator"      // malformed operator, e.g. '=<'
+	SynKeywordTypo      Class = "SynKeywordTypo"      // 'alway', 'asign', ...
+	SynMalformedLiteral Class = "SynMalformedLiteral" // 8'q3-style literal
+	FuncDeclType        Class = "FuncDeclType"        // declaration type/bitwidth misuse
+	FuncCondition       Class = "FuncCondition"       // wrong judgment value / sensitivity / timing
+	FuncBitwidth        Class = "FuncBitwidth"        // expression part-select truncation
+	FuncLogic           Class = "FuncLogic"           // operator/value/variable misuse
+)
+
+// Classes lists all nine classes in Fig. 7 order (syntax first).
+func Classes() []Class {
+	return []Class{
+		SynMissingSemi, SynUndeclared, SynBadOperator, SynKeywordTypo,
+		SynMalformedLiteral, FuncDeclType, FuncCondition, FuncBitwidth,
+		FuncLogic,
+	}
+}
+
+// SyntaxClasses lists the five syntax classes.
+func SyntaxClasses() []Class { return Classes()[:5] }
+
+// FunctionalClasses lists the four functional classes.
+func FunctionalClasses() []Class { return Classes()[5:] }
+
+// IsSyntax reports whether the class is a syntax error class.
+func (c Class) IsSyntax() bool {
+	switch c {
+	case SynMissingSemi, SynUndeclared, SynBadOperator, SynKeywordTypo, SynMalformedLiteral:
+		return true
+	}
+	return false
+}
+
+// Fig5Category maps a syntax class to its category axis in paper Fig. 5.
+func (c Class) Fig5Category() string {
+	switch c {
+	case SynMissingSemi:
+		return "Premature termination"
+	case SynUndeclared:
+		return "Scope issues"
+	case SynBadOperator:
+		return "Operator misuses"
+	case SynKeywordTypo:
+		return "Incorrect coding"
+	case SynMalformedLiteral:
+		return "Data handling"
+	}
+	return ""
+}
+
+// Fig6Category maps a functional class to its category axis in paper Fig. 6.
+func (c Class) Fig6Category() string {
+	switch c {
+	case FuncDeclType:
+		return "Declaration errors"
+	case FuncCondition:
+		return "Flawed conditions"
+	case FuncBitwidth:
+		return "Incorrect bitwidth"
+	case FuncLogic:
+		return "Logic errors"
+	}
+	return ""
+}

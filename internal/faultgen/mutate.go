@@ -1,0 +1,468 @@
+package faultgen
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"uvllm/internal/verilog"
+)
+
+// mutation is one candidate source transformation.
+type mutation struct {
+	src   string // mutated source
+	descr string // human-readable record for the error dataset
+}
+
+// mutate returns the candidate mutations of one class applied to src, in a
+// deterministic order. An empty slice marks the class as structurally
+// inapplicable to the module (an "×" cell in Fig. 7).
+func mutate(src string, class Class) []mutation {
+	switch class {
+	case SynMissingSemi:
+		return mutMissingSemi(src)
+	case SynUndeclared:
+		return mutUndeclared(src)
+	case SynBadOperator:
+		return mutBadOperator(src)
+	case SynKeywordTypo:
+		return mutKeywordTypo(src)
+	case SynMalformedLiteral:
+		return mutMalformedLiteral(src)
+	case FuncDeclType:
+		return mutDeclType(src)
+	case FuncCondition:
+		return mutCondition(src)
+	case FuncBitwidth:
+		return mutBitwidth(src)
+	case FuncLogic:
+		return mutLogic(src)
+	}
+	return nil
+}
+
+// replaceNth replaces the n-th (0-based) occurrence of old in s.
+func replaceNth(s, old, new string, n int) (string, bool) {
+	idx := 0
+	for i := 0; ; i++ {
+		j := strings.Index(s[idx:], old)
+		if j < 0 {
+			return s, false
+		}
+		if i == n {
+			at := idx + j
+			return s[:at] + new + s[at+len(old):], true
+		}
+		idx += j + len(old)
+	}
+}
+
+func lines(src string) []string { return strings.Split(src, "\n") }
+
+func joinLines(ls []string) string { return strings.Join(ls, "\n") }
+
+// --- Syntax classes -------------------------------------------------------
+
+func mutMissingSemi(src string) []mutation {
+	var out []mutation
+	// Variant: drop the semicolon of the middle statement-like line.
+	ls := lines(src)
+	var stmtIdx []int
+	for i, ln := range ls {
+		t := strings.TrimSpace(ln)
+		if strings.HasSuffix(t, ";") && (strings.Contains(t, "<=") || strings.Contains(t, "assign") ||
+			(strings.Contains(t, "=") && !strings.HasPrefix(t, "parameter") && !strings.HasPrefix(t, "localparam"))) {
+			stmtIdx = append(stmtIdx, i)
+		}
+	}
+	if len(stmtIdx) > 0 {
+		i := stmtIdx[len(stmtIdx)/2]
+		cp := append([]string(nil), ls...)
+		cp[i] = strings.TrimSuffix(strings.TrimRight(cp[i], " "), ";")
+		out = append(out, mutation{joinLines(cp), fmt.Sprintf("dropped ';' on line %d", i+1)})
+	}
+	// Variant: drop the first standalone 'end'.
+	for i, ln := range ls {
+		if strings.TrimSpace(ln) == "end" {
+			cp := append([]string(nil), ls[:i]...)
+			cp = append(cp, ls[i+1:]...)
+			out = append(out, mutation{joinLines(cp), fmt.Sprintf("dropped 'end' on line %d", i+1)})
+			break
+		}
+	}
+	// Variant: drop the final 'endmodule'.
+	if i := strings.LastIndex(src, "endmodule"); i >= 0 {
+		out = append(out, mutation{src[:i] + src[i+len("endmodule"):], "dropped final 'endmodule'"})
+	}
+	return out
+}
+
+var declLineRe = regexp.MustCompile(`(?m)^\s*(wire|reg|integer)\b[^;]*;\s*$`)
+
+func mutUndeclared(src string) []mutation {
+	// Delete the first internal declaration line. Modules without internal
+	// signals cannot express this class.
+	loc := declLineRe.FindStringIndex(src)
+	if loc == nil {
+		return nil
+	}
+	line := src[loc[0]:loc[1]]
+	end := loc[1]
+	if end < len(src) && src[end] == '\n' {
+		end++ // remove the whole line, newline included
+	}
+	mutated := src[:loc[0]] + src[end:]
+	return []mutation{{mutated, fmt.Sprintf("deleted declaration %q", strings.TrimSpace(line))}}
+}
+
+func mutBadOperator(src string) []mutation {
+	var out []mutation
+	if s, ok := replaceNth(src, "<=", "=<", 0); ok && strings.Contains(src, "always") {
+		// Only inside procedural code does '=<' parse as a malformed
+		// assignment; "a <= b" in an assign is a comparison. Restrict to
+		// sources with always blocks where the first '<=' is procedural.
+		firstAlways := strings.Index(src, "always")
+		firstNB := strings.Index(src, "<=")
+		if firstAlways >= 0 && firstNB > firstAlways {
+			out = append(out, mutation{s, "replaced '<=' with malformed '=<'"})
+		}
+	}
+	if m := regexp.MustCompile(`assign (\w+) =`).FindStringSubmatchIndex(src); m != nil {
+		s := src[:m[0]] + "assign " + src[m[2]:m[3]] + " ==" + src[m[1]:]
+		out = append(out, mutation{s, "replaced assign '=' with '=='"})
+	}
+	if s, ok := replaceNth(src, " ? ", " ?? ", 0); ok {
+		out = append(out, mutation{s, "duplicated ternary '?' operator"})
+	}
+	return out
+}
+
+func mutKeywordTypo(src string) []mutation {
+	var out []mutation
+	try := func(old, new, what string) {
+		if s, ok := replaceNth(src, old, new, 0); ok {
+			out = append(out, mutation{s, what})
+		}
+	}
+	try("always @", "alway @", "misspelled keyword 'always'")
+	try("assign ", "asign ", "misspelled keyword 'assign'")
+	try("begin", "begn", "misspelled keyword 'begin'")
+	try("endmodule", "endmodul", "misspelled keyword 'endmodule'")
+	return out
+}
+
+var basedLiteralRe = regexp.MustCompile(`(\d+)'([bdh])`)
+
+func mutMalformedLiteral(src string) []mutation {
+	m := basedLiteralRe.FindStringSubmatchIndex(src)
+	if m == nil {
+		return nil
+	}
+	s := src[:m[4]] + "q" + src[m[5]:]
+	return []mutation{{s, fmt.Sprintf("corrupted literal base %q to 'q'", src[m[0]:m[1]])}}
+}
+
+// --- Functional classes ----------------------------------------------------
+
+var declWidthRe = regexp.MustCompile(`(output reg |output |reg )\[(\d+):0\]`)
+
+func mutDeclType(src string) []mutation {
+	var out []mutation
+	// Variant: narrow a declared vector by one bit (silent truncation).
+	if m := declWidthRe.FindStringSubmatchIndex(src); m != nil {
+		n, _ := strconv.Atoi(src[m[4]:m[5]])
+		if n >= 2 {
+			s := src[:m[4]] + strconv.Itoa(n-1) + src[m[5]:]
+			out = append(out, mutation{s, fmt.Sprintf("narrowed declaration [%d:0] to [%d:0]", n, n-1)})
+		}
+	}
+	// Variant: drop 'reg' from an output declaration (type misuse).
+	if s, ok := replaceNth(src, "output reg ", "output ", 0); ok {
+		out = append(out, mutation{s, "dropped 'reg' from output declaration"})
+	}
+	return out
+}
+
+var (
+	forBoundRe = regexp.MustCompile(`< (\d+); \w+ = \w+ \+ 1`)
+	eqHexRe    = regexp.MustCompile(`== (\d+)'h([0-9A-Fa-f]+)`)
+	eqDecRe    = regexp.MustCompile(`== (\d+)'d(\d+)`)
+	timerRe    = regexp.MustCompile(`([A-Z_]+_T) - 1`)
+	binConstRe = regexp.MustCompile(`(\d+)'b([01]+)`)
+)
+
+func mutCondition(src string) []mutation {
+	var out []mutation
+	// Variant: wrong judgment value (Table I: for(i<7) vs for(i<15)).
+	switch {
+	case forBoundRe.MatchString(src):
+		m := forBoundRe.FindStringSubmatchIndex(src)
+		n, _ := strconv.Atoi(src[m[2]:m[3]])
+		if n > 1 {
+			s := src[:m[2]] + strconv.Itoa(n-1) + src[m[3]:]
+			out = append(out, mutation{s, fmt.Sprintf("changed loop bound %d to %d", n, n-1)})
+		}
+	case timerRe.MatchString(src):
+		m := timerRe.FindStringSubmatchIndex(src)
+		s := src[:m[0]] + src[m[2]:m[3]] + " - 2" + src[m[1]:]
+		out = append(out, mutation{s, "changed timer comparison from -1 to -2"})
+	case eqHexRe.MatchString(src):
+		m := eqHexRe.FindStringSubmatchIndex(src)
+		v, _ := strconv.ParseUint(src[m[4]:m[5]], 16, 64)
+		s := src[:m[4]] + strconv.FormatUint(v>>1, 16) + src[m[5]:]
+		out = append(out, mutation{s, "halved comparison constant"})
+	case eqDecRe.MatchString(src):
+		m := eqDecRe.FindStringSubmatchIndex(src)
+		v, _ := strconv.ParseUint(src[m[4]:m[5]], 10, 64)
+		s := src[:m[4]] + strconv.FormatUint(v+1, 10) + src[m[5]:]
+		out = append(out, mutation{s, "incremented comparison constant"})
+	}
+	// Variant: wrong sensitivity (Table I): drop the async reset edge or
+	// narrow a @(*) list.
+	if s, ok := replaceNth(src, " or negedge rst_n", "", 0); ok {
+		out = append(out, mutation{s, "removed 'or negedge rst_n' from sensitivity list"})
+	} else if strings.Contains(src, "@(*)") {
+		if name := firstBodySignal(src); name != "" {
+			s, _ := replaceNth(src, "@(*)", "@("+name+")", 0)
+			out = append(out, mutation{s, fmt.Sprintf("narrowed @(*) to @(%s)", name)})
+		}
+	}
+	// Variant: assignment timing misuse (blocking vs non-blocking), the
+	// COMBDLY/BLKSEQ warnings the pre-processing templates repair.
+	firstEdge := strings.Index(src, "posedge")
+	firstNB := strings.Index(src, " <= ")
+	if firstEdge >= 0 && firstNB > firstEdge {
+		s, _ := replaceNth(src, " <= ", " = ", 0)
+		out = append(out, mutation{s, "used blocking '=' in sequential block"})
+	} else if at := strings.Index(src, "@(*)"); at >= 0 {
+		// Swap the first blocking assignment inside a @(*) block.
+		if i := strings.Index(src[at:], " = "); i > 0 {
+			s := src[:at+i] + " <= " + src[at+i+len(" = "):]
+			out = append(out, mutation{s, "used non-blocking '<=' in combinational block"})
+		}
+	}
+	return out
+}
+
+// firstBodySignal finds an identifier read inside the module body to use
+// as a deliberately-too-narrow sensitivity list.
+func firstBodySignal(src string) string {
+	m := regexp.MustCompile(`case \((\w+)\)`).FindStringSubmatch(src)
+	if m != nil {
+		return m[1]
+	}
+	m = regexp.MustCompile(`if \((\w+)\)`).FindStringSubmatch(src)
+	if m != nil {
+		return m[1]
+	}
+	m = regexp.MustCompile(`= (\w+) `).FindStringSubmatch(src)
+	if m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+var partSelRe = regexp.MustCompile(`(\w+)\[(\d+):(\d+)\]`)
+
+func mutBitwidth(src string) []mutation {
+	// Narrow the first part-select appearing on the right of an '=' or in
+	// an instance connection (declaration ranges are excluded by requiring
+	// the line not to start with a declaration keyword).
+	var out []mutation
+	for _, m := range partSelRe.FindAllStringSubmatchIndex(src, -1) {
+		lineStart := strings.LastIndexByte(src[:m[0]], '\n') + 1
+		line := src[lineStart:]
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "input") || strings.HasPrefix(t, "output") ||
+			strings.HasPrefix(t, "wire") || strings.HasPrefix(t, "reg") ||
+			strings.HasPrefix(t, "integer") || strings.HasPrefix(t, "module") {
+			continue
+		}
+		msb, _ := strconv.Atoi(src[m[4]:m[5]])
+		lsb, _ := strconv.Atoi(src[m[6]:m[7]])
+		if msb <= lsb {
+			continue
+		}
+		s := src[:m[4]] + strconv.Itoa(msb-1) + src[m[5]:]
+		out = append(out, mutation{s, fmt.Sprintf("narrowed part-select [%d:%d] to [%d:%d]", msb, lsb, msb-1, lsb)})
+		break
+	}
+	return out
+}
+
+func mutLogic(src string) []mutation {
+	var out []mutation
+	// Variant: variable name misuse (Table I: r1_temp vs r2_temp). Listed
+	// first: it is the logic-error shape that template-search tools cannot
+	// express with operator/constant swap tables, so the benchmark keeps
+	// it when cells are trimmed.
+	if vm := mutVariableMisuse(src); vm != nil {
+		out = append(out, *vm)
+	}
+	// Variant: operator misuse (Table I: result = a+b vs a-b), up to two
+	// distinct sites inside behavioral code (after the port list).
+	opSwaps := []struct{ from, to string }{
+		{" + ", " - "}, {" - ", " + "}, {" & ", " | "}, {" | ", " & "},
+		{" ^ ", " & "}, {" < ", " > "}, {" > ", " < "},
+	}
+	body := strings.Index(src, ");")
+	if body < 0 {
+		body = 0
+	}
+	sites := 0
+	for _, sw := range opSwaps {
+		for n := 0; sites < 2; n++ {
+			s, ok := replaceNth(src[body:], sw.from, sw.to, n)
+			if !ok {
+				break
+			}
+			out = append(out, mutation{src[:body] + s, fmt.Sprintf(
+				"operator misuse: %q changed to %q (site %d)",
+				strings.TrimSpace(sw.from), strings.TrimSpace(sw.to), n)})
+			sites++
+		}
+		if sites >= 2 {
+			break
+		}
+	}
+	// Variant: value misuse (Table I: 32'b0 vs 32'b1), up to two literal
+	// sites.
+	values := 0
+	for _, m := range binConstRe.FindAllStringSubmatchIndex(src, -1) {
+		if values >= 2 {
+			break
+		}
+		digits := src[m[4]:m[5]]
+		var flipped string
+		if strings.ContainsRune(digits, '0') {
+			flipped = strings.Replace(digits, "0", "1", 1)
+		} else {
+			flipped = strings.Replace(digits, "1", "0", 1)
+		}
+		s := src[:m[4]] + flipped + src[m[5]:]
+		out = append(out, mutation{s, fmt.Sprintf("value misuse: '%s changed to '%s", digits, flipped)})
+		values++
+	}
+	if values == 0 {
+		for _, m := range regexp.MustCompile(`(\d+)'d(\d+)`).FindAllStringSubmatchIndex(src, -1) {
+			if values >= 2 {
+				break
+			}
+			v, _ := strconv.ParseUint(src[m[4]:m[5]], 10, 64)
+			s := src[:m[4]] + strconv.FormatUint(v+1, 10) + src[m[5]:]
+			out = append(out, mutation{s, "value misuse: constant incremented"})
+			values++
+		}
+	}
+	return out
+}
+
+// mutVariableMisuse replaces one use of a signal with a different,
+// same-width signal (Table I: assign r1 = r1_temp vs r2_temp). It prefers
+// swapping two same-width input ports — the classic copy-paste mistake —
+// falling back to sibling operands in one expression.
+func mutVariableMisuse(src string) *mutation {
+	if mu := mutPortMisuse(src); mu != nil {
+		return mu
+	}
+	re := regexp.MustCompile(`([a-z_][a-z0-9_]*) (\+|-|&|\||\^|/|%|\*) ([a-z_][a-z0-9_]*)`)
+	for _, m := range re.FindAllStringSubmatchIndex(src, -1) {
+		x := src[m[2]:m[3]]
+		y := src[m[6]:m[7]]
+		if x == y || isVerilogKeywordWord(x) || isVerilogKeywordWord(y) {
+			continue
+		}
+		s := src[:m[2]] + y + src[m[3]:]
+		return &mutation{s, fmt.Sprintf("variable misuse: %q replaced with %q", x, y)}
+	}
+	return nil
+}
+
+// mutPortMisuse swaps a body use of one input port for another input port
+// of the same width, using the parsed port list of the top (last) module.
+func mutPortMisuse(src string) *mutation {
+	f, perrs := verilog.Parse(src)
+	if len(perrs) > 0 || len(f.Modules) == 0 {
+		return nil
+	}
+	top := f.Modules[len(f.Modules)-1]
+	env, err := verilog.ModuleParams(top)
+	if err != nil {
+		env = verilog.ConstEnv{}
+	}
+	// Group input ports by width; skip clock/reset-style controls whose
+	// misuse would usually be a different fault class.
+	byWidth := map[int][]string{}
+	for _, pt := range top.InputPorts() {
+		switch pt.Name {
+		case "clk", "clock", "rst_n", "rst", "reset":
+			continue
+		}
+		w, werr := verilog.RangeWidth(pt.Range, env)
+		if werr != nil {
+			continue
+		}
+		byWidth[w] = append(byWidth[w], pt.Name)
+	}
+	var x, y string
+	for _, w := range []int{8, 16, 32, 4, 2, 1, 3, 12, 6, 5, 7} {
+		if g := byWidth[w]; len(g) >= 2 {
+			x, y = g[0], g[1]
+			break
+		}
+	}
+	if x == "" {
+		return nil
+	}
+	// Replace one RHS use of x with y in a behavioral line.
+	wordRe := regexp.MustCompile(`\b` + regexp.QuoteMeta(x) + `\b`)
+	ls := strings.Split(src, "\n")
+	body := false
+	for li, line := range ls {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, ");") || t == ");" {
+			body = true
+			continue
+		}
+		if !body {
+			continue
+		}
+		if strings.HasPrefix(t, "input") || strings.HasPrefix(t, "output") ||
+			strings.HasPrefix(t, "wire") || strings.HasPrefix(t, "reg") ||
+			strings.HasPrefix(t, "module") || strings.HasPrefix(t, "//") {
+			continue
+		}
+		loc := wordRe.FindStringIndex(line)
+		if loc == nil {
+			continue
+		}
+		// Only replace reads: require the occurrence after an '=' or
+		// inside a condition/connection.
+		eq := strings.IndexByte(line, '=')
+		if eq >= 0 && loc[0] < eq && !strings.Contains(line[:loc[0]], "if") &&
+			!strings.Contains(line[:loc[0]], "(") {
+			continue
+		}
+		if eq < 0 && !strings.Contains(line, "(") {
+			continue
+		}
+		mutated := line[:loc[0]] + y + line[loc[1]:]
+		cp := append([]string(nil), ls...)
+		cp[li] = mutated
+		return &mutation{strings.Join(cp, "\n"),
+			fmt.Sprintf("variable misuse: %q replaced with %q on line %d", x, y, li+1)}
+	}
+	return nil
+}
+
+func isVerilogKeywordWord(s string) bool {
+	switch s {
+	case "begin", "end", "if", "else", "posedge", "negedge", "or", "assign", "case":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func hasCode(t *testing.T, r *Report, code string) bool {
+	t.Helper()
+	for _, d := range r.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func codes(r *Report) []string {
+	var out []string
+	for _, d := range r.Diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+const cleanCounter = `
+module counter(
+    input clk,
+    input rst_n,
+    input en,
+    output reg [7:0] count
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            count <= 8'd0;
+        end else if (en) begin
+            count <= count + 8'd1;
+        end
+    end
+endmodule
+`
+
+func TestLintCleanModule(t *testing.T) {
+	r := Lint(cleanCounter)
+	if len(r.Diags) != 0 {
+		t.Fatalf("clean module produced diagnostics: %v", r.Diags)
+	}
+	if !r.Clean() {
+		t.Error("Clean() = false for clean module")
+	}
+}
+
+func TestLintSyntaxError(t *testing.T) {
+	r := Lint("module m(input a, output w);\nassign w = a\nendmodule")
+	if !hasCode(t, r, CodeSyntax) {
+		t.Fatalf("no SYNTAX diag: %v", r.Diags)
+	}
+	if len(r.Errors()) == 0 {
+		t.Error("syntax error not severity Error")
+	}
+	if r.Clean() {
+		t.Error("Clean() with syntax errors")
+	}
+}
+
+func TestLintUndeclared(t *testing.T) {
+	r := Lint(`module m(input a, output w);
+assign w = a & undeclared_sig;
+endmodule`)
+	if !hasCode(t, r, CodeUndeclared) {
+		t.Fatalf("no UNDECLARED: %v", r.Diags)
+	}
+}
+
+func TestLintCombDelay(t *testing.T) {
+	r := Lint(`module m(input a, input b, output reg y);
+always @(*) begin
+    y <= a & b;
+end
+endmodule`)
+	if !hasCode(t, r, CodeCombDelay) {
+		t.Fatalf("no COMBDLY: %v", r.Diags)
+	}
+	if len(r.FocusedWarnings()) != 1 {
+		t.Errorf("COMBDLY should be a focused warning: %v", r.FocusedWarnings())
+	}
+}
+
+func TestLintBlockSeq(t *testing.T) {
+	r := Lint(`module m(input clk, input d, output reg q);
+always @(posedge clk) begin
+    q = d;
+end
+endmodule`)
+	if !hasCode(t, r, CodeBlockSeq) {
+		t.Fatalf("no BLKSEQ: %v", r.Diags)
+	}
+}
+
+func TestLintBlockSeqAllowsIntegerLoopVar(t *testing.T) {
+	r := Lint(`module m(input clk, input [3:0] d, output reg [3:0] q);
+integer i;
+always @(posedge clk) begin
+    for (i = 0; i < 4; i = i + 1) begin
+        q[i] <= d[i];
+    end
+end
+endmodule`)
+	if hasCode(t, r, CodeBlockSeq) {
+		t.Fatalf("loop index update flagged as BLKSEQ: %v", r.Diags)
+	}
+}
+
+func TestLintIncompleteSensitivity(t *testing.T) {
+	r := Lint(`module m(input a, input b, output reg y);
+always @(a) begin
+    y = a & b;
+end
+endmodule`)
+	if !hasCode(t, r, CodeSens) {
+		t.Fatalf("no INCOMPLETESENS: %v", r.Diags)
+	}
+}
+
+func TestLintSyncAsyncReset(t *testing.T) {
+	r := Lint(`module m(input clk, input rst_n, input d, output reg q);
+always @(posedge clk) begin
+    if (!rst_n) begin
+        q <= 1'b0;
+    end else begin
+        q <= d;
+    end
+end
+endmodule`)
+	if !hasCode(t, r, CodeSyncAsync) {
+		t.Fatalf("no SYNCASYNC: %v", r.Diags)
+	}
+	var d Diag
+	for _, x := range r.Diags {
+		if x.Code == CodeSyncAsync {
+			d = x
+		}
+	}
+	if d.Signal != "rst_n" || !strings.Contains(d.Msg, "negedge rst_n") {
+		t.Errorf("SYNCASYNC details wrong: %+v", d)
+	}
+}
+
+func TestLintNoSyncAsyncWhenListed(t *testing.T) {
+	r := Lint(cleanCounter)
+	if hasCode(t, r, CodeSyncAsync) {
+		t.Fatalf("false SYNCASYNC: %v", r.Diags)
+	}
+}
+
+func TestLintLatch(t *testing.T) {
+	r := Lint(`module m(input en, input d, output reg q);
+always @(*) begin
+    if (en) begin
+        q = d;
+    end
+end
+endmodule`)
+	if !hasCode(t, r, CodeLatch) {
+		t.Fatalf("no LATCH: %v", r.Diags)
+	}
+}
+
+func TestLintNoLatchWithElse(t *testing.T) {
+	r := Lint(`module m(input en, input d, output reg q);
+always @(*) begin
+    if (en) begin
+        q = d;
+    end else begin
+        q = 1'b0;
+    end
+end
+endmodule`)
+	if hasCode(t, r, CodeLatch) {
+		t.Fatalf("false LATCH: %v", r.Diags)
+	}
+}
+
+func TestLintCaseWithoutDefault(t *testing.T) {
+	r := Lint(`module m(input [1:0] s, output reg y);
+always @(*) begin
+    case (s)
+        2'b00: y = 1'b0;
+        2'b01: y = 1'b1;
+        2'b10: y = 1'b0;
+        2'b11: y = 1'b1;
+    endcase
+end
+endmodule`)
+	if !hasCode(t, r, CodeCaseDef) {
+		t.Fatalf("no CASEINCOMPLETE: %v", r.Diags)
+	}
+	// Full case still gets flagged (Verilator needs pragma); latch must not
+	// fire for exhaustively assigned q... but we accept conservative LATCH
+	// here because the case has no default.
+}
+
+func TestLintWidthMismatch(t *testing.T) {
+	r := Lint(`module m(input [8:0] a, output reg [7:0] y);
+always @(*) begin
+    y = a;
+end
+endmodule`)
+	if !hasCode(t, r, CodeWidth) {
+		t.Fatalf("no WIDTH: %v", r.Diags)
+	}
+}
+
+func TestLintProcAssignToWire(t *testing.T) {
+	r := Lint(`module m(input a, output y);
+always @(*) begin
+    y = a;
+end
+endmodule`)
+	if !hasCode(t, r, CodeProcWire) {
+		t.Fatalf("no PROCASSWIRE: %v", r.Diags)
+	}
+}
+
+func TestLintContAssignToReg(t *testing.T) {
+	r := Lint(`module m(input a, output reg y);
+assign y = a;
+endmodule`)
+	if !hasCode(t, r, CodeContReg) {
+		t.Fatalf("no CONTASSREG: %v", r.Diags)
+	}
+}
+
+func TestLintUndriven(t *testing.T) {
+	r := Lint(`module m(input a, output w);
+wire mid;
+assign w = mid & a;
+endmodule`)
+	if !hasCode(t, r, CodeUndriven) {
+		t.Fatalf("no UNDRIVEN: %v", r.Diags)
+	}
+}
+
+func TestLintUnused(t *testing.T) {
+	r := Lint(`module m(input a, output w);
+wire mid;
+assign mid = a;
+assign w = a;
+endmodule`)
+	if !hasCode(t, r, CodeUnused) {
+		t.Fatalf("no UNUSED: %v", r.Diags)
+	}
+}
+
+func TestLintInstancePinNotFound(t *testing.T) {
+	r := Lint(`module top(input x, output y);
+sub u1 (.a(x), .bogus(y));
+endmodule
+module sub(input a, output b);
+assign b = a;
+endmodule`)
+	if !hasCode(t, r, CodePinUnknown) {
+		t.Fatalf("no PINNOTFOUND: %v", r.Diags)
+	}
+}
+
+func TestLintInstancePinMissing(t *testing.T) {
+	r := Lint(`module top(input x, output y);
+sub u1 (.a(x));
+endmodule
+module sub(input a, output b);
+assign b = a;
+endmodule`)
+	if !hasCode(t, r, CodePinMissing) {
+		t.Fatalf("no PINMISSING: %v", r.Diags)
+	}
+	// y is undriven too since sub's b is unconnected.
+	if !hasCode(t, r, CodeUndriven) {
+		t.Errorf("expected UNDRIVEN for y: %v", r.Diags)
+	}
+}
+
+func TestLintInstancePinWidth(t *testing.T) {
+	r := Lint(`module top(input [3:0] x, output [7:0] y);
+sub u1 (.a(x), .b(y));
+endmodule
+module sub(input [7:0] a, output [7:0] b);
+assign b = a;
+endmodule`)
+	if !hasCode(t, r, CodePinWidth) {
+		t.Fatalf("no PINWIDTH: %v", r.Diags)
+	}
+}
+
+func TestLintRedeclared(t *testing.T) {
+	r := Lint(`module m(input a, output w);
+wire mid;
+wire mid;
+assign mid = a;
+assign w = mid;
+endmodule`)
+	if !hasCode(t, r, CodeRedeclared) {
+		t.Fatalf("no REDECLARED: %v", r.Diags)
+	}
+}
+
+func TestLintPortBodyRedeclNotError(t *testing.T) {
+	// Verilog-1995 style: port direction in header, reg in body.
+	r := Lint(`module m(input clk, output q);
+reg q;
+always @(posedge clk) begin
+    q <= 1'b1;
+end
+endmodule`)
+	if hasCode(t, r, CodeRedeclared) {
+		t.Fatalf("false REDECLARED for 1995-style port: %v", r.Diags)
+	}
+}
+
+func TestLintFormatAndStrings(t *testing.T) {
+	r := Lint(`module m(input a, input b, output reg y);
+always @(*) begin
+    y <= a & b;
+end
+endmodule`)
+	log := r.Format()
+	if !strings.Contains(log, "COMBDLY") || !strings.Contains(log, "Warning") {
+		t.Errorf("Format output missing fields:\n%s", log)
+	}
+}
+
+func TestLintDiagsSorted(t *testing.T) {
+	r := Lint(`module m(input a, input b, output reg y, output reg z);
+always @(*) begin
+    z <= b;
+    y <= a;
+end
+endmodule`)
+	last := 0
+	for _, d := range r.Diags {
+		if d.Line < last {
+			t.Fatalf("diags not sorted by line: %v", codes(r))
+		}
+		last = d.Line
+	}
+}
+
+func TestLintInputDriven(t *testing.T) {
+	r := Lint(`module m(input a, output w);
+assign a = 1'b0;
+assign w = a;
+endmodule`)
+	if !hasCode(t, r, CodeMultiDrive) {
+		t.Fatalf("no MULTIDRIVEN for driven input: %v", r.Diags)
+	}
+}

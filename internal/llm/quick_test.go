@@ -1,0 +1,109 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickExtractJSONTotal: the JSON extractor must never panic and must
+// only return balanced objects, whatever bytes a model emits.
+func TestQuickExtractJSONTotal(t *testing.T) {
+	alphabet := []byte(`{}[]"\,:abc 01{"x":`)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(120)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		blob, err := extractJSONObject(string(b))
+		if err != nil {
+			continue
+		}
+		if !strings.HasPrefix(blob, "{") || !strings.HasSuffix(blob, "}") {
+			t.Fatalf("unbalanced extraction %q from %q", blob, string(b))
+		}
+	}
+}
+
+// TestQuickLineDiffReconstructs: for random single- and multi-line edits
+// of a source, applying the LineDiff pair reconstructs the original.
+func TestQuickLineDiffReconstructs(t *testing.T) {
+	golden := strings.Join([]string{
+		"module m(", "    input a,", "    input b,", "    output y", ");",
+		"    wire t1;", "    wire t2;", "    assign t1 = a & b;",
+		"    assign t2 = a | b;", "    assign y = t1 ^ t2;", "endmodule",
+	}, "\n")
+	lines := strings.Split(golden, "\n")
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		cp := append([]string(nil), lines...)
+		// Random edit: mutate, delete or duplicate 1-2 lines.
+		edits := 1 + r.Intn(2)
+		for e := 0; e < edits; e++ {
+			li := 1 + r.Intn(len(cp)-2)
+			switch r.Intn(3) {
+			case 0:
+				cp[li] = cp[li] + " // x"
+			case 1:
+				cp = append(cp[:li], cp[li+1:]...)
+			default:
+				cp = append(cp[:li+1], cp[li:]...)
+			}
+		}
+		cur := strings.Join(cp, "\n")
+		orig, patched, nd := LineDiff(cur, golden)
+		if cur == golden {
+			if nd != 0 {
+				t.Fatalf("diff reported on identical inputs")
+			}
+			continue
+		}
+		if nd == 0 {
+			t.Fatalf("no diff reported for edited source")
+		}
+		if strings.Count(cur, orig) != 1 {
+			// The expansion must have hit a boundary; applying the first
+			// occurrence must still work or the oracle would corrupt code.
+			t.Logf("ambiguous orig (boundary case): %q", orig)
+		}
+		if got := strings.Replace(cur, orig, patched, 1); got != golden {
+			t.Fatalf("reconstruction failed\ncur:\n%s\norig %q patched %q", cur, orig, patched)
+		}
+	}
+}
+
+// TestQuickParseIteration: the iteration scraper is total.
+func TestQuickParseIteration(t *testing.T) {
+	prop := func(n uint8, junk string) bool {
+		text := junk + "(iteration " + itoa(int(n)) + ")" + junk
+		return parseIteration(text) == maxi(int(n), 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if parseIteration("no marker") != 1 {
+		t.Error("missing marker should default to 1")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+// Package locate is UVLLM's post-processing localization engine
+// (Algorithm 2): it parses the UVM log for mismatch timestamps and signals
+// (ErrChk), reads the input values at the mismatch time from the recorded
+// waveform, and — when mismatch signals alone have not been enough —
+// performs a dynamic slice over the design's data-flow graph to extract
+// suspicious code lines (ErrInfoFetch).
+package locate
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"uvllm/internal/sim"
+	"uvllm/internal/verilog"
+)
+
+// patMS is the PAT_MS pattern of Algorithm 2: it recognizes scoreboard
+// mismatch records in the UVM log.
+var patMS = regexp.MustCompile(`UVM_ERROR @ (\d+): \S+ \[SCBD\] mismatch signal=(\w+) expected=0x([0-9a-fA-F]+) actual=0x([0-9a-fA-F]+)`)
+
+// Mismatch is one parsed UVM_ERROR record.
+type Mismatch struct {
+	Time     int
+	Signal   string
+	Expected uint64
+	Actual   uint64
+}
+
+// ErrChk parses the UVM log (Algorithm 2, function ErrChk), returning the
+// mismatch timestamps MT, mismatch signals MS (deduplicated, first-seen
+// order) and the input values IV at the first mismatch time.
+func ErrChk(uvmLog string, wave *sim.Waveform) (mt []int, ms []string, iv map[string]uint64) {
+	seenT := map[int]bool{}
+	seenS := map[string]bool{}
+	for _, m := range patMS.FindAllStringSubmatch(uvmLog, -1) {
+		t, _ := strconv.Atoi(m[1])
+		if !seenT[t] {
+			seenT[t] = true
+			mt = append(mt, t)
+		}
+		if !seenS[m[2]] {
+			seenS[m[2]] = true
+			ms = append(ms, m[2])
+		}
+	}
+	if len(mt) > 0 && wave != nil {
+		iv = wave.ValuesAt(mt[0])
+	}
+	return mt, ms, iv
+}
+
+// DefSite is one assignment to a signal in the data-flow graph.
+type DefSite struct {
+	Line  int
+	Deps  []string // data dependencies (RHS identifiers)
+	Conds []string // control dependencies (enclosing condition identifiers)
+}
+
+// DFG is a per-signal definition map over all modules of a source file.
+type DFG struct {
+	Defs map[string][]DefSite
+}
+
+// BuildDFG constructs the data-flow graph from parsed source. Signals are
+// keyed by unqualified name; in hierarchical sources submodule definitions
+// merge into the same graph, which is exactly what the repair prompt needs
+// (line numbers into the single source file).
+func BuildDFG(f *verilog.SourceFile) *DFG {
+	g := &DFG{Defs: map[string][]DefSite{}}
+	for _, m := range f.Modules {
+		for _, it := range m.Items {
+			switch v := it.(type) {
+			case *verilog.ContAssign:
+				g.addDef(v.LHS, v.RHS, nil, v.Line)
+			case *verilog.AlwaysBlock:
+				g.walkStmt(v.Body, nil)
+			case *verilog.Instance:
+				// Port connections couple parent and child signals.
+				tgt := f.Module(v.ModName)
+				for _, c := range v.Conns {
+					if c.Expr == nil || tgt == nil {
+						continue
+					}
+					port := tgt.Port(c.Port)
+					if port == nil {
+						continue
+					}
+					portRef := &verilog.Ident{Name: port.Name, Line: c.Line}
+					if port.Dir == verilog.DirOutput {
+						g.addDef(c.Expr, portRef, nil, c.Line)
+					} else {
+						g.addDef(portRef, c.Expr, nil, c.Line)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *DFG) addDef(lhs verilog.Expr, rhs verilog.Expr, conds []string, line int) {
+	deps := verilog.ExprIdents(rhs)
+	for _, name := range verilog.LHSTargets(lhs) {
+		g.Defs[name] = append(g.Defs[name], DefSite{
+			Line:  line,
+			Deps:  deps,
+			Conds: append([]string(nil), conds...),
+		})
+	}
+}
+
+func (g *DFG) walkStmt(s verilog.Stmt, conds []string) {
+	switch v := s.(type) {
+	case *verilog.Block:
+		for _, st := range v.Stmts {
+			g.walkStmt(st, conds)
+		}
+	case *verilog.Assign:
+		g.addDef(v.LHS, v.RHS, conds, v.Line)
+	case *verilog.If:
+		sub := append(append([]string(nil), conds...), verilog.ExprIdents(v.Cond)...)
+		g.walkStmt(v.Then, sub)
+		g.walkStmt(v.Else, sub)
+	case *verilog.Case:
+		sub := append(append([]string(nil), conds...), verilog.ExprIdents(v.Expr)...)
+		for _, it := range v.Items {
+			g.walkStmt(it.Body, sub)
+		}
+	case *verilog.For:
+		sub := append(append([]string(nil), conds...), verilog.ExprIdents(v.Cond)...)
+		if v.Init != nil {
+			g.addDef(v.Init.LHS, v.Init.RHS, conds, v.Init.Line)
+		}
+		if v.Step != nil {
+			g.addDef(v.Step.LHS, v.Step.RHS, sub, v.Step.Line)
+		}
+		g.walkStmt(v.Body, sub)
+	}
+}
+
+// Slice computes the backward slice from the given signals: the set of
+// source lines whose assignments (directly or transitively) feed them, and
+// the set of intermediate signals encountered (Algorithm 2's expansion of
+// MS with detected fan-in signals).
+func (g *DFG) Slice(signals []string, maxLines int) (lines []int, expanded []string) {
+	visited := map[string]bool{}
+	lineSet := map[int]bool{}
+	queue := append([]string(nil), signals...)
+	for len(queue) > 0 {
+		sig := queue[0]
+		queue = queue[1:]
+		if visited[sig] {
+			continue
+		}
+		visited[sig] = true
+		for _, def := range g.Defs[sig] {
+			lineSet[def.Line] = true
+			for _, dep := range append(append([]string(nil), def.Deps...), def.Conds...) {
+				if !visited[dep] {
+					queue = append(queue, dep)
+				}
+			}
+		}
+	}
+	for ln := range lineSet {
+		lines = append(lines, ln)
+	}
+	sort.Ints(lines)
+	if maxLines > 0 && len(lines) > maxLines {
+		lines = lines[:maxLines]
+	}
+	inMS := map[string]bool{}
+	for _, s := range signals {
+		inMS[s] = true
+	}
+	for sig := range visited {
+		if !inMS[sig] && len(g.Defs[sig]) > 0 {
+			expanded = append(expanded, sig)
+		}
+	}
+	sort.Strings(expanded)
+	return lines, expanded
+}
+
+// ErrInfo is the stage output handed to the repair agent.
+type ErrInfo struct {
+	MismatchTimes   []int
+	MismatchSignals []string
+	InputValues     map[string]uint64
+	SuspiciousLines []int
+	Expanded        []string
+	SL              bool // true when suspicious-line mode is active
+}
+
+// ErrInfoFetch implements Algorithm 2's main function: below the iteration
+// threshold it returns mismatch-signal information only (MS mode); at or
+// above it, it adds the dynamic slice (SL mode).
+func ErrInfoFetch(src, uvmLog string, wave *sim.Waveform, iter, threshold int) ErrInfo {
+	mt, ms, iv := ErrChk(uvmLog, wave)
+	info := ErrInfo{MismatchTimes: mt, MismatchSignals: ms, InputValues: iv}
+	if iter < threshold {
+		return info
+	}
+	info.SL = true
+	f, perrs := verilog.Parse(src)
+	if len(perrs) > 0 {
+		return info
+	}
+	g := BuildDFG(f)
+	info.SuspiciousLines, info.Expanded = g.Slice(ms, 24)
+	return info
+}
+
+// Format renders the error information section of the repair prompt.
+func (e ErrInfo) Format(src string) string {
+	var b strings.Builder
+	if len(e.MismatchTimes) > 0 {
+		fmt.Fprintf(&b, "mismatch timestamps: %s\n", joinInts(e.MismatchTimes, 8))
+	}
+	if len(e.MismatchSignals) > 0 {
+		fmt.Fprintf(&b, "mismatch signals: %s\n", strings.Join(e.MismatchSignals, ", "))
+	}
+	if len(e.InputValues) > 0 && len(e.MismatchTimes) > 0 {
+		var names []string
+		for n := range e.InputValues {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "signal values at t=%d:", e.MismatchTimes[0])
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=0x%x", n, e.InputValues[n])
+		}
+		b.WriteString("\n")
+	}
+	if e.SL && len(e.SuspiciousLines) > 0 {
+		b.WriteString("suspicious lines (dynamic slice of the mismatch signals):\n")
+		ls := strings.Split(src, "\n")
+		for _, ln := range e.SuspiciousLines {
+			if ln-1 >= 0 && ln-1 < len(ls) {
+				fmt.Fprintf(&b, "  L%d: %s\n", ln, strings.TrimSpace(ls[ln-1]))
+			}
+		}
+		if len(e.Expanded) > 0 {
+			fmt.Fprintf(&b, "additional suspicious signals: %s\n", strings.Join(e.Expanded, ", "))
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("(no scoreboard mismatches parsed)\n")
+	}
+	return b.String()
+}
+
+func joinInts(xs []int, max int) string {
+	var parts []string
+	for i, x := range xs {
+		if i == max {
+			parts = append(parts, "...")
+			break
+		}
+		parts = append(parts, strconv.Itoa(x))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostModelLLMCall(t *testing.T) {
+	c := DefaultCostModel()
+	base := c.LLMCall(0, 0)
+	if base != c.LLMBaseSeconds {
+		t.Errorf("zero-token call = %f", base)
+	}
+	if c.LLMCall(1000, 0) != c.LLMBaseSeconds+c.LLMPerKInputTok {
+		t.Error("input token pricing wrong")
+	}
+	if c.LLMCall(0, 1000) != c.LLMBaseSeconds+c.LLMPerKOutputTok {
+		t.Error("output token pricing wrong")
+	}
+	if c.Lint(3) != 3*c.LintSeconds || c.Sim(100) != 100*c.SimSecondsPerVector {
+		t.Error("tool pricing wrong")
+	}
+}
+
+func TestHitFixRates(t *testing.T) {
+	outs := []Outcome{
+		{Hit: true, Fix: true},
+		{Hit: true, Fix: false},
+		{Hit: false, Fix: false},
+		{Hit: true, Fix: true},
+	}
+	if hr := HitRate(outs); hr != 75 {
+		t.Errorf("HR = %f", hr)
+	}
+	if fr := FixRate(outs); fr != 50 {
+		t.Errorf("FR = %f", fr)
+	}
+	if HitRate(nil) != 0 || FixRate(nil) != 0 {
+		t.Error("empty set must score 0")
+	}
+}
+
+func TestQuickRatesBounded(t *testing.T) {
+	prop := func(bits []bool) bool {
+		outs := make([]Outcome, len(bits))
+		for i, b := range bits {
+			outs[i] = Outcome{Hit: b, Fix: b && i%2 == 0}
+		}
+		hr, fr := HitRate(outs), FixRate(outs)
+		// Bounds and dominance: FR counts a subset of HR's instances here.
+		return hr >= 0 && hr <= 100 && fr >= 0 && fr <= 100 && fr <= hr
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPassAtK(t *testing.T) {
+	// k == n means guaranteed inclusion when any sample passed.
+	if got := PassAtK(5, 1, 5); got != 1 {
+		t.Errorf("pass@5 of 1/5 = %f, want 1", got)
+	}
+	// No passing samples: probability 0.
+	if got := PassAtK(5, 0, 1); got != 0 {
+		t.Errorf("pass@1 of 0/5 = %f, want 0", got)
+	}
+	// c == n: always 1.
+	if got := PassAtK(5, 5, 1); got != 1 {
+		t.Errorf("pass@1 of 5/5 = %f", got)
+	}
+	// pass@1 equals c/n.
+	if got := PassAtK(10, 3, 1); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("pass@1 of 3/10 = %f, want 0.3", got)
+	}
+}
+
+func TestQuickPassAtKMonotonic(t *testing.T) {
+	prop := func(n8, c8, k8 uint8) bool {
+		n := int(n8%20) + 1
+		c := int(c8) % (n + 1)
+		k := int(k8%uint8(n)) + 1
+		p := PassAtK(n, c, k)
+		if p < 0 || p > 1 {
+			return false
+		}
+		// Monotonic in c.
+		if c < n && PassAtK(n, c+1, k) < p-1e-12 {
+			return false
+		}
+		// Monotonic in k.
+		if k < n && PassAtK(n, c, k+1) < p-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %f", got)
+	}
+}

@@ -1,0 +1,107 @@
+package refmodel
+
+func init() {
+	register("accu", func() Model { return &accuModel{} })
+	register("adder_8bit", func() Model { return combModel(adder8) })
+	register("adder_16bit", func() Model { return combModel(adder16) })
+	register("adder_32bit", func() Model { return combModel(adder32) })
+	register("multi_8bit", func() Model { return combModel(multi8) })
+	register("multi_16bit", func() Model { return &multi16Model{} })
+	register("div_8bit", func() Model { return combModel(div8) })
+	register("alu", func() Model { return combModel(aluFn) })
+}
+
+// combModel adapts a pure function to the Model interface.
+type combModel func(map[string]uint64) map[string]uint64
+
+func (f combModel) Reset() {}
+func (f combModel) Step(in map[string]uint64) map[string]uint64 {
+	return f(in)
+}
+
+type accuModel struct {
+	sum uint64
+}
+
+func (m *accuModel) Reset() { m.sum = 0 }
+
+func (m *accuModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.sum = 0
+	} else if in["en"] != 0 {
+		m.sum = mask(m.sum+mask(in["d"], 8), 16)
+	}
+	return map[string]uint64{"sum": m.sum}
+}
+
+func adder8(in map[string]uint64) map[string]uint64 {
+	t := mask(in["a"], 8) + mask(in["b"], 8) + (in["cin"] & 1)
+	return map[string]uint64{"sum": mask(t, 8), "cout": (t >> 8) & 1}
+}
+
+func adder16(in map[string]uint64) map[string]uint64 {
+	t := mask(in["a"], 16) + mask(in["b"], 16) + (in["cin"] & 1)
+	return map[string]uint64{"sum": mask(t, 16), "cout": (t >> 16) & 1}
+}
+
+func adder32(in map[string]uint64) map[string]uint64 {
+	t := mask(in["a"], 32) + mask(in["b"], 32) + (in["cin"] & 1)
+	return map[string]uint64{"sum": mask(t, 32), "cout": (t >> 32) & 1}
+}
+
+func multi8(in map[string]uint64) map[string]uint64 {
+	p := mask(in["a"], 8) * mask(in["b"], 8)
+	return map[string]uint64{"p": mask(p, 16)}
+}
+
+type multi16Model struct {
+	p    uint64
+	done uint64
+}
+
+func (m *multi16Model) Reset() { m.p, m.done = 0, 0 }
+
+func (m *multi16Model) Step(in map[string]uint64) map[string]uint64 {
+	switch {
+	case in["rst_n"] == 0:
+		m.p, m.done = 0, 0
+	case in["en"] != 0:
+		m.p = mask(mask(in["a"], 16)*mask(in["b"], 16), 32)
+		m.done = 1
+	default:
+		m.done = 0
+	}
+	return map[string]uint64{"p": m.p, "done": m.done}
+}
+
+func div8(in map[string]uint64) map[string]uint64 {
+	a, b := mask(in["a"], 8), mask(in["b"], 8)
+	if b == 0 {
+		return map[string]uint64{"q": 0, "r": 0, "dbz": 1}
+	}
+	return map[string]uint64{"q": a / b, "r": a % b, "dbz": 0}
+}
+
+func aluFn(in map[string]uint64) map[string]uint64 {
+	a, b := mask(in["a"], 8), mask(in["b"], 8)
+	var y uint64
+	switch in["op"] & 7 {
+	case 0:
+		y = mask(a+b, 8)
+	case 1:
+		y = mask(a-b, 8)
+	case 2:
+		y = a & b
+	case 3:
+		y = a | b
+	case 4:
+		y = a ^ b
+	case 5:
+		y = b2u(a < b)
+	case 6:
+		y = mask(a<<(b&7), 8)
+	case 7:
+		y = a >> (b & 7)
+	}
+	return map[string]uint64{"y": y, "zero": b2u(y == 0)}
+}

@@ -1,0 +1,166 @@
+package refmodel
+
+func init() {
+	register("counter_12bit", func() Model { return &counter12Model{} })
+	register("updown_counter", func() Model { return &updownModel{} })
+	register("ring_counter", func() Model { return &ringModel{q: 1} })
+	register("seq_detector", func() Model { return &seqDetModel{} })
+	register("traffic_light", func() Model { return &trafficModel{} })
+	register("vending_machine", func() Model { return &vendingModel{} })
+}
+
+type counter12Model struct {
+	count uint64
+}
+
+func (m *counter12Model) Reset() { m.count = 0 }
+
+func (m *counter12Model) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.count = 0
+	} else if in["en"] != 0 {
+		m.count = mask(m.count+1, 12)
+	}
+	return map[string]uint64{"count": m.count, "carry": b2u(m.count == 0xFFF)}
+}
+
+type updownModel struct {
+	q uint64
+}
+
+func (m *updownModel) Reset() { m.q = 0 }
+
+func (m *updownModel) Step(in map[string]uint64) map[string]uint64 {
+	switch {
+	case in["rst_n"] == 0:
+		m.q = 0
+	case in["load"] != 0:
+		m.q = mask(in["d"], 8)
+	case in["up"] != 0:
+		m.q = mask(m.q+1, 8)
+	default:
+		m.q = mask(m.q-1, 8)
+	}
+	return map[string]uint64{"q": m.q}
+}
+
+type ringModel struct {
+	q uint64
+}
+
+func (m *ringModel) Reset() { m.q = 1 }
+
+func (m *ringModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.q = 1
+	} else {
+		m.q = mask(m.q<<1, 4) | (m.q >> 3 & 1)
+	}
+	return map[string]uint64{"q": m.q}
+}
+
+// seqDetModel mirrors the FSM table in the seq_detector specification:
+// Moore machine for the overlapping pattern 1011.
+type seqDetModel struct {
+	state uint64
+}
+
+func (m *seqDetModel) Reset() { m.state = 0 }
+
+func (m *seqDetModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.state = 0
+	} else {
+		x := in["x"] & 1
+		switch m.state {
+		case 0:
+			m.state = pick(x, 1, 0)
+		case 1:
+			m.state = pick(x, 1, 2)
+		case 2:
+			m.state = pick(x, 3, 0)
+		case 3:
+			m.state = pick(x, 4, 2)
+		case 4:
+			m.state = pick(x, 1, 2)
+		default:
+			m.state = 0
+		}
+	}
+	return map[string]uint64{"z": b2u(m.state == 4)}
+}
+
+func pick(x, ifOne, ifZero uint64) uint64 {
+	if x != 0 {
+		return ifOne
+	}
+	return ifZero
+}
+
+type trafficModel struct {
+	state uint64 // 0 green, 1 yellow, 2 red
+	timer uint64
+}
+
+func (m *trafficModel) Reset() { m.state, m.timer = 0, 0 }
+
+func (m *trafficModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.state, m.timer = 0, 0
+	} else {
+		var limit uint64
+		switch m.state {
+		case 0:
+			limit = 5
+		case 1:
+			limit = 2
+		default:
+			limit = 4
+		}
+		if m.timer == limit-1 {
+			m.timer = 0
+			m.state = (m.state + 1) % 3
+		} else {
+			m.timer = mask(m.timer+1, 4)
+		}
+	}
+	return map[string]uint64{
+		"green":  b2u(m.state == 0),
+		"yellow": b2u(m.state == 1),
+		"red":    b2u(m.state == 2),
+	}
+}
+
+type vendingModel struct {
+	total    uint64
+	dispense uint64
+	change   uint64
+}
+
+func (m *vendingModel) Reset() { m.total, m.dispense, m.change = 0, 0, 0 }
+
+func (m *vendingModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.total, m.dispense, m.change = 0, 0, 0
+	} else {
+		var value uint64
+		switch in["coin"] & 3 {
+		case 1:
+			value = 5
+		case 2:
+			value = 10
+		case 3:
+			value = 25
+		}
+		if m.total+value >= 20 {
+			m.dispense = 1
+			m.change = mask(m.total+value-20, 6)
+			m.total = 0
+		} else {
+			m.dispense = 0
+			m.change = 0
+			m.total += value
+		}
+	}
+	return map[string]uint64{"dispense": m.dispense, "change": m.change}
+}

@@ -1,0 +1,119 @@
+package refmodel
+
+func init() {
+	register("ram_sp", func() Model { return &ramModel{} })
+	register("fifo_sync", func() Model { return &fifoModel{} })
+	register("lifo_stack", func() Model { return &lifoModel{} })
+	register("shift_register", func() Model { return &shiftRegModel{} })
+}
+
+type ramModel struct {
+	mem  [16]uint64
+	dout uint64
+}
+
+func (m *ramModel) Reset() {
+	m.mem = [16]uint64{}
+	m.dout = 0
+}
+
+func (m *ramModel) Step(in map[string]uint64) map[string]uint64 {
+	addr := in["addr"] & 15
+	// Read-before-write: the registered read sees the pre-edge contents.
+	next := m.mem[addr]
+	if in["we"] != 0 {
+		m.mem[addr] = mask(in["din"], 8)
+	}
+	m.dout = next
+	return map[string]uint64{"dout": m.dout}
+}
+
+type fifoModel struct {
+	mem  [8]uint64
+	wptr uint64
+	rptr uint64
+}
+
+func (m *fifoModel) Reset() {
+	m.mem = [8]uint64{}
+	m.wptr, m.rptr = 0, 0
+}
+
+func (m *fifoModel) full() bool {
+	return (m.wptr>>3) != (m.rptr>>3) && (m.wptr&7) == (m.rptr&7)
+}
+
+func (m *fifoModel) empty() bool { return m.wptr == m.rptr }
+
+func (m *fifoModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.wptr, m.rptr = 0, 0
+	} else {
+		wasFull, wasEmpty := m.full(), m.empty()
+		if in["wr_en"] != 0 && !wasFull {
+			m.mem[m.wptr&7] = mask(in["din"], 8)
+			m.wptr = mask(m.wptr+1, 4)
+		}
+		if in["rd_en"] != 0 && !wasEmpty {
+			m.rptr = mask(m.rptr+1, 4)
+		}
+	}
+	return map[string]uint64{
+		"dout":  m.mem[m.rptr&7],
+		"full":  b2u(m.full()),
+		"empty": b2u(m.empty()),
+	}
+}
+
+type lifoModel struct {
+	mem [8]uint64
+	sp  uint64
+}
+
+func (m *lifoModel) Reset() {
+	m.mem = [8]uint64{}
+	m.sp = 0
+}
+
+func (m *lifoModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.sp = 0
+	} else {
+		if in["push"] != 0 && m.sp != 8 {
+			m.mem[m.sp&7] = mask(in["din"], 8)
+			m.sp = mask(m.sp+1, 4)
+		} else if in["pop"] != 0 && m.sp != 0 {
+			m.sp = mask(m.sp-1, 4)
+		}
+	}
+	out := map[string]uint64{
+		"full":  b2u(m.sp == 8),
+		"empty": b2u(m.sp == 0),
+	}
+	if m.sp == 0 {
+		out["dout"] = 0
+	} else {
+		out["dout"] = m.mem[(m.sp-1)&7]
+	}
+	return out
+}
+
+type shiftRegModel struct {
+	q uint64
+}
+
+func (m *shiftRegModel) Reset() { m.q = 0 }
+
+func (m *shiftRegModel) Step(in map[string]uint64) map[string]uint64 {
+	switch {
+	case in["rst_n"] == 0:
+		m.q = 0
+	case in["en"] != 0:
+		if in["dir"] != 0 {
+			m.q = (in["sin"]&1)<<7 | m.q>>1
+		} else {
+			m.q = mask(m.q<<1, 8) | in["sin"]&1
+		}
+	}
+	return map[string]uint64{"q": m.q}
+}

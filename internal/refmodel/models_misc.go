@@ -1,0 +1,118 @@
+package refmodel
+
+import "math/bits"
+
+func init() {
+	register("mux4", func() Model { return combModel(mux4) })
+	register("demux4", func() Model { return combModel(demux4) })
+	register("decoder3to8", func() Model { return combModel(decoder3to8) })
+	register("priority_encoder", func() Model { return combModel(prioEnc) })
+	register("comparator_4bit", func() Model { return combModel(comp4) })
+	register("parity_gen", func() Model { return combModel(parityGen) })
+	register("gray_code", func() Model { return combModel(grayCode) })
+	register("edge_detector", func() Model { return &edgeDetModel{} })
+	register("clk_divider", func() Model { return &clkDivModel{} })
+}
+
+func mux4(in map[string]uint64) map[string]uint64 {
+	var y uint64
+	switch in["sel"] & 3 {
+	case 0:
+		y = in["d0"]
+	case 1:
+		y = in["d1"]
+	case 2:
+		y = in["d2"]
+	default:
+		y = in["d3"]
+	}
+	return map[string]uint64{"y": mask(y, 8)}
+}
+
+func demux4(in map[string]uint64) map[string]uint64 {
+	out := map[string]uint64{"y0": 0, "y1": 0, "y2": 0, "y3": 0}
+	d := mask(in["d"], 8)
+	switch in["sel"] & 3 {
+	case 0:
+		out["y0"] = d
+	case 1:
+		out["y1"] = d
+	case 2:
+		out["y2"] = d
+	default:
+		out["y3"] = d
+	}
+	return out
+}
+
+func decoder3to8(in map[string]uint64) map[string]uint64 {
+	if in["en"] == 0 {
+		return map[string]uint64{"y": 0}
+	}
+	return map[string]uint64{"y": mask(1<<(in["a"]&7), 8)}
+}
+
+func prioEnc(in map[string]uint64) map[string]uint64 {
+	v := mask(in["in"], 8)
+	if v == 0 {
+		return map[string]uint64{"out": 0, "valid": 0}
+	}
+	return map[string]uint64{"out": uint64(bits.Len64(v) - 1), "valid": 1}
+}
+
+func comp4(in map[string]uint64) map[string]uint64 {
+	a, b := mask(in["a"], 4), mask(in["b"], 4)
+	return map[string]uint64{"gt": b2u(a > b), "eq": b2u(a == b), "lt": b2u(a < b)}
+}
+
+func parityGen(in map[string]uint64) map[string]uint64 {
+	even := uint64(bits.OnesCount64(mask(in["data"], 8)) & 1)
+	if in["odd_sel"] != 0 {
+		return map[string]uint64{"parity": even ^ 1}
+	}
+	return map[string]uint64{"parity": even}
+}
+
+func grayCode(in map[string]uint64) map[string]uint64 {
+	b := mask(in["bin"], 4)
+	return map[string]uint64{"gray": b ^ (b >> 1)}
+}
+
+type edgeDetModel struct {
+	prev uint64
+	rise uint64
+	fall uint64
+}
+
+func (m *edgeDetModel) Reset() { m.prev, m.rise, m.fall = 0, 0, 0 }
+
+func (m *edgeDetModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.prev, m.rise, m.fall = 0, 0, 0
+	} else {
+		sig := in["sig"] & 1
+		m.rise = sig &^ m.prev
+		m.fall = m.prev &^ sig
+		m.prev = sig
+	}
+	return map[string]uint64{"rise": m.rise, "fall": m.fall}
+}
+
+type clkDivModel struct {
+	cnt uint64
+}
+
+func (m *clkDivModel) Reset() { m.cnt = 0 }
+
+func (m *clkDivModel) Step(in map[string]uint64) map[string]uint64 {
+	if in["rst_n"] == 0 {
+		m.cnt = 0
+	} else {
+		m.cnt = mask(m.cnt+1, 3)
+	}
+	return map[string]uint64{
+		"div2": m.cnt & 1,
+		"div4": (m.cnt >> 1) & 1,
+		"div8": (m.cnt >> 2) & 1,
+	}
+}

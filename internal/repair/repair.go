@@ -1,0 +1,154 @@
+// Package repair implements the patch machinery of UVLLM's repair stage:
+// applying the agent's original→patched pairs (or complete regenerations)
+// to the DUT source, and the score-register rollback mechanism of paper
+// Sec. III-C that reverts quality regressions and records them as "damage
+// repairs" for future prompts.
+package repair
+
+import (
+	"fmt"
+	"strings"
+
+	"uvllm/internal/llm"
+)
+
+// ApplyReply applies a parsed agent reply to src. In pair mode every
+// original snippet must be located (exactly, or by whitespace-normalized
+// line matching — LLMs routinely reproduce code with changed indentation);
+// in complete mode the reply's full source replaces the DUT.
+func ApplyReply(src string, reply *llm.RepairReply, mode llm.GenMode) (string, error) {
+	if mode == llm.ModeComplete || (reply.Complete != "" && len(reply.Correct) == 0) {
+		if !strings.Contains(reply.Complete, "module") {
+			return "", fmt.Errorf("repair: complete-mode reply contains no module")
+		}
+		return reply.Complete, nil
+	}
+	if len(reply.Correct) == 0 {
+		return "", fmt.Errorf("repair: reply contains no patches")
+	}
+	out := src
+	applied := 0
+	for _, p := range reply.Correct {
+		next, err := applyPair(out, p)
+		if err != nil {
+			continue // skip unlocatable pairs, count what applied
+		}
+		out = next
+		applied++
+	}
+	if applied == 0 {
+		return "", fmt.Errorf("repair: none of %d patch pair(s) matched the source", len(reply.Correct))
+	}
+	return out, nil
+}
+
+func applyPair(src string, p llm.PatchPair) (string, error) {
+	if p.Original == "" {
+		return "", fmt.Errorf("repair: empty original snippet")
+	}
+	if strings.Contains(src, p.Original) {
+		return strings.Replace(src, p.Original, p.Patched, 1), nil
+	}
+	// Whitespace-normalized line matching.
+	want := normalizeLines(p.Original)
+	srcLines := strings.Split(src, "\n")
+	n := len(want)
+	for i := 0; i+n <= len(srcLines); i++ {
+		match := true
+		for j := 0; j < n; j++ {
+			if strings.TrimSpace(srcLines[i+j]) != want[j] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		indent := leadingWS(srcLines[i])
+		var patched []string
+		if p.Patched != "" {
+			for _, ln := range strings.Split(p.Patched, "\n") {
+				patched = append(patched, indent+strings.TrimSpace(ln))
+			}
+		}
+		out := append([]string{}, srcLines[:i]...)
+		out = append(out, patched...)
+		out = append(out, srcLines[i+n:]...)
+		return strings.Join(out, "\n"), nil
+	}
+	return "", fmt.Errorf("repair: original snippet not found: %q", firstLine(p.Original))
+}
+
+func normalizeLines(s string) []string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		out = append(out, strings.TrimSpace(ln))
+	}
+	return out
+}
+
+func leadingWS(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Version is one entry of the score register's history.
+type Version struct {
+	Source string
+	Score  float64
+	Pairs  []llm.PatchPair // the patches that produced this version
+}
+
+// ScoreRegister implements the rollback mechanism: it keeps the
+// highest-scoring code version; offering a lower-scoring version is
+// rejected, rolled back, and its patches are recorded as damage repairs.
+type ScoreRegister struct {
+	best    Version
+	started bool
+	History []Version
+	Damage  []llm.PatchPair
+	// Disabled turns rollback off (ablation): every offer is accepted.
+	Disabled bool
+}
+
+// Init seeds the register with the starting version.
+func (r *ScoreRegister) Init(source string, score float64) {
+	r.best = Version{Source: source, Score: score}
+	r.started = true
+	r.History = append(r.History, r.best)
+}
+
+// Best returns the highest-scoring version seen.
+func (r *ScoreRegister) Best() Version { return r.best }
+
+// Offer presents a new candidate version. It returns the source to
+// continue from: the candidate if it does not regress, or the rolled-back
+// best version otherwise (recording the damage).
+func (r *ScoreRegister) Offer(source string, score float64, pairs []llm.PatchPair) (string, bool) {
+	if !r.started {
+		r.Init(source, score)
+		return source, true
+	}
+	r.History = append(r.History, Version{Source: source, Score: score, Pairs: pairs})
+	if r.Disabled || score >= r.best.Score {
+		if score >= r.best.Score {
+			r.best = Version{Source: source, Score: score, Pairs: pairs}
+		}
+		return source, true
+	}
+	// Rollback: the alterations that decreased the score become damage
+	// repairs (paper Fig. 4's "Knowledge" input).
+	r.Damage = append(r.Damage, pairs...)
+	return r.best.Source, false
+}

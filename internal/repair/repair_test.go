@@ -1,0 +1,131 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"uvllm/internal/llm"
+)
+
+const src = `module m(
+    input [7:0] a,
+    output [7:0] y
+);
+    assign y = a + 8'd1;
+endmodule
+`
+
+func TestApplyReplyExactPair(t *testing.T) {
+	out, err := ApplyReply(src, &llm.RepairReply{
+		Correct: []llm.PatchPair{{Original: "a + 8'd1", Patched: "a + 8'd2"}},
+	}, llm.ModePair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a + 8'd2") {
+		t.Errorf("patch not applied:\n%s", out)
+	}
+}
+
+func TestApplyReplyWhitespaceNormalized(t *testing.T) {
+	// The agent reproduces the line with different indentation.
+	out, err := ApplyReply(src, &llm.RepairReply{
+		Correct: []llm.PatchPair{{
+			Original: "assign y = a + 8'd1;",
+			Patched:  "assign y = a + 8'd3;",
+		}},
+	}, llm.ModePair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "    assign y = a + 8'd3;") {
+		t.Errorf("indentation not preserved:\n%s", out)
+	}
+}
+
+func TestApplyReplyMultiLinePair(t *testing.T) {
+	src2 := "module m(input a, output reg y);\nalways @(*) begin\n    y = a;\nend\nendmodule"
+	out, err := ApplyReply(src2, &llm.RepairReply{
+		Correct: []llm.PatchPair{{
+			Original: "always @(*) begin\ny = a;",
+			Patched:  "always @(*) begin\ny = ~a;",
+		}},
+	}, llm.ModePair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "y = ~a;") {
+		t.Errorf("multi-line patch failed:\n%s", out)
+	}
+}
+
+func TestApplyReplyUnlocatable(t *testing.T) {
+	_, err := ApplyReply(src, &llm.RepairReply{
+		Correct: []llm.PatchPair{{Original: "nothing like this", Patched: "x"}},
+	}, llm.ModePair)
+	if err == nil {
+		t.Error("unlocatable patch accepted")
+	}
+}
+
+func TestApplyReplyEmpty(t *testing.T) {
+	if _, err := ApplyReply(src, &llm.RepairReply{}, llm.ModePair); err == nil {
+		t.Error("empty reply accepted")
+	}
+}
+
+func TestApplyReplyCompleteMode(t *testing.T) {
+	full := "module m(input a, output y);\nassign y = a;\nendmodule\n"
+	out, err := ApplyReply(src, &llm.RepairReply{Complete: full}, llm.ModeComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != full {
+		t.Error("complete mode did not replace source")
+	}
+	if _, err := ApplyReply(src, &llm.RepairReply{Complete: "garbage"}, llm.ModeComplete); err == nil {
+		t.Error("complete reply without module accepted")
+	}
+}
+
+func TestScoreRegisterRollback(t *testing.T) {
+	var reg ScoreRegister
+	reg.Init("v0", 0.5)
+	// Improvement accepted.
+	out, ok := reg.Offer("v1", 0.8, []llm.PatchPair{{Original: "a", Patched: "b"}})
+	if !ok || out != "v1" {
+		t.Fatalf("improvement rejected: %q %v", out, ok)
+	}
+	// Regression rolled back.
+	pairs := []llm.PatchPair{{Original: "x", Patched: "y"}}
+	out, ok = reg.Offer("v2", 0.3, pairs)
+	if ok || out != "v1" {
+		t.Fatalf("regression not rolled back: %q %v", out, ok)
+	}
+	if len(reg.Damage) != 1 || reg.Damage[0] != pairs[0] {
+		t.Errorf("damage repairs not recorded: %+v", reg.Damage)
+	}
+	if reg.Best().Score != 0.8 {
+		t.Errorf("best score = %f", reg.Best().Score)
+	}
+	// Equal score accepted (no regression).
+	out, ok = reg.Offer("v3", 0.8, nil)
+	if !ok || out != "v3" {
+		t.Error("equal score should be accepted")
+	}
+	if len(reg.History) != 4 {
+		t.Errorf("history length = %d, want 4", len(reg.History))
+	}
+}
+
+func TestScoreRegisterDisabled(t *testing.T) {
+	reg := ScoreRegister{Disabled: true}
+	reg.Init("v0", 0.9)
+	out, ok := reg.Offer("worse", 0.1, nil)
+	if !ok || out != "worse" {
+		t.Error("disabled rollback must accept regressions")
+	}
+	if len(reg.Damage) != 0 {
+		t.Error("disabled rollback must not record damage")
+	}
+}

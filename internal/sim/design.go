@@ -1,0 +1,459 @@
+// Package sim is an event-driven, 2-state RTL simulator for the
+// synthesizable Verilog subset parsed by internal/verilog. It plays the
+// role the commercial simulators (VCS, Icarus, ModelSim) play in the UVLLM
+// paper: the UVM testbench drives top-level ports, clocks the design and
+// samples outputs cycle by cycle.
+//
+// Semantics notes (documented deviations from full IEEE 1364):
+//   - 2-state simulation: every signal initializes to 0; x/z literals read
+//     as 0 (the parser flags them so the linter can warn).
+//   - Expressions are evaluated with context-determined widths per the
+//     standard (operands stretched to max of self-determined and assignment
+//     context), computed in 64-bit arithmetic with masking at each
+//     context-width boundary. Vectors are limited to 64 bits.
+//   - Non-blocking assignments are deferred to an NBA commit phase whether
+//     they appear in sequential or combinational blocks, matching event
+//     semantics (and making the COMBDLY defect observable as scheduling
+//     skew rather than a crash).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uvllm/internal/verilog"
+)
+
+// sigInfo describes one elaborated signal (net, variable or memory).
+type sigInfo struct {
+	name  string // hierarchical name, e.g. "u1.sum"
+	width int
+	isMem bool
+	depth int
+}
+
+type procKind int
+
+const (
+	procComb procKind = iota // continuous assign or level-sensitive always
+	procSeq                  // edge-triggered always
+	procInit                 // initial block
+)
+
+type edgeSpec struct {
+	sig int
+	pos bool
+}
+
+// process is an executable unit: an always/initial body or a synthesized
+// connection assignment with distinct scopes for the two sides.
+type process struct {
+	idx  int
+	kind procKind
+	sc   *scope
+	body verilog.Stmt
+
+	// Port-connection processes use these instead of body.
+	connLHS   verilog.Expr
+	connLHSsc *scope
+	connRHS   verilog.Expr
+	connRHSsc *scope
+
+	edges []edgeSpec
+}
+
+// scope resolves identifiers of one module instance to global signal
+// indices and parameter values.
+type scope struct {
+	prefix string
+	names  map[string]int
+	env    verilog.ConstEnv
+}
+
+// Design is an elaborated, simulation-ready hierarchy.
+type Design struct {
+	sigs    []sigInfo
+	byName  map[string]int
+	procs   []*process
+	combOf  map[int][]int       // signal -> comb processes to re-run
+	edgeOf  map[int][]edgeSpec2 // signal -> edge-triggered processes
+	inputs  []PortInfo
+	outputs []PortInfo
+}
+
+type edgeSpec2 struct {
+	proc int
+	pos  bool
+}
+
+// PortInfo describes a top-level port.
+type PortInfo struct {
+	Name  string
+	Width int
+}
+
+// Elaborate builds a Design for module top within file f, expanding the
+// instance hierarchy. Parameter overrides in instantiations are honored.
+func Elaborate(f *verilog.SourceFile, top string) (*Design, error) {
+	m := f.Module(top)
+	if m == nil {
+		return nil, fmt.Errorf("sim: top module %q not found", top)
+	}
+	d := &Design{
+		byName: map[string]int{},
+		combOf: map[int][]int{},
+		edgeOf: map[int][]edgeSpec2{},
+	}
+	e := &elaborator{f: f, d: d}
+	sc, err := e.instantiate(m, "", nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.Ports {
+		idx, ok := sc.names[p.Name]
+		if !ok {
+			continue
+		}
+		pi := PortInfo{Name: p.Name, Width: d.sigs[idx].width}
+		if p.Dir == verilog.DirInput {
+			d.inputs = append(d.inputs, pi)
+		} else if p.Dir == verilog.DirOutput {
+			d.outputs = append(d.outputs, pi)
+		}
+	}
+	d.indexDeps()
+	return d, nil
+}
+
+// Inputs returns the top-level input ports in declaration order.
+func (d *Design) Inputs() []PortInfo { return d.inputs }
+
+// Outputs returns the top-level output ports in declaration order.
+func (d *Design) Outputs() []PortInfo { return d.outputs }
+
+// SignalNames returns all hierarchical signal names, sorted.
+func (d *Design) SignalNames() []string {
+	names := make([]string, 0, len(d.sigs))
+	for _, s := range d.sigs {
+		names = append(names, s.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type elaborator struct {
+	f *verilog.SourceFile
+	d *Design
+}
+
+const maxDepth = 16
+
+func (e *elaborator) addSignal(name string, width int, isMem bool, depth int) int {
+	idx := len(e.d.sigs)
+	e.d.sigs = append(e.d.sigs, sigInfo{name: name, width: width, isMem: isMem, depth: depth})
+	e.d.byName[name] = idx
+	return idx
+}
+
+func (e *elaborator) addProc(p *process) *process {
+	p.idx = len(e.d.procs)
+	e.d.procs = append(e.d.procs, p)
+	return p
+}
+
+// instantiate creates signals and processes for one instance of m with the
+// hierarchical prefix and parameter overrides, returning its scope.
+func (e *elaborator) instantiate(m *verilog.Module, prefix string, overrides verilog.ConstEnv, depth int) (*scope, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("sim: instance hierarchy deeper than %d (recursive instantiation?)", maxDepth)
+	}
+	sc := &scope{prefix: prefix, names: map[string]int{}}
+
+	// Parameters: defaults evaluated in order, overrides applied first.
+	env := verilog.ConstEnv{}
+	for _, it := range m.Items {
+		if pd, ok := it.(*verilog.ParamDecl); ok {
+			if ov, ok := overrides[pd.Name]; ok && !pd.Local {
+				env[pd.Name] = ov
+				continue
+			}
+			v, err := verilog.EvalConst(pd.Value, env)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: parameter %s: %w", m.Name, pd.Name, err)
+			}
+			env[pd.Name] = v
+		}
+	}
+	sc.env = env
+
+	declare := func(name string, rng *verilog.Range, isMem bool, arr *verilog.Range) error {
+		if _, dup := sc.names[name]; dup {
+			return nil // 1995-style port+body double declaration
+		}
+		w, err := verilog.RangeWidth(rng, env)
+		if err != nil {
+			return fmt.Errorf("sim: %s: signal %s: %w", m.Name, name, err)
+		}
+		dep := 0
+		if isMem {
+			lo, err1 := verilog.EvalConst(arr.MSB, env)
+			hi, err2 := verilog.EvalConst(arr.LSB, env)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("sim: %s: memory %s has non-constant bounds", m.Name, name)
+			}
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			dep = int(hi-lo) + 1
+			if dep <= 0 || dep > 1<<20 {
+				return fmt.Errorf("sim: %s: memory %s depth %d out of range", m.Name, name, dep)
+			}
+		}
+		sc.names[name] = e.addSignal(prefix+name, w, isMem, dep)
+		return nil
+	}
+
+	for _, p := range m.Ports {
+		if err := declare(p.Name, p.Range, false, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, it := range m.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		rng := nd.Range
+		if nd.Kind == verilog.KindInteger {
+			rng = &verilog.Range{
+				MSB: &verilog.Number{Text: "31", Value: 31},
+				LSB: &verilog.Number{Text: "0", Value: 0},
+			}
+		}
+		for _, n := range nd.Names {
+			if err := declare(n.Name, rng, n.ArrayRange != nil, n.ArrayRange); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Processes.
+	for _, it := range m.Items {
+		switch v := it.(type) {
+		case *verilog.NetDecl:
+			for _, n := range v.Names {
+				if n.Init != nil {
+					e.addProc(&process{
+						kind:      procComb,
+						connLHS:   &verilog.Ident{Name: n.Name, Line: n.Line},
+						connLHSsc: sc,
+						connRHS:   n.Init,
+						connRHSsc: sc,
+					})
+				}
+			}
+		case *verilog.ContAssign:
+			e.addProc(&process{
+				kind:      procComb,
+				connLHS:   v.LHS,
+				connLHSsc: sc,
+				connRHS:   v.RHS,
+				connRHSsc: sc,
+			})
+		case *verilog.AlwaysBlock:
+			p := &process{sc: sc, body: v.Body}
+			if v.Sens != nil && v.Sens.Edged() {
+				p.kind = procSeq
+				for _, item := range v.Sens.Items {
+					idx, ok := sc.names[item.Signal]
+					if !ok {
+						return nil, fmt.Errorf("sim: %s: sensitivity signal %q not declared", m.Name, item.Signal)
+					}
+					if item.Edge != verilog.EdgeNone {
+						p.edges = append(p.edges, edgeSpec{sig: idx, pos: item.Edge == verilog.EdgePos})
+					}
+				}
+			} else {
+				p.kind = procComb
+				// Explicit level-sensitive lists are honored as written so
+				// incomplete-sensitivity defects misbehave like real
+				// event-driven simulation.
+				if v.Sens != nil && !v.Sens.Star {
+					for _, item := range v.Sens.Items {
+						if idx, ok := sc.names[item.Signal]; ok {
+							p.edges = append(p.edges, edgeSpec{sig: idx, pos: false})
+						}
+					}
+				}
+			}
+			e.addProc(p)
+		case *verilog.InitialBlock:
+			e.addProc(&process{kind: procInit, sc: sc, body: v.Body})
+		case *verilog.Instance:
+			child := e.f.Module(v.ModName)
+			if child == nil {
+				return nil, fmt.Errorf("sim: module %q instantiated by %s not found", v.ModName, m.Name)
+			}
+			ov := verilog.ConstEnv{}
+			for _, pc := range v.Params {
+				val, err := verilog.EvalConst(pc.Expr, env)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s: parameter override %s: %w", v.InstName, pc.Port, err)
+				}
+				name := pc.Port
+				if strings.HasPrefix(name, "$") {
+					return nil, fmt.Errorf("sim: %s: ordinal parameter overrides unsupported", v.InstName)
+				}
+				ov[name] = val
+			}
+			childSc, err := e.instantiate(child, prefix+v.InstName+".", ov, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.connect(m, sc, child, childSc, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sc, nil
+}
+
+// connect synthesizes the port-connection assignments for one instance.
+func (e *elaborator) connect(parent *verilog.Module, psc *scope, child *verilog.Module, csc *scope, inst *verilog.Instance) error {
+	for _, c := range inst.Conns {
+		var port *verilog.Port
+		if strings.HasPrefix(c.Port, "$") {
+			var idx int
+			fmt.Sscanf(c.Port, "$%d", &idx)
+			if idx >= len(child.Ports) {
+				return fmt.Errorf("sim: %s: too many ordinal connections", inst.InstName)
+			}
+			port = child.Ports[idx]
+		} else {
+			port = child.Port(c.Port)
+			if port == nil {
+				return fmt.Errorf("sim: %s: module %s has no port %q", inst.InstName, child.Name, c.Port)
+			}
+		}
+		if c.Expr == nil {
+			continue // unconnected pin
+		}
+		portRef := &verilog.Ident{Name: port.Name, Line: c.Line}
+		switch port.Dir {
+		case verilog.DirInput:
+			e.addProc(&process{
+				kind:      procComb,
+				connLHS:   portRef,
+				connLHSsc: csc,
+				connRHS:   c.Expr,
+				connRHSsc: psc,
+			})
+		case verilog.DirOutput:
+			e.addProc(&process{
+				kind:      procComb,
+				connLHS:   c.Expr,
+				connLHSsc: psc,
+				connRHS:   portRef,
+				connRHSsc: csc,
+			})
+		default:
+			return fmt.Errorf("sim: %s: inout ports unsupported", inst.InstName)
+		}
+	}
+	return nil
+}
+
+// indexDeps builds the signal -> process trigger maps.
+func (d *Design) indexDeps() {
+	for _, p := range d.procs {
+		switch p.kind {
+		case procComb:
+			for _, dep := range p.combDeps(d) {
+				d.combOf[dep] = append(d.combOf[dep], p.idx)
+			}
+		case procSeq:
+			for _, ed := range p.edges {
+				d.edgeOf[ed.sig] = append(d.edgeOf[ed.sig], edgeSpec2{proc: p.idx, pos: ed.pos})
+			}
+		}
+	}
+}
+
+// combDeps computes the signals whose changes re-trigger a combinational
+// process.
+func (p *process) combDeps(d *Design) []int {
+	seen := map[int]bool{}
+	var deps []int
+	add := func(idx int) {
+		if !seen[idx] {
+			seen[idx] = true
+			deps = append(deps, idx)
+		}
+	}
+	collect := func(e verilog.Expr, sc *scope) {
+		verilog.WalkExpr(e, func(x verilog.Expr) bool {
+			if id, ok := x.(*verilog.Ident); ok {
+				if _, isParam := sc.env[id.Name]; isParam {
+					return true
+				}
+				if idx, ok := sc.names[id.Name]; ok {
+					add(idx)
+				}
+			}
+			return true
+		})
+	}
+	if p.connRHS != nil {
+		collect(p.connRHS, p.connRHSsc)
+		// Dynamic selects on the LHS re-trigger too.
+		switch v := p.connLHS.(type) {
+		case *verilog.Index:
+			collect(v.Index, p.connLHSsc)
+		case *verilog.PartSelect:
+			collect(v.MSB, p.connLHSsc)
+			collect(v.LSB, p.connLHSsc)
+		}
+		return deps
+	}
+	if len(p.edges) > 0 {
+		// Explicit level-sensitive list.
+		for _, ed := range p.edges {
+			add(ed.sig)
+		}
+		return deps
+	}
+	// @(*): every identifier read anywhere in the body.
+	verilog.WalkStmt(p.body, func(s verilog.Stmt) bool {
+		switch v := s.(type) {
+		case *verilog.Assign:
+			collect(v.RHS, p.sc)
+			switch l := v.LHS.(type) {
+			case *verilog.Index:
+				collect(l.Index, p.sc)
+			case *verilog.PartSelect:
+				collect(l.MSB, p.sc)
+				collect(l.LSB, p.sc)
+			}
+		case *verilog.If:
+			collect(v.Cond, p.sc)
+		case *verilog.Case:
+			collect(v.Expr, p.sc)
+			for _, it := range v.Items {
+				for _, ex := range it.Exprs {
+					collect(ex, p.sc)
+				}
+			}
+		case *verilog.For:
+			collect(v.Cond, p.sc)
+			if v.Init != nil {
+				collect(v.Init.RHS, p.sc)
+			}
+			if v.Step != nil {
+				collect(v.Step.RHS, p.sc)
+			}
+		}
+		return true
+	})
+	return deps
+}

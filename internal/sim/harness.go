@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Waveform records cycle-sampled values of named signals, the simulator's
+// stand-in for a VCD dump. The localization engine reads input values at
+// mismatch timestamps out of it (Algorithm 2's getInputValue).
+type Waveform struct {
+	names  []string
+	data   map[string][]uint64
+	cycles int
+}
+
+// NewWaveform creates an empty waveform for the given signal names.
+func NewWaveform(names []string) *Waveform {
+	w := &Waveform{data: map[string][]uint64{}}
+	w.names = append(w.names, names...)
+	sort.Strings(w.names)
+	for _, n := range w.names {
+		w.data[n] = nil
+	}
+	return w
+}
+
+// Names returns the recorded signal names, sorted.
+func (w *Waveform) Names() []string { return w.names }
+
+// Cycles returns the number of recorded cycles.
+func (w *Waveform) Cycles() int { return w.cycles }
+
+// Record appends one cycle of values.
+func (w *Waveform) Record(vals map[string]uint64) {
+	for _, n := range w.names {
+		w.data[n] = append(w.data[n], vals[n])
+	}
+	w.cycles++
+}
+
+// At returns the value of name at cycle, or 0 when out of range.
+func (w *Waveform) At(name string, cycle int) uint64 {
+	col, ok := w.data[name]
+	if !ok || cycle < 0 || cycle >= len(col) {
+		return 0
+	}
+	return col[cycle]
+}
+
+// ValuesAt returns every recorded signal's value at cycle.
+func (w *Waveform) ValuesAt(cycle int) map[string]uint64 {
+	out := make(map[string]uint64, len(w.names))
+	for _, n := range w.names {
+		out[n] = w.At(n, cycle)
+	}
+	return out
+}
+
+// Harness drives a simulator with a cycle-based protocol: apply inputs,
+// let combinational logic settle, pulse the clock, sample outputs. It is
+// the glue between the Go UVM components and the RTL simulator.
+type Harness struct {
+	Sim   *Simulator
+	Clock string // clock input name; empty for purely combinational DUTs
+	Wave  *Waveform
+	cycle int
+}
+
+// NewHarness wraps sim with the given clock input (may be ""). All
+// top-level ports are recorded in the waveform.
+func NewHarness(s *Simulator, clock string) *Harness {
+	var names []string
+	for _, p := range s.Design().Inputs() {
+		names = append(names, p.Name)
+	}
+	for _, p := range s.Design().Outputs() {
+		names = append(names, p.Name)
+	}
+	return &Harness{Sim: s, Clock: clock, Wave: NewWaveform(names)}
+}
+
+// Cycle applies inputs, advances one clock cycle (or just settles for
+// combinational designs), records the waveform sample and returns the
+// top-level output values.
+func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
+	for name, v := range inputs {
+		if name == h.Clock {
+			continue
+		}
+		if err := h.Sim.Set(name, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.Sim.Settle(); err != nil {
+		return nil, err
+	}
+	if h.Clock != "" {
+		if err := h.Sim.Set(h.Clock, 1); err != nil {
+			return nil, err
+		}
+		if err := h.Sim.Settle(); err != nil {
+			return nil, err
+		}
+		if err := h.Sim.Set(h.Clock, 0); err != nil {
+			return nil, err
+		}
+		if err := h.Sim.Settle(); err != nil {
+			return nil, err
+		}
+	}
+	outs := map[string]uint64{}
+	sample := map[string]uint64{}
+	for _, p := range h.Sim.Design().Inputs() {
+		sample[p.Name] = h.Sim.Get(p.Name)
+	}
+	for _, p := range h.Sim.Design().Outputs() {
+		v := h.Sim.Get(p.Name)
+		outs[p.Name] = v
+		sample[p.Name] = v
+	}
+	h.Wave.Record(sample)
+	h.cycle++
+	return outs, nil
+}
+
+// CycleCount returns the number of cycles driven so far.
+func (h *Harness) CycleCount() int { return h.cycle }
+
+// Outputs samples the current top-level outputs without advancing time.
+func (h *Harness) Outputs() map[string]uint64 {
+	outs := map[string]uint64{}
+	for _, p := range h.Sim.Design().Outputs() {
+		outs[p.Name] = h.Sim.Get(p.Name)
+	}
+	return outs
+}
+
+// FindClock guesses the clock input of a design by conventional names.
+func FindClock(d *Design) string {
+	for _, cand := range []string{"clk", "clock", "clk_in", "i_clk"} {
+		for _, p := range d.Inputs() {
+			if p.Name == cand {
+				return p.Name
+			}
+		}
+	}
+	return ""
+}
+
+// FindReset returns the reset input name and whether it is active low,
+// guessed by conventional names.
+func FindReset(d *Design) (string, bool) {
+	for _, p := range d.Inputs() {
+		switch p.Name {
+		case "rst_n", "rstn", "reset_n", "nrst", "arstn":
+			return p.Name, true
+		}
+	}
+	for _, p := range d.Inputs() {
+		switch p.Name {
+		case "rst", "reset", "arst":
+			return p.Name, false
+		}
+	}
+	return "", false
+}
+
+// ApplyReset drives the reset sequence: assert reset for cycles clock
+// edges, then deassert.
+func (h *Harness) ApplyReset(cycles int) error {
+	name, activeLow := FindReset(h.Sim.Design())
+	if name == "" {
+		return nil
+	}
+	assert, deassert := uint64(1), uint64(0)
+	if activeLow {
+		assert, deassert = 0, 1
+	}
+	for i := 0; i < cycles; i++ {
+		if _, err := h.Cycle(map[string]uint64{name: assert}); err != nil {
+			return fmt.Errorf("sim: reset: %w", err)
+		}
+	}
+	if err := h.Sim.Set(name, deassert); err != nil {
+		return err
+	}
+	return h.Sim.Settle()
+}

@@ -1,0 +1,896 @@
+package sim
+
+import (
+	"fmt"
+
+	"uvllm/internal/verilog"
+)
+
+// Simulator executes an elaborated Design. The zero value is not usable;
+// construct with New.
+type Simulator struct {
+	d    *Design
+	vals []uint64
+	mems map[int][]uint64
+
+	combQueue []int
+	inQueue   []bool
+	seqQueue  []int
+	inSeq     []bool
+	nba       []nbaWrite
+	running   int // index of the currently executing process, or -1
+
+	// DeltaLimit bounds combinational settle iterations per Settle call;
+	// exceeding it reports an oscillation error. Defaults to 10000.
+	DeltaLimit int
+}
+
+type nbaWrite struct {
+	sig    int
+	isMem  bool
+	memIdx int
+	mask   uint64
+	val    uint64
+}
+
+// New elaborates top in f and returns a simulator with initial blocks
+// executed and combinational logic settled.
+func New(f *verilog.SourceFile, top string) (*Simulator, error) {
+	d, err := Elaborate(f, top)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		d:          d,
+		vals:       make([]uint64, len(d.sigs)),
+		mems:       map[int][]uint64{},
+		inQueue:    make([]bool, len(d.procs)),
+		inSeq:      make([]bool, len(d.procs)),
+		running:    -1,
+		DeltaLimit: 10000,
+	}
+	for i, si := range d.sigs {
+		if si.isMem {
+			s.mems[i] = make([]uint64, si.depth)
+		}
+	}
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CompileAndNew parses src and simulates module top. It returns an error
+// for syntax errors, making it usable as the pipeline's "does it compile"
+// gate (the paper's synthesis check after each patch).
+func CompileAndNew(src, top string) (*Simulator, error) {
+	f, errs := verilog.Parse(src)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("sim: %s", errs[0].Error())
+	}
+	return New(f, top)
+}
+
+// Design returns the elaborated design.
+func (s *Simulator) Design() *Design { return s.d }
+
+// Reset zeroes all state, re-runs initial blocks and settles.
+func (s *Simulator) Reset() error {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	for _, mem := range s.mems {
+		for i := range mem {
+			mem[i] = 0
+		}
+	}
+	s.combQueue = s.combQueue[:0]
+	s.seqQueue = s.seqQueue[:0]
+	s.nba = s.nba[:0]
+	for i := range s.inQueue {
+		s.inQueue[i] = false
+		s.inSeq[i] = false
+	}
+	for _, p := range s.d.procs {
+		switch p.kind {
+		case procInit:
+			if err := s.execStmt(p, p.body); err != nil {
+				return err
+			}
+		case procComb:
+			s.enqueueComb(p.idx)
+		}
+	}
+	return s.Settle()
+}
+
+// Set drives a signal by hierarchical name (normally a top-level input)
+// without settling. Returns an error for unknown names.
+func (s *Simulator) Set(name string, v uint64) error {
+	idx, ok := s.d.byName[name]
+	if !ok {
+		return fmt.Errorf("sim: unknown signal %q", name)
+	}
+	s.set(idx, v)
+	return nil
+}
+
+// Get reads a signal by hierarchical name. Unknown names read 0.
+func (s *Simulator) Get(name string) uint64 {
+	idx, ok := s.d.byName[name]
+	if !ok {
+		return 0
+	}
+	return s.vals[idx]
+}
+
+// Has reports whether the design has a signal with the given name.
+func (s *Simulator) Has(name string) bool {
+	_, ok := s.d.byName[name]
+	return ok
+}
+
+// GetMem reads one word of a memory signal.
+func (s *Simulator) GetMem(name string, idx int) uint64 {
+	i, ok := s.d.byName[name]
+	if !ok {
+		return 0
+	}
+	mem, ok := s.mems[i]
+	if !ok || idx < 0 || idx >= len(mem) {
+		return 0
+	}
+	return mem[idx]
+}
+
+func (s *Simulator) enqueueComb(proc int) {
+	if !s.inQueue[proc] {
+		s.inQueue[proc] = true
+		s.combQueue = append(s.combQueue, proc)
+	}
+}
+
+func (s *Simulator) enqueueSeq(proc int) {
+	if !s.inSeq[proc] {
+		s.inSeq[proc] = true
+		s.seqQueue = append(s.seqQueue, proc)
+	}
+}
+
+// set writes a raw signal value, detecting edges and scheduling dependents.
+func (s *Simulator) set(idx int, v uint64) {
+	w := s.d.sigs[idx].width
+	v &= widthMask(w)
+	old := s.vals[idx]
+	if old == v {
+		return
+	}
+	s.vals[idx] = v
+	for _, p := range s.d.combOf[idx] {
+		// An always block does not re-trigger on changes it makes itself
+		// (the sensitivity wait re-arms when the block finishes, at which
+		// point its own events have passed). Continuous assignments do:
+		// "assign x = ~x" is a genuine combinational loop.
+		if p == s.running && s.d.procs[p].body != nil {
+			continue
+		}
+		s.enqueueComb(p)
+	}
+	oldBit, newBit := old&1, v&1
+	for _, ew := range s.d.edgeOf[idx] {
+		if ew.pos && oldBit == 0 && newBit == 1 {
+			s.enqueueSeq(ew.proc)
+		}
+		if !ew.pos && oldBit == 1 && newBit == 0 {
+			s.enqueueSeq(ew.proc)
+		}
+	}
+}
+
+// touchMem wakes the combinational readers of a memory after a word write
+// (memory contents are not part of the scalar change-detection in set).
+func (s *Simulator) touchMem(sig int) {
+	for _, p := range s.d.combOf[sig] {
+		if p == s.running && s.d.procs[p].body != nil {
+			continue
+		}
+		s.enqueueComb(p)
+	}
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// Settle runs the event loop until no activity remains: combinational
+// fixpoint, then NBA commits, then triggered sequential processes, looping.
+func (s *Simulator) Settle() error {
+	steps := 0
+	for {
+		for len(s.combQueue) > 0 {
+			steps++
+			if steps > s.DeltaLimit {
+				return fmt.Errorf("sim: combinational logic did not converge after %d deltas (oscillation)", s.DeltaLimit)
+			}
+			proc := s.combQueue[0]
+			s.combQueue = s.combQueue[1:]
+			s.inQueue[proc] = false
+			if err := s.runProc(s.d.procs[proc]); err != nil {
+				return err
+			}
+		}
+		if len(s.nba) > 0 {
+			writes := s.nba
+			s.nba = nil
+			for _, w := range writes {
+				s.commitNBA(w)
+			}
+			continue
+		}
+		if len(s.seqQueue) > 0 {
+			procs := s.seqQueue
+			s.seqQueue = nil
+			for _, pi := range procs {
+				s.inSeq[pi] = false
+				if err := s.runProc(s.d.procs[pi]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (s *Simulator) commitNBA(w nbaWrite) {
+	if w.isMem {
+		mem := s.mems[w.sig]
+		if w.memIdx >= 0 && w.memIdx < len(mem) {
+			old := mem[w.memIdx]
+			mem[w.memIdx] = (old &^ w.mask) | (w.val & w.mask)
+			if mem[w.memIdx] != old {
+				s.touchMem(w.sig)
+			}
+		}
+		return
+	}
+	old := s.vals[w.sig]
+	s.set(w.sig, (old&^w.mask)|(w.val&w.mask))
+}
+
+func (s *Simulator) runProc(p *process) error {
+	prev := s.running
+	s.running = p.idx
+	defer func() { s.running = prev }()
+	if p.connRHS != nil {
+		w := s.widthOfLHS(p.connLHS, p.connLHSsc)
+		rw := s.widthOf(p.connRHS, p.connRHSsc)
+		if rw > w {
+			w = rw
+		}
+		v, err := s.eval(p.connRHS, p.connRHSsc, w)
+		if err != nil {
+			return err
+		}
+		return s.writeLHS(p.connLHS, p.connLHSsc, v, true)
+	}
+	return s.execStmt(p, p.body)
+}
+
+// execStmt interprets one statement within process p.
+func (s *Simulator) execStmt(p *process, st verilog.Stmt) error {
+	switch v := st.(type) {
+	case nil, *verilog.NullStmt:
+		return nil
+	case *verilog.Block:
+		for _, sub := range v.Stmts {
+			if err := s.execStmt(p, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Assign:
+		return s.execAssign(p, v)
+	case *verilog.If:
+		c, err := s.evalSelf(v.Cond, p.sc)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return s.execStmt(p, v.Then)
+		}
+		if v.Else != nil {
+			return s.execStmt(p, v.Else)
+		}
+		return nil
+	case *verilog.Case:
+		sel, err := s.evalSelf(v.Expr, p.sc)
+		if err != nil {
+			return err
+		}
+		var def *verilog.CaseItem
+		for i := range v.Items {
+			it := &v.Items[i]
+			if it.Exprs == nil {
+				def = it
+				continue
+			}
+			for _, ex := range it.Exprs {
+				lv, err := s.evalSelf(ex, p.sc)
+				if err != nil {
+					return err
+				}
+				if lv == sel {
+					return s.execStmt(p, it.Body)
+				}
+			}
+		}
+		if def != nil {
+			return s.execStmt(p, def.Body)
+		}
+		return nil
+	case *verilog.For:
+		if v.Init != nil {
+			if err := s.execAssign(p, v.Init); err != nil {
+				return err
+			}
+		}
+		for iter := 0; ; iter++ {
+			if iter > 1<<16 {
+				return fmt.Errorf("sim: for loop at line %d exceeded %d iterations", v.Line, 1<<16)
+			}
+			c, err := s.evalSelf(v.Cond, p.sc)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := s.execStmt(p, v.Body); err != nil {
+				return err
+			}
+			if v.Step != nil {
+				if err := s.execAssign(p, v.Step); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return fmt.Errorf("sim: unsupported statement %T", st)
+}
+
+func (s *Simulator) execAssign(p *process, a *verilog.Assign) error {
+	if a == nil {
+		return nil
+	}
+	w := s.widthOfLHS(a.LHS, p.sc)
+	rw := s.widthOf(a.RHS, p.sc)
+	if rw > w {
+		w = rw
+	}
+	v, err := s.eval(a.RHS, p.sc, w)
+	if err != nil {
+		return err
+	}
+	return s.writeLHS(a.LHS, p.sc, v, a.Blocking)
+}
+
+// writeLHS stores v into the l-value. Blocking writes apply immediately;
+// non-blocking writes are deferred to the NBA phase with targets resolved
+// now, per the standard.
+func (s *Simulator) writeLHS(lhs verilog.Expr, sc *scope, v uint64, blocking bool) error {
+	switch l := lhs.(type) {
+	case *verilog.Ident:
+		idx, ok := sc.names[l.Name]
+		if !ok {
+			return fmt.Errorf("sim: assignment to undeclared %q (line %d)", l.Name, l.Line)
+		}
+		w := s.d.sigs[idx].width
+		if blocking {
+			s.set(idx, v)
+		} else {
+			s.nba = append(s.nba, nbaWrite{sig: idx, mask: widthMask(w), val: v & widthMask(w)})
+		}
+		return nil
+
+	case *verilog.Index:
+		id, ok := l.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("sim: unsupported nested l-value at line %d", l.Line)
+		}
+		idx, ok := sc.names[id.Name]
+		if !ok {
+			return fmt.Errorf("sim: assignment to undeclared %q (line %d)", id.Name, id.Line)
+		}
+		sel, err := s.evalSelf(l.Index, sc)
+		if err != nil {
+			return err
+		}
+		si := s.d.sigs[idx]
+		if si.isMem {
+			w := widthMask(si.width)
+			if blocking {
+				mem := s.mems[idx]
+				if int(sel) < len(mem) && mem[sel] != v&w {
+					mem[sel] = v & w
+					s.touchMem(idx)
+				}
+				return nil
+			}
+			s.nba = append(s.nba, nbaWrite{sig: idx, isMem: true, memIdx: int(sel), mask: w, val: v & w})
+			return nil
+		}
+		if int(sel) >= si.width {
+			return nil // out-of-range bit write ignored (x in 4-state)
+		}
+		mask := uint64(1) << uint(sel)
+		if blocking {
+			s.set(idx, (s.vals[idx]&^mask)|((v&1)<<uint(sel)))
+		} else {
+			s.nba = append(s.nba, nbaWrite{sig: idx, mask: mask, val: (v & 1) << uint(sel)})
+		}
+		return nil
+
+	case *verilog.PartSelect:
+		id, ok := l.X.(*verilog.Ident)
+		if !ok {
+			return fmt.Errorf("sim: unsupported nested l-value at line %d", l.Line)
+		}
+		idx, ok := sc.names[id.Name]
+		if !ok {
+			return fmt.Errorf("sim: assignment to undeclared %q (line %d)", id.Name, id.Line)
+		}
+		msb, err := s.evalSelf(l.MSB, sc)
+		if err != nil {
+			return err
+		}
+		lsb, err := s.evalSelf(l.LSB, sc)
+		if err != nil {
+			return err
+		}
+		if msb < lsb {
+			msb, lsb = lsb, msb
+		}
+		w := int(msb-lsb) + 1
+		mask := widthMask(w) << uint(lsb)
+		val := (v & widthMask(w)) << uint(lsb)
+		if blocking {
+			s.set(idx, (s.vals[idx]&^mask)|val)
+		} else {
+			s.nba = append(s.nba, nbaWrite{sig: idx, mask: mask, val: val})
+		}
+		return nil
+
+	case *verilog.Concat:
+		// MSB-first: the first part receives the top bits.
+		total := 0
+		widths := make([]int, len(l.Parts))
+		for i, part := range l.Parts {
+			w := s.widthOfLHS(part, sc)
+			widths[i] = w
+			total += w
+		}
+		shift := total
+		for i, part := range l.Parts {
+			shift -= widths[i]
+			pv := (v >> uint(shift)) & widthMask(widths[i])
+			if err := s.writeLHS(part, sc, pv, blocking); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: unsupported l-value %T", lhs)
+}
+
+// widthOfLHS is the declared width of an l-value.
+func (s *Simulator) widthOfLHS(lhs verilog.Expr, sc *scope) int {
+	switch l := lhs.(type) {
+	case *verilog.Ident:
+		if idx, ok := sc.names[l.Name]; ok {
+			return s.d.sigs[idx].width
+		}
+		return 1
+	case *verilog.Index:
+		if id, ok := l.X.(*verilog.Ident); ok {
+			if idx, ok := sc.names[id.Name]; ok && s.d.sigs[idx].isMem {
+				return s.d.sigs[idx].width
+			}
+		}
+		return 1
+	case *verilog.PartSelect:
+		msb, err1 := s.evalSelf(l.MSB, sc)
+		lsb, err2 := s.evalSelf(l.LSB, sc)
+		if err1 != nil || err2 != nil {
+			return 1
+		}
+		if msb < lsb {
+			msb, lsb = lsb, msb
+		}
+		return int(msb-lsb) + 1
+	case *verilog.Concat:
+		total := 0
+		for _, p := range l.Parts {
+			total += s.widthOfLHS(p, sc)
+		}
+		return total
+	}
+	return 1
+}
+
+// widthOf is the self-determined width of an expression.
+func (s *Simulator) widthOf(e verilog.Expr, sc *scope) int {
+	switch v := e.(type) {
+	case *verilog.Number:
+		if v.Width > 0 {
+			return v.Width
+		}
+		return 32
+	case *verilog.Ident:
+		if _, isParam := sc.env[v.Name]; isParam {
+			return 32
+		}
+		if idx, ok := sc.names[v.Name]; ok {
+			return s.d.sigs[idx].width
+		}
+		return 1
+	case *verilog.Unary:
+		switch v.Op {
+		case "!", "&", "|", "^", "~&", "~|", "~^":
+			return 1
+		}
+		return s.widthOf(v.X, sc)
+	case *verilog.Binary:
+		switch v.Op {
+		case "==", "!=", "===", "!==", "<", ">", "<=", ">=", "&&", "||":
+			return 1
+		case "<<", ">>", "<<<", ">>>":
+			return s.widthOf(v.X, sc)
+		}
+		a, b := s.widthOf(v.X, sc), s.widthOf(v.Y, sc)
+		if a > b {
+			return a
+		}
+		return b
+	case *verilog.Ternary:
+		a, b := s.widthOf(v.Then, sc), s.widthOf(v.Else, sc)
+		if a > b {
+			return a
+		}
+		return b
+	case *verilog.Index:
+		if id, ok := v.X.(*verilog.Ident); ok {
+			if idx, ok := sc.names[id.Name]; ok && s.d.sigs[idx].isMem {
+				return s.d.sigs[idx].width
+			}
+		}
+		return 1
+	case *verilog.PartSelect:
+		msb, err1 := s.evalSelf(v.MSB, sc)
+		lsb, err2 := s.evalSelf(v.LSB, sc)
+		if err1 != nil || err2 != nil {
+			return 1
+		}
+		if msb < lsb {
+			msb, lsb = lsb, msb
+		}
+		return int(msb-lsb) + 1
+	case *verilog.Concat:
+		total := 0
+		for _, p := range v.Parts {
+			total += s.widthOf(p, sc)
+		}
+		return total
+	case *verilog.Repl:
+		n, err := s.evalSelf(v.Count, sc)
+		if err != nil {
+			return 1
+		}
+		return int(n) * s.widthOf(v.Value, sc)
+	}
+	return 1
+}
+
+// evalSelf evaluates e at its self-determined width.
+func (s *Simulator) evalSelf(e verilog.Expr, sc *scope) (uint64, error) {
+	return s.eval(e, sc, s.widthOf(e, sc))
+}
+
+// eval evaluates e in context width ctxW (context-determined operands are
+// evaluated at ctxW; self-determined ones at their own width). The result
+// is masked to ctxW bits.
+func (s *Simulator) eval(e verilog.Expr, sc *scope, ctxW int) (uint64, error) {
+	m := widthMask(ctxW)
+	switch v := e.(type) {
+	case *verilog.Number:
+		return v.Value & m, nil
+
+	case *verilog.Ident:
+		if pv, isParam := sc.env[v.Name]; isParam {
+			return uint64(pv) & m, nil
+		}
+		idx, ok := sc.names[v.Name]
+		if !ok {
+			return 0, fmt.Errorf("sim: read of undeclared signal %q (line %d)", v.Name, v.Line)
+		}
+		return s.vals[idx] & m, nil
+
+	case *verilog.Unary:
+		switch v.Op {
+		case "!":
+			x, err := s.evalSelf(v.X, sc)
+			if err != nil {
+				return 0, err
+			}
+			return b2u(x == 0), nil
+		case "-":
+			x, err := s.eval(v.X, sc, ctxW)
+			if err != nil {
+				return 0, err
+			}
+			return (-x) & m, nil
+		case "+":
+			return s.eval(v.X, sc, ctxW)
+		case "~":
+			x, err := s.eval(v.X, sc, ctxW)
+			if err != nil {
+				return 0, err
+			}
+			return (^x) & m, nil
+		case "&", "|", "^", "~&", "~|", "~^":
+			w := s.widthOf(v.X, sc)
+			x, err := s.eval(v.X, sc, w)
+			if err != nil {
+				return 0, err
+			}
+			return reduce(v.Op, x, w), nil
+		}
+		return 0, fmt.Errorf("sim: unsupported unary %q", v.Op)
+
+	case *verilog.Binary:
+		return s.evalBinary(v, sc, ctxW)
+
+	case *verilog.Ternary:
+		c, err := s.evalSelf(v.Cond, sc)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return s.eval(v.Then, sc, ctxW)
+		}
+		return s.eval(v.Else, sc, ctxW)
+
+	case *verilog.Index:
+		id, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return 0, fmt.Errorf("sim: unsupported select base at line %d", v.Line)
+		}
+		sel, err := s.evalSelf(v.Index, sc)
+		if err != nil {
+			return 0, err
+		}
+		idx, ok := sc.names[id.Name]
+		if !ok {
+			return 0, fmt.Errorf("sim: read of undeclared signal %q (line %d)", id.Name, id.Line)
+		}
+		si := s.d.sigs[idx]
+		if si.isMem {
+			mem := s.mems[idx]
+			if int(sel) >= len(mem) {
+				return 0, nil
+			}
+			return mem[sel] & m, nil
+		}
+		if int(sel) >= si.width {
+			return 0, nil
+		}
+		return (s.vals[idx] >> uint(sel)) & 1, nil
+
+	case *verilog.PartSelect:
+		id, ok := v.X.(*verilog.Ident)
+		if !ok {
+			return 0, fmt.Errorf("sim: unsupported select base at line %d", v.Line)
+		}
+		idx, ok := sc.names[id.Name]
+		if !ok {
+			return 0, fmt.Errorf("sim: read of undeclared signal %q (line %d)", id.Name, id.Line)
+		}
+		msb, err := s.evalSelf(v.MSB, sc)
+		if err != nil {
+			return 0, err
+		}
+		lsb, err := s.evalSelf(v.LSB, sc)
+		if err != nil {
+			return 0, err
+		}
+		if msb < lsb {
+			msb, lsb = lsb, msb
+		}
+		w := int(msb-lsb) + 1
+		return (s.vals[idx] >> uint(lsb)) & widthMask(w) & m, nil
+
+	case *verilog.Concat:
+		var out uint64
+		for _, p := range v.Parts {
+			w := s.widthOf(p, sc)
+			pv, err := s.eval(p, sc, w)
+			if err != nil {
+				return 0, err
+			}
+			out = (out << uint(w)) | (pv & widthMask(w))
+		}
+		return out & m, nil
+
+	case *verilog.Repl:
+		n, err := s.evalSelf(v.Count, sc)
+		if err != nil {
+			return 0, err
+		}
+		w := s.widthOf(v.Value, sc)
+		pv, err := s.eval(v.Value, sc, w)
+		if err != nil {
+			return 0, err
+		}
+		var out uint64
+		for i := uint64(0); i < n && i < 64; i++ {
+			out = (out << uint(w)) | (pv & widthMask(w))
+		}
+		return out & m, nil
+	}
+	return 0, fmt.Errorf("sim: unsupported expression %T", e)
+}
+
+func (s *Simulator) evalBinary(v *verilog.Binary, sc *scope, ctxW int) (uint64, error) {
+	m := widthMask(ctxW)
+	switch v.Op {
+	case "+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~":
+		x, err := s.eval(v.X, sc, ctxW)
+		if err != nil {
+			return 0, err
+		}
+		y, err := s.eval(v.Y, sc, ctxW)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return (x + y) & m, nil
+		case "-":
+			return (x - y) & m, nil
+		case "*":
+			return (x * y) & m, nil
+		case "/":
+			if y == 0 {
+				return 0, nil
+			}
+			return (x / y) & m, nil
+		case "%":
+			if y == 0 {
+				return 0, nil
+			}
+			return (x % y) & m, nil
+		case "&":
+			return x & y & m, nil
+		case "|":
+			return (x | y) & m, nil
+		case "^":
+			return (x ^ y) & m, nil
+		default: // ~^ ^~ xnor
+			return (^(x ^ y)) & m, nil
+		}
+
+	case "==", "!=", "<", ">", "<=", ">=", "===", "!==":
+		w := s.widthOf(v.X, sc)
+		if yw := s.widthOf(v.Y, sc); yw > w {
+			w = yw
+		}
+		x, err := s.eval(v.X, sc, w)
+		if err != nil {
+			return 0, err
+		}
+		y, err := s.eval(v.Y, sc, w)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "==", "===":
+			return b2u(x == y), nil
+		case "!=", "!==":
+			return b2u(x != y), nil
+		case "<":
+			return b2u(x < y), nil
+		case ">":
+			return b2u(x > y), nil
+		case "<=":
+			return b2u(x <= y), nil
+		default:
+			return b2u(x >= y), nil
+		}
+
+	case "&&", "||":
+		x, err := s.evalSelf(v.X, sc)
+		if err != nil {
+			return 0, err
+		}
+		y, err := s.evalSelf(v.Y, sc)
+		if err != nil {
+			return 0, err
+		}
+		if v.Op == "&&" {
+			return b2u(x != 0 && y != 0), nil
+		}
+		return b2u(x != 0 || y != 0), nil
+
+	case "<<", "<<<":
+		x, err := s.eval(v.X, sc, ctxW)
+		if err != nil {
+			return 0, err
+		}
+		n, err := s.evalSelf(v.Y, sc)
+		if err != nil {
+			return 0, err
+		}
+		if n >= 64 {
+			return 0, nil
+		}
+		return (x << uint(n)) & m, nil
+
+	case ">>", ">>>":
+		// Logical shift; operand masked to its own width first so stray
+		// high bits never leak in.
+		w := s.widthOf(v.X, sc)
+		if ctxW > w {
+			w = ctxW
+		}
+		x, err := s.eval(v.X, sc, w)
+		if err != nil {
+			return 0, err
+		}
+		n, err := s.evalSelf(v.Y, sc)
+		if err != nil {
+			return 0, err
+		}
+		if n >= 64 {
+			return 0, nil
+		}
+		return (x >> uint(n)) & m, nil
+	}
+	return 0, fmt.Errorf("sim: unsupported binary operator %q", v.Op)
+}
+
+func reduce(op string, x uint64, w int) uint64 {
+	x &= widthMask(w)
+	var and, or, xor uint64
+	and = 1
+	for i := 0; i < w; i++ {
+		b := (x >> uint(i)) & 1
+		and &= b
+		or |= b
+		xor ^= b
+	}
+	switch op {
+	case "&":
+		return and
+	case "|":
+		return or
+	case "^":
+		return xor
+	case "~&":
+		return and ^ 1
+	case "~|":
+		return or ^ 1
+	case "~^":
+		return xor ^ 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

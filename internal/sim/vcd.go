@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteVCD renders a recorded waveform as an IEEE 1364 Value Change Dump,
+// the interchange format every waveform viewer reads. Signal widths are
+// taken from the design; one waveform cycle maps to one timestep.
+func WriteVCD(w io.Writer, wave *Waveform, d *Design, top string) error {
+	widths := map[string]int{}
+	for _, p := range d.Inputs() {
+		widths[p.Name] = p.Width
+	}
+	for _, p := range d.Outputs() {
+		widths[p.Name] = p.Width
+	}
+	names := wave.Names()
+
+	if _, err := fmt.Fprintf(w, "$date\n    (uvllm simulation)\n$end\n$version\n    uvllm sim VCD dumper\n$end\n$timescale 1ns $end\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "$scope module %s $end\n", top); err != nil {
+		return err
+	}
+	ids := map[string]string{}
+	for i, n := range names {
+		id := vcdID(i)
+		ids[n] = id
+		width := widths[n]
+		if width == 0 {
+			width = 1
+		}
+		if _, err := fmt.Fprintf(w, "$var wire %d %s %s $end\n", width, id, n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	last := map[string]uint64{}
+	for cyc := 0; cyc < wave.Cycles(); cyc++ {
+		wroteTime := false
+		for _, n := range names {
+			v := wave.At(n, cyc)
+			if cyc > 0 && last[n] == v {
+				continue
+			}
+			if !wroteTime {
+				if _, err := fmt.Fprintf(w, "#%d\n", cyc); err != nil {
+					return err
+				}
+				wroteTime = true
+			}
+			width := widths[n]
+			if width <= 1 {
+				if _, err := fmt.Fprintf(w, "%d%s\n", v&1, ids[n]); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(w, "b%s %s\n", strconv.FormatUint(v, 2), ids[n]); err != nil {
+					return err
+				}
+			}
+			last[n] = v
+		}
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", wave.Cycles())
+	return err
+}
+
+// vcdID maps an index to a short printable identifier per the VCD spec
+// (characters '!'..'~', multi-character when needed).
+func vcdID(i int) string {
+	const lo, hi = 33, 126
+	const base = hi - lo + 1
+	var out []byte
+	for {
+		out = append(out, byte(lo+i%base))
+		i = i / base
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(out)
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCD(t *testing.T) {
+	src := `module c(input clk, input rst_n, input en, output reg [3:0] q);
+always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 4'd0;
+    else if (en) q <= q + 4'd1;
+end
+endmodule`
+	s := mustSim(t, src, "c")
+	h := NewHarness(s, "clk")
+	if err := h.ApplyReset(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := h.Cycle(map[string]uint64{"en": 1, "rst_n": 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := WriteVCD(&b, h.Wave, s.Design(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module c $end",
+		"$var wire 4 ", // q is 4 bits wide
+		"$enddefinitions $end",
+		"#0",
+		"b1 ",   // q = 1 at some step
+		"b101 ", // q = 5 on the last counted step
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Values only dumped on change: en stays 1 after cycle 1, so it must
+	// appear at most twice (reset cycle value 0, then 1).
+	lines := strings.Split(out, "\n")
+	enID := ""
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "$var") && strings.HasSuffix(ln, " en $end") {
+			enID = strings.Fields(ln)[3]
+		}
+	}
+	if enID == "" {
+		t.Fatal("en not declared")
+	}
+	count := 0
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "$") && strings.HasSuffix(ln, enID) && !strings.Contains(ln, "$var") {
+			count++
+		}
+	}
+	if count > 2 {
+		t.Errorf("en dumped %d times; change-only dumping broken", count)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("vcdID(%d) = %q duplicate or empty", i, id)
+		}
+		seen[id] = true
+		for j := 0; j < len(id); j++ {
+			if id[j] < 33 || id[j] > 126 {
+				t.Fatalf("vcdID(%d) contains non-printable %q", i, id)
+			}
+		}
+	}
+}

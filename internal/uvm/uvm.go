@@ -1,0 +1,300 @@
+// Package uvm re-creates the Universal Verification Methodology testbench
+// structure of paper Fig. 3 in Go: Sequences feed a Sequencer, a Driver
+// applies transactions to the DUT through the cycle harness, Monitors
+// sample both the DUT and the reference model, and a Scoreboard compares
+// them, producing the pass rate that drives UVLLM's rollback mechanism and
+// a UVM-format text log that the post-processing stage parses.
+package uvm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"uvllm/internal/assert"
+	"uvllm/internal/refmodel"
+	"uvllm/internal/sim"
+)
+
+// Transaction is one cycle of stimulus at the DUT boundary.
+type Transaction struct {
+	Cycle  int
+	Inputs map[string]uint64
+}
+
+// Sequence produces transactions, simulating real-world operation patterns
+// (paper Fig. 3's "Case (Sequence)").
+type Sequence interface {
+	// Next returns the next stimulus vector, or ok=false when exhausted.
+	Next(rng *rand.Rand) (map[string]uint64, bool)
+	// Len returns the total number of transactions the sequence produces.
+	Len() int
+}
+
+// RandomSequence drives n constrained-random vectors across the given
+// input ports, with the reset held inactive (reset is exercised separately
+// by the environment's reset phase and periodic reset pulses).
+type RandomSequence struct {
+	Ports      []sim.PortInfo
+	N          int
+	ResetName  string
+	ResetEvery int // assert reset for one cycle every k transactions; 0 = never
+	emitted    int
+}
+
+// Next implements Sequence.
+func (s *RandomSequence) Next(rng *rand.Rand) (map[string]uint64, bool) {
+	if s.emitted >= s.N {
+		return nil, false
+	}
+	s.emitted++
+	in := map[string]uint64{}
+	for _, p := range s.Ports {
+		in[p.Name] = rng.Uint64() & maskW(p.Width)
+	}
+	if s.ResetName != "" {
+		if s.ResetEvery > 0 && s.emitted%s.ResetEvery == 0 {
+			in[s.ResetName] = 0
+		} else {
+			in[s.ResetName] = 1
+		}
+	}
+	return in, true
+}
+
+// Len implements Sequence.
+func (s *RandomSequence) Len() int { return s.N }
+
+// DirectedSequence plays back a fixed vector list — the style of finite
+// testbench the MEIC baseline uses (and the source of its overfitting).
+type DirectedSequence struct {
+	Vectors []map[string]uint64
+	pos     int
+}
+
+// Next implements Sequence.
+func (s *DirectedSequence) Next(_ *rand.Rand) (map[string]uint64, bool) {
+	if s.pos >= len(s.Vectors) {
+		return nil, false
+	}
+	v := s.Vectors[s.pos]
+	s.pos++
+	return v, true
+}
+
+// Len implements Sequence.
+func (s *DirectedSequence) Len() int { return len(s.Vectors) }
+
+func maskW(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// Mismatch is one scoreboard discrepancy: the UVM_ERROR record that the
+// localization engine consumes (mismatch timestamp MT, signal MS).
+type Mismatch struct {
+	Time     int // cycle number
+	Signal   string
+	Expected uint64
+	Actual   uint64
+}
+
+// Scoreboard accumulates per-transaction comparisons.
+type Scoreboard struct {
+	Total      int
+	Passed     int
+	Mismatches []Mismatch
+
+	// MaxMismatches caps the recorded mismatch list (the log would
+	// otherwise explode for badly broken DUTs). Counting continues.
+	MaxMismatches int
+}
+
+// Compare records one transaction's expected-vs-actual outputs and reports
+// whether the transaction passed.
+func (sb *Scoreboard) Compare(cycle int, expected, actual map[string]uint64) bool {
+	sb.Total++
+	pass := true
+	for sig, ev := range expected {
+		av := actual[sig]
+		if av != ev {
+			pass = false
+			if sb.MaxMismatches == 0 || len(sb.Mismatches) < sb.MaxMismatches {
+				sb.Mismatches = append(sb.Mismatches, Mismatch{
+					Time: cycle, Signal: sig, Expected: ev, Actual: av,
+				})
+			}
+		}
+	}
+	if pass {
+		sb.Passed++
+	}
+	return pass
+}
+
+// PassRate is the fraction of passing transactions in [0,1]; an empty run
+// scores 0.
+func (sb *Scoreboard) PassRate() float64 {
+	if sb.Total == 0 {
+		return 0
+	}
+	return float64(sb.Passed) / float64(sb.Total)
+}
+
+// Agent bundles the sequencer/driver/monitor roles of a UVM agent. The
+// in-agent drives DUT inputs; the out-agent's monitor is realized by the
+// harness output sampling.
+type Agent struct {
+	Name string
+	rng  *rand.Rand
+}
+
+// Env is the UVM environment: DUT harness, reference model, scoreboard and
+// coverage collector. An optional assertion checker (the paper's
+// extensibility hook, Sec. III-B) is sampled on every transaction.
+type Env struct {
+	DUT      *sim.Harness
+	Ref      refmodel.Model
+	Score    *Scoreboard
+	Cov      *Coverage
+	InAgent  *Agent
+	OutAgent *Agent
+	Asserts  *assert.Checker // nil when no assertions attached
+
+	log   strings.Builder
+	fatal error
+	seed  int64
+}
+
+// Config selects how an Env is built.
+type Config struct {
+	Source    string // DUT Verilog source
+	Top       string // top module name
+	Clock     string // clock input, "" for combinational
+	RefName   string // reference model name (dataset module name)
+	Seed      int64
+	ResetLen  int // reset cycles before the sequence (default 2)
+	MaxErrors int // mismatch record cap (default 64)
+	// Assertions are checked against the DUT's port values each cycle.
+	Assertions []assert.Assertion
+}
+
+// NewEnv elaborates the DUT and builds the environment. Elaboration
+// failures (syntax errors, unsupported constructs, oscillation at time 0)
+// are returned as errors; the caller treats them as simulation failures.
+func NewEnv(cfg Config) (*Env, error) {
+	s, err := sim.CompileAndNew(cfg.Source, cfg.Top)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := refmodel.New(cfg.RefName)
+	if err != nil {
+		return nil, err
+	}
+	maxErr := cfg.MaxErrors
+	if maxErr == 0 {
+		maxErr = 64
+	}
+	env := &Env{
+		DUT:      sim.NewHarness(s, cfg.Clock),
+		Ref:      ref,
+		Score:    &Scoreboard{MaxMismatches: maxErr},
+		InAgent:  &Agent{Name: "in_agt"},
+		OutAgent: &Agent{Name: "out_agt"},
+		seed:     cfg.Seed,
+	}
+	env.Cov = NewCoverage(s.Design())
+	if len(cfg.Assertions) > 0 {
+		env.Asserts = assert.NewChecker(cfg.Assertions)
+	}
+	env.logf("UVM_INFO @ 0: uvm_test_top.env [RNTST] running test on %s (seed %d)", cfg.Top, cfg.Seed)
+	return env, nil
+}
+
+// Run drives the sequence to completion (or until the DUT dies), filling
+// the scoreboard, coverage and log. It returns the final pass rate.
+func (e *Env) Run(seq Sequence) float64 {
+	rng := rand.New(rand.NewSource(e.seed))
+	resetName, _ := sim.FindReset(e.DUT.Sim.Design())
+
+	// Reset phase.
+	if resetName != "" {
+		if err := e.DUT.ApplyReset(2); err != nil {
+			e.fatalf("reset phase: %v", err)
+			return 0
+		}
+		e.Ref.Reset()
+	}
+
+	for {
+		in, ok := seq.Next(rng)
+		if !ok {
+			break
+		}
+		cycle := e.DUT.CycleCount()
+		got, err := e.DUT.Cycle(in)
+		if err != nil {
+			e.fatalf("cycle %d: %v", cycle, err)
+			return e.Score.PassRate()
+		}
+		want := e.Ref.Step(in)
+		e.Cov.Sample(in, got)
+		if e.Asserts != nil {
+			all := map[string]uint64{}
+			for k, v := range in {
+				all[k] = v
+			}
+			for k, v := range got {
+				all[k] = v
+			}
+			before := len(e.Asserts.Violations)
+			e.Asserts.Sample(all)
+			for _, v := range e.Asserts.Violations[before:] {
+				e.logf("UVM_ERROR @ %d: uvm_test_top.env.assert [ASRT] violation %s: %s",
+					cycle, v.Assertion, v.Detail)
+			}
+		}
+		if !e.Score.Compare(cycle, want, got) {
+			for _, mm := range e.mismatchesAt(cycle) {
+				e.logf("UVM_ERROR @ %d: uvm_test_top.env.scoreboard [SCBD] mismatch signal=%s expected=0x%x actual=0x%x",
+					mm.Time, mm.Signal, mm.Expected, mm.Actual)
+			}
+		}
+	}
+	e.logf("UVM_INFO @ %d: uvm_test_top.env.scoreboard [SCBD] pass_rate=%.2f%% (%d/%d) coverage=%.1f%%",
+		e.DUT.CycleCount(), e.Score.PassRate()*100, e.Score.Passed, e.Score.Total, e.Cov.Percent())
+	return e.Score.PassRate()
+}
+
+func (e *Env) mismatchesAt(cycle int) []Mismatch {
+	var out []Mismatch
+	for i := len(e.Score.Mismatches) - 1; i >= 0; i-- {
+		if e.Score.Mismatches[i].Time == cycle {
+			out = append([]Mismatch{e.Score.Mismatches[i]}, out...)
+		} else {
+			break
+		}
+	}
+	return out
+}
+
+func (e *Env) logf(format string, args ...interface{}) {
+	fmt.Fprintf(&e.log, format+"\n", args...)
+}
+
+func (e *Env) fatalf(format string, args ...interface{}) {
+	err := fmt.Errorf(format, args...)
+	e.fatal = err
+	e.logf("UVM_FATAL @ %d: uvm_test_top.env [SIM] %v", e.DUT.CycleCount(), err)
+}
+
+// Log returns the UVM-format text log of the run.
+func (e *Env) Log() string { return e.log.String() }
+
+// Fatal returns the simulation error that aborted the run, if any.
+func (e *Env) Fatal() error { return e.fatal }
+
+// Waveform exposes the recorded DUT waveform for the localization engine.
+func (e *Env) Waveform() *sim.Waveform { return e.DUT.Wave }

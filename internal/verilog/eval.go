@@ -1,0 +1,242 @@
+package verilog
+
+import "fmt"
+
+// ConstEnv maps parameter names to values for constant evaluation.
+type ConstEnv map[string]int64
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalConst evaluates a compile-time constant expression (parameter values,
+// range bounds). It returns an error for anything not constant.
+func EvalConst(e Expr, env ConstEnv) (int64, error) {
+	switch v := e.(type) {
+	case *Number:
+		return int64(v.Value), nil
+	case *Ident:
+		if val, ok := env[v.Name]; ok {
+			return val, nil
+		}
+		return 0, fmt.Errorf("verilog: %q is not a constant (line %d)", v.Name, v.Line)
+	case *Unary:
+		x, err := EvalConst(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "-":
+			return -x, nil
+		case "+":
+			return x, nil
+		case "~":
+			return ^x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("verilog: unary %q not constant-foldable (line %d)", v.Op, v.Line)
+	case *Binary:
+		x, err := EvalConst(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := EvalConst(v.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, fmt.Errorf("verilog: constant division by zero (line %d)", v.Line)
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, fmt.Errorf("verilog: constant modulo by zero (line %d)", v.Line)
+			}
+			return x % y, nil
+		case "<<":
+			return x << uint(y&63), nil
+		case ">>":
+			return x >> uint(y&63), nil
+		case "&":
+			return x & y, nil
+		case "|":
+			return x | y, nil
+		case "^":
+			return x ^ y, nil
+		case "==":
+			return b2i(x == y), nil
+		case "!=":
+			return b2i(x != y), nil
+		case "<":
+			return b2i(x < y), nil
+		case ">":
+			return b2i(x > y), nil
+		case "<=":
+			return b2i(x <= y), nil
+		case ">=":
+			return b2i(x >= y), nil
+		case "&&":
+			return b2i(x != 0 && y != 0), nil
+		case "||":
+			return b2i(x != 0 || y != 0), nil
+		}
+		return 0, fmt.Errorf("verilog: binary %q not constant-foldable (line %d)", v.Op, v.Line)
+	case *Ternary:
+		c, err := EvalConst(v.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return EvalConst(v.Then, env)
+		}
+		return EvalConst(v.Else, env)
+	}
+	return 0, fmt.Errorf("verilog: expression is not constant")
+}
+
+// RangeWidth computes the bit width of a [MSB:LSB] range under env.
+// A nil range is width 1.
+func RangeWidth(r *Range, env ConstEnv) (int, error) {
+	if r == nil {
+		return 1, nil
+	}
+	msb, err := EvalConst(r.MSB, env)
+	if err != nil {
+		return 0, err
+	}
+	lsb, err := EvalConst(r.LSB, env)
+	if err != nil {
+		return 0, err
+	}
+	w := msb - lsb
+	if w < 0 {
+		w = -w
+	}
+	w++
+	if w > 64 {
+		return 0, fmt.Errorf("verilog: range width %d exceeds 64-bit simulator limit", w)
+	}
+	return int(w), nil
+}
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. fn returning
+// false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch v := e.(type) {
+	case *Unary:
+		WalkExpr(v.X, fn)
+	case *Binary:
+		WalkExpr(v.X, fn)
+		WalkExpr(v.Y, fn)
+	case *Ternary:
+		WalkExpr(v.Cond, fn)
+		WalkExpr(v.Then, fn)
+		WalkExpr(v.Else, fn)
+	case *Index:
+		WalkExpr(v.X, fn)
+		WalkExpr(v.Index, fn)
+	case *PartSelect:
+		WalkExpr(v.X, fn)
+		WalkExpr(v.MSB, fn)
+		WalkExpr(v.LSB, fn)
+	case *Concat:
+		for _, p := range v.Parts {
+			WalkExpr(p, fn)
+		}
+	case *Repl:
+		WalkExpr(v.Count, fn)
+		WalkExpr(v.Value, fn)
+	}
+}
+
+// WalkStmt calls fn for s and every sub-statement, pre-order. fn returning
+// false prunes the subtree.
+func WalkStmt(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch v := s.(type) {
+	case *Block:
+		for _, st := range v.Stmts {
+			WalkStmt(st, fn)
+		}
+	case *If:
+		WalkStmt(v.Then, fn)
+		WalkStmt(v.Else, fn)
+	case *Case:
+		for _, it := range v.Items {
+			WalkStmt(it.Body, fn)
+		}
+	case *For:
+		WalkStmt(v.Body, fn)
+	}
+}
+
+// ExprIdents collects the distinct identifier names referenced by e, in
+// first-appearance order.
+func ExprIdents(e Expr) []string {
+	var names []string
+	seen := map[string]bool{}
+	WalkExpr(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	return names
+}
+
+// LHSTargets returns the signal names assigned by an l-value expression
+// (identifier, bit/part select target, or each element of a concatenation).
+func LHSTargets(e Expr) []string {
+	switch v := e.(type) {
+	case *Ident:
+		return []string{v.Name}
+	case *Index:
+		return LHSTargets(v.X)
+	case *PartSelect:
+		return LHSTargets(v.X)
+	case *Concat:
+		var out []string
+		for _, p := range v.Parts {
+			out = append(out, LHSTargets(p)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// ModuleParams evaluates all parameter declarations of m in order,
+// returning the resulting constant environment.
+func ModuleParams(m *Module) (ConstEnv, error) {
+	env := ConstEnv{}
+	for _, it := range m.Items {
+		if pd, ok := it.(*ParamDecl); ok {
+			v, err := EvalConst(pd.Value, env)
+			if err != nil {
+				return env, fmt.Errorf("verilog: parameter %s: %w", pd.Name, err)
+			}
+			env[pd.Name] = v
+		}
+	}
+	return env, nil
+}

@@ -1,0 +1,281 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a source file back to Verilog text. The output is
+// canonically formatted; it is used by the script-template repairs in the
+// pre-processing stage, which rewrite the AST and re-emit source.
+func Print(f *SourceFile) string {
+	var b strings.Builder
+	for i, m := range f.Modules {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printModule(&b, m)
+	}
+	return b.String()
+}
+
+// PrintModule renders a single module.
+func PrintModule(m *Module) string {
+	var b strings.Builder
+	printModule(&b, m)
+	return b.String()
+}
+
+func printModule(b *strings.Builder, m *Module) {
+	fmt.Fprintf(b, "module %s(\n", m.Name)
+	for i, p := range m.Ports {
+		b.WriteString("    ")
+		b.WriteString(p.Dir.String())
+		if p.IsReg {
+			b.WriteString(" reg")
+		}
+		if p.Signed {
+			b.WriteString(" signed")
+		}
+		if p.Range != nil {
+			fmt.Fprintf(b, " [%s:%s]", ExprString(p.Range.MSB), ExprString(p.Range.LSB))
+		}
+		b.WriteString(" " + p.Name)
+		if i < len(m.Ports)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(");\n")
+	for _, it := range m.Items {
+		printItem(b, it, 1)
+	}
+	b.WriteString("endmodule\n")
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printItem(b *strings.Builder, it Item, depth int) {
+	switch v := it.(type) {
+	case *ParamDecl:
+		indent(b, depth)
+		kw := "parameter"
+		if v.Local {
+			kw = "localparam"
+		}
+		fmt.Fprintf(b, "%s %s = %s;\n", kw, v.Name, ExprString(v.Value))
+	case *NetDecl:
+		indent(b, depth)
+		b.WriteString(v.Kind.String())
+		if v.Signed {
+			b.WriteString(" signed")
+		}
+		if v.Range != nil {
+			fmt.Fprintf(b, " [%s:%s]", ExprString(v.Range.MSB), ExprString(v.Range.LSB))
+		}
+		for i, n := range v.Names {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(" " + n.Name)
+			if n.ArrayRange != nil {
+				fmt.Fprintf(b, " [%s:%s]", ExprString(n.ArrayRange.MSB), ExprString(n.ArrayRange.LSB))
+			}
+			if n.Init != nil {
+				fmt.Fprintf(b, " = %s", ExprString(n.Init))
+			}
+		}
+		b.WriteString(";\n")
+	case *ContAssign:
+		indent(b, depth)
+		fmt.Fprintf(b, "assign %s = %s;\n", ExprString(v.LHS), ExprString(v.RHS))
+	case *AlwaysBlock:
+		indent(b, depth)
+		b.WriteString("always " + sensString(v.Sens) + " ")
+		printStmt(b, v.Body, depth, true)
+	case *InitialBlock:
+		indent(b, depth)
+		b.WriteString("initial ")
+		printStmt(b, v.Body, depth, true)
+	case *Instance:
+		indent(b, depth)
+		b.WriteString(v.ModName)
+		if len(v.Params) > 0 {
+			b.WriteString(" #(")
+			printConns(b, v.Params)
+			b.WriteString(")")
+		}
+		fmt.Fprintf(b, " %s(", v.InstName)
+		printConns(b, v.Conns)
+		b.WriteString(");\n")
+	}
+}
+
+func printConns(b *strings.Builder, conns []PortConn) {
+	for i, c := range conns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if strings.HasPrefix(c.Port, "$") {
+			if c.Expr != nil {
+				b.WriteString(ExprString(c.Expr))
+			}
+			continue
+		}
+		fmt.Fprintf(b, ".%s(", c.Port)
+		if c.Expr != nil {
+			b.WriteString(ExprString(c.Expr))
+		}
+		b.WriteString(")")
+	}
+}
+
+func sensString(s *SensList) string {
+	if s == nil {
+		return "@(*)"
+	}
+	if s.Star {
+		return "@(*)"
+	}
+	var parts []string
+	for _, it := range s.Items {
+		if it.Edge == EdgeNone {
+			parts = append(parts, it.Signal)
+		} else {
+			parts = append(parts, it.Edge.String()+" "+it.Signal)
+		}
+	}
+	return "@(" + strings.Join(parts, " or ") + ")"
+}
+
+// printStmt prints a statement. inline indicates the statement continues a
+// line already carrying indentation (e.g. after "always @(...) ").
+func printStmt(b *strings.Builder, s Stmt, depth int, inline bool) {
+	if !inline {
+		indent(b, depth)
+	}
+	switch v := s.(type) {
+	case nil:
+		b.WriteString(";\n")
+	case *Block:
+		b.WriteString("begin\n")
+		for _, st := range v.Stmts {
+			printStmt(b, st, depth+1, false)
+		}
+		indent(b, depth)
+		b.WriteString("end\n")
+	case *Assign:
+		op := "="
+		if !v.Blocking {
+			op = "<="
+		}
+		fmt.Fprintf(b, "%s %s %s;\n", ExprString(v.LHS), op, ExprString(v.RHS))
+	case *If:
+		fmt.Fprintf(b, "if (%s) ", ExprString(v.Cond))
+		printStmt(b, v.Then, depth, true)
+		if v.Else != nil {
+			indent(b, depth)
+			b.WriteString("else ")
+			printStmt(b, v.Else, depth, true)
+		}
+	case *Case:
+		fmt.Fprintf(b, "%s (%s)\n", v.Kind, ExprString(v.Expr))
+		for _, it := range v.Items {
+			indent(b, depth+1)
+			if it.Exprs == nil {
+				b.WriteString("default: ")
+			} else {
+				var labels []string
+				for _, e := range it.Exprs {
+					labels = append(labels, ExprString(e))
+				}
+				b.WriteString(strings.Join(labels, ", ") + ": ")
+			}
+			printStmt(b, it.Body, depth+1, true)
+		}
+		indent(b, depth)
+		b.WriteString("endcase\n")
+	case *For:
+		fmt.Fprintf(b, "for (%s; %s; %s) ",
+			assignString(v.Init), ExprString(v.Cond), assignString(v.Step))
+		printStmt(b, v.Body, depth, true)
+	case *NullStmt:
+		b.WriteString(";\n")
+	default:
+		b.WriteString(";\n")
+	}
+}
+
+func assignString(a *Assign) string {
+	if a == nil {
+		return ""
+	}
+	op := "="
+	if !a.Blocking {
+		op = "<="
+	}
+	return fmt.Sprintf("%s %s %s", ExprString(a.LHS), op, ExprString(a.RHS))
+}
+
+// ExprString renders an expression to Verilog text.
+func ExprString(e Expr) string {
+	switch v := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return v.Name
+	case *Number:
+		return v.Text
+	case *Unary:
+		return v.Op + parenIfBinary(v.X)
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", parenIfLower(v.X, v.Op), v.Op, parenIfLowerEq(v.Y, v.Op))
+	case *Ternary:
+		return fmt.Sprintf("(%s) ? (%s) : (%s)", ExprString(v.Cond), ExprString(v.Then), ExprString(v.Else))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", ExprString(v.X), ExprString(v.Index))
+	case *PartSelect:
+		return fmt.Sprintf("%s[%s:%s]", ExprString(v.X), ExprString(v.MSB), ExprString(v.LSB))
+	case *Concat:
+		var parts []string
+		for _, p := range v.Parts {
+			parts = append(parts, ExprString(p))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Repl:
+		return fmt.Sprintf("{%s{%s}}", ExprString(v.Count), ExprString(v.Value))
+	}
+	return "?"
+}
+
+func parenIfBinary(e Expr) string {
+	switch e.(type) {
+	case *Binary, *Ternary:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func parenIfLower(e Expr, op string) string {
+	if b, ok := e.(*Binary); ok && binaryPrec[b.Op] < binaryPrec[op] {
+		return "(" + ExprString(e) + ")"
+	}
+	if _, ok := e.(*Ternary); ok {
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func parenIfLowerEq(e Expr, op string) string {
+	if b, ok := e.(*Binary); ok && binaryPrec[b.Op] <= binaryPrec[op] {
+		return "(" + ExprString(e) + ")"
+	}
+	if _, ok := e.(*Ternary); ok {
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
