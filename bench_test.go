@@ -186,7 +186,7 @@ func BenchmarkLint(b *testing.B) {
 }
 
 // BenchmarkSimulatorCycles measures simulated clock cycles per second on a
-// sequential design.
+// sequential design (default compiled backend).
 func BenchmarkSimulatorCycles(b *testing.B) {
 	m := dataset.ByName("counter_12bit")
 	s, err := sim.CompileAndNew(m.Source, m.Top)
@@ -205,6 +205,72 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 		}
 	}
 }
+
+// simHotLoopModules is the representative DUT mix for the backend
+// comparison pair: a sequential FIFO (memories, NBA traffic), a
+// combinational ALU, an FSM, and a hierarchical ripple-carry adder
+// (deep port-connection network).
+var simHotLoopModules = []string{"fifo_sync", "alu", "traffic_light", "adder_32bit"}
+
+// benchSimBackend drives the UVM per-cycle hot loop (Harness.Cycle: apply
+// inputs, settle, pulse clock, sample, record) for 500-cycle runs on each
+// module of the mix. One b.N iteration = one full run over the mix.
+func benchSimBackend(b *testing.B, backend sim.Backend) {
+	type dut struct {
+		m *dataset.Module
+		s *sim.Simulator
+	}
+	var duts []dut
+	for _, name := range simHotLoopModules {
+		m := dataset.ByName(name)
+		s, err := sim.CompileAndNewBackend(m.Source, m.Top, backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		duts = append(duts, dut{m: m, s: s})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range duts {
+			h := sim.NewHarness(d.s, d.m.Clock)
+			if err := h.ApplyReset(2); err != nil {
+				b.Fatal(err)
+			}
+			in := map[string]uint64{}
+			ins := d.s.Design().Inputs()
+			for c := 0; c < 500; c++ {
+				for _, p := range ins {
+					if p.Name == d.m.Clock {
+						continue
+					}
+					in[p.Name] = uint64(c*31+i+len(p.Name)) & maskBits(p.Width)
+				}
+				if d.m.HasReset {
+					in["rst_n"] = 1
+				}
+				if _, err := h.Cycle(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func maskBits(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// BenchmarkSimEventDriven measures the reference event-queue interpreter
+// on the UVM per-cycle hot loop.
+func BenchmarkSimEventDriven(b *testing.B) { benchSimBackend(b, sim.BackendEventDriven) }
+
+// BenchmarkSimCompiled measures the compiled levelized backend on the same
+// loop; the CI smoke run and DESIGN.md track the >=2x speedup.
+func BenchmarkSimCompiled(b *testing.B) { benchSimBackend(b, sim.BackendCompiled) }
 
 // BenchmarkUVMRun measures a 100-transaction UVM run end to end.
 func BenchmarkUVMRun(b *testing.B) {

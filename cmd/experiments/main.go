@@ -16,12 +16,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"uvllm/internal/exp"
+	"uvllm/internal/sim"
 )
 
 func main() {
 	var (
+		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
 		fig5     = flag.Bool("fig5", false, "print Fig. 5")
 		fig6     = flag.Bool("fig6", false, "print Fig. 6")
 		fig7     = flag.Bool("fig7", false, "print Fig. 7")
@@ -32,6 +35,12 @@ func main() {
 		all      = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
+	b, err := sim.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	exp.RecordsBackend = b
 	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk {
 		*all = true
 	}

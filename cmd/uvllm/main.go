@@ -23,6 +23,7 @@ import (
 	"uvllm/internal/faultgen"
 	"uvllm/internal/lint"
 	"uvllm/internal/llm"
+	"uvllm/internal/sim"
 	"uvllm/internal/synth"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		file     = flag.String("file", "", "verify this Verilog file instead of injecting")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		mode     = flag.String("mode", "pair", "repair generation form: pair or complete")
+		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
 		list     = flag.Bool("list", false, "list benchmark modules and exit")
 		lintOnly = flag.Bool("lint", false, "lint the input and exit")
 		synthRpt = flag.Bool("synth", false, "synthesize the input, print the cell report and exit")
@@ -105,6 +107,10 @@ func main() {
 	if *mode == "complete" {
 		genMode = llm.ModeComplete
 	}
+	simBackend, err := sim.ParseBackend(*backend)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	client := llm.NewOracle(llm.Knowledge{
 		FaultID: faultID, Golden: golden, Class: class,
 		Complexity: m.Complexity, IsFSM: m.IsFSM,
@@ -114,7 +120,7 @@ func main() {
 	res := core.Verify(core.Input{
 		Source: source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: client,
-		Opts: core.Options{Seed: *seed, Mode: genMode},
+		Opts: core.Options{Seed: *seed, Mode: genMode, Backend: simBackend},
 	})
 
 	fmt.Printf("result: success=%v stage=%s iterations=%d pass_rate=%.2f%% coverage=%.1f%%\n",

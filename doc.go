@@ -11,12 +11,14 @@
 //
 // Everything the paper depends on is built in this module from the
 // standard library only: a Verilog frontend (internal/verilog), a
-// Verilator-style linter (internal/lint), an event-driven RTL simulator
-// (internal/sim), the UVM components (internal/uvm), golden reference
-// models (internal/refmodel), the paradigm error generator and the
-// 331-instance benchmark (internal/faultgen), the pipeline itself
-// (internal/preproc, internal/locate, internal/repair, internal/core), the
-// comparison baselines (internal/baseline) and the experiment harness that
+// Verilator-style linter (internal/lint), a two-backend RTL simulator —
+// a compiled, levelized engine differentially tested against an
+// event-driven reference (internal/sim) — the UVM components
+// (internal/uvm), golden reference models (internal/refmodel), the
+// paradigm error generator and the 331-instance benchmark
+// (internal/faultgen), the pipeline itself (internal/preproc,
+// internal/locate, internal/repair, internal/core), the comparison
+// baselines (internal/baseline) and the experiment harness that
 // regenerates every figure and table of the evaluation (internal/exp).
 //
 // See DESIGN.md for the system inventory and the documented substitutions

@@ -1,0 +1,3 @@
+module uvllm
+
+go 1.22

@@ -7,6 +7,7 @@ import (
 	"uvllm/internal/dataset"
 	"uvllm/internal/faultgen"
 	"uvllm/internal/llm"
+	"uvllm/internal/sim"
 	"uvllm/internal/uvm"
 )
 
@@ -36,7 +37,7 @@ func expertCheck(t *testing.T, source, module string) bool {
 	if err != nil {
 		return false
 	}
-	ok, _, _ := RandomOwnBench(source, m, 600, 999)
+	ok, _, _ := RandomOwnBench(source, m, 600, 999, sim.BackendCompiled)
 	_ = env
 	return ok
 }
@@ -64,11 +65,11 @@ func TestGoldenPassesOwnBenches(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}
-		pass, log, _ := RunOwnBench(m.Source, m, WeakBench(m, d))
+		pass, log, _ := RunOwnBench(m.Source, m, WeakBench(m, d), sim.BackendCompiled)
 		if !pass {
 			t.Errorf("%s: golden fails weak bench:\n%s", m.Name, log)
 		}
-		pass, log, _ = RandomOwnBench(m.Source, m, 48, 5)
+		pass, log, _ = RandomOwnBench(m.Source, m, 48, 5, sim.BackendCompiled)
 		if !pass {
 			t.Errorf("%s: golden fails random bench:\n%s", m.Name, log)
 		}

@@ -96,9 +96,10 @@ func maskW(w int) uint64 {
 // RunOwnBench executes the method's own testbench on source, returning
 // pass/fail, the UVM-format log and the transaction count. Elaboration
 // failures count as a failing run with the error in the log.
-func RunOwnBench(source string, m *dataset.Module, vectors []map[string]uint64) (bool, string, int) {
+func RunOwnBench(source string, m *dataset.Module, vectors []map[string]uint64, backend sim.Backend) (bool, string, int) {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: source, Top: m.Top, Clock: m.Clock, RefName: m.Name, Seed: 5,
+		Backend: backend,
 	})
 	if err != nil {
 		return false, "COMPILE_ERROR: " + err.Error(), 0
@@ -109,9 +110,10 @@ func RunOwnBench(source string, m *dataset.Module, vectors []map[string]uint64) 
 
 // RandomOwnBench is the slightly stronger random bench Strider-style
 // tools use during candidate screening.
-func RandomOwnBench(source string, m *dataset.Module, n int, seed int64) (bool, string, int) {
+func RandomOwnBench(source string, m *dataset.Module, n int, seed int64, backend sim.Backend) (bool, string, int) {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: source, Top: m.Top, Clock: m.Clock, RefName: m.Name, Seed: seed,
+		Backend: backend,
 	})
 	if err != nil {
 		return false, "COMPILE_ERROR: " + err.Error(), 0

@@ -7,6 +7,7 @@ import (
 	"uvllm/internal/faultgen"
 	"uvllm/internal/llm"
 	"uvllm/internal/metrics"
+	"uvllm/internal/sim"
 )
 
 // MEIC reimplements the MEIC framework's structure (Xu et al. 2024, the
@@ -17,7 +18,8 @@ import (
 type MEIC struct {
 	Client  llm.Client
 	Cost    metrics.CostModel
-	MaxIter int // paper-era MEIC iterates up to 10
+	MaxIter int         // paper-era MEIC iterates up to 10
+	Backend sim.Backend // simulation engine for its own testbench runs
 }
 
 // NewMEIC builds the baseline with defaults.
@@ -37,7 +39,7 @@ func (x *MEIC) Repair(f *faultgen.Fault) Outcome {
 	cur := f.Source
 	var history []string // MEIC carries its whole conversation forward
 	for iter := 1; iter <= x.MaxIter; iter++ {
-		pass, log, n := RunOwnBench(cur, m, vectors)
+		pass, log, n := RunOwnBench(cur, m, vectors, x.Backend)
 		out.Seconds += x.Cost.Sim(n)
 		if pass {
 			// The finite testbench is satisfied — MEIC accepts, whether
@@ -100,7 +102,7 @@ func (x *MEIC) Repair(f *faultgen.Fault) Outcome {
 		cur = cand
 	}
 	// Final check.
-	pass, _, n := RunOwnBench(cur, m, vectors)
+	pass, _, n := RunOwnBench(cur, m, vectors, x.Backend)
 	out.Seconds += x.Cost.Sim(n)
 	out.Hit = pass
 	out.Final = cur
@@ -160,8 +162,9 @@ func applyLoose(src string, reply *llm.RepairReply) (string, error) {
 // with no tool-derived error information, checked against the same weak
 // bench.
 type RawLLM struct {
-	Client llm.Client
-	Cost   metrics.CostModel
+	Client  llm.Client
+	Cost    metrics.CostModel
+	Backend sim.Backend
 }
 
 // NewRawLLM builds the baseline with defaults.
@@ -197,7 +200,7 @@ func (x *RawLLM) Repair(f *faultgen.Fault) Outcome {
 			}
 		}
 	}
-	pass, _, n := RunOwnBench(out.Final, m, vectors)
+	pass, _, n := RunOwnBench(out.Final, m, vectors, x.Backend)
 	out.Seconds += x.Cost.Sim(n)
 	out.Hit = pass
 	return out

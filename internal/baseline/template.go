@@ -9,6 +9,7 @@ import (
 	"uvllm/internal/lint"
 	"uvllm/internal/locate"
 	"uvllm/internal/metrics"
+	"uvllm/internal/sim"
 	"uvllm/internal/verilog"
 )
 
@@ -19,9 +20,10 @@ import (
 // the first candidate that passes its own random testbench. It handles
 // functional defects only — syntax-broken input cannot be simulated.
 type Strider struct {
-	Cost   metrics.CostModel
-	Budget int // candidate mutations to try
-	BenchN int // vectors in its acceptance bench
+	Cost    metrics.CostModel
+	Budget  int // candidate mutations to try
+	BenchN  int // vectors in its acceptance bench
+	Backend sim.Backend
 }
 
 // NewStrider builds the baseline with defaults.
@@ -31,7 +33,7 @@ func NewStrider() *Strider {
 
 // Repair runs the search on one benchmark instance.
 func (x *Strider) Repair(f *faultgen.Fault) Outcome {
-	return templateSearch(f, x.Budget, x.BenchN, x.Cost, false)
+	return templateSearch(f, x.Budget, x.BenchN, x.Cost, false, x.Backend)
 }
 
 // RTLRepair reimplements the mechanism of RTL-Repair (Laeufer et al.,
@@ -39,9 +41,10 @@ func (x *Strider) Repair(f *faultgen.Fault) Outcome {
 // Its template set additionally covers declaration widths and part-select
 // bounds, which is why the paper finds it strongest on bitwidth defects.
 type RTLRepair struct {
-	Cost   metrics.CostModel
-	Budget int
-	BenchN int
+	Cost    metrics.CostModel
+	Budget  int
+	BenchN  int
+	Backend sim.Backend
 }
 
 // NewRTLRepair builds the baseline with defaults.
@@ -51,10 +54,10 @@ func NewRTLRepair() *RTLRepair {
 
 // Repair runs the search on one benchmark instance.
 func (x *RTLRepair) Repair(f *faultgen.Fault) Outcome {
-	return templateSearch(f, x.Budget, x.BenchN, x.Cost, true)
+	return templateSearch(f, x.Budget, x.BenchN, x.Cost, true, x.Backend)
 }
 
-func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostModel, declTemplates bool) Outcome {
+func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostModel, declTemplates bool, backend sim.Backend) Outcome {
 	m := f.Meta()
 	out := Outcome{Final: f.Source}
 
@@ -62,7 +65,7 @@ func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostMode
 	if rep := lint.Lint(f.Source); hasSyntaxErr(rep) {
 		return out
 	}
-	pass, log, n := RandomOwnBench(f.Source, m, benchN, 5)
+	pass, log, n := RandomOwnBench(f.Source, m, benchN, 5, backend)
 	out.Seconds += cost.Sim(n)
 	if pass {
 		out.Hit = true // escaped detection: counts as a hit, not a fix
@@ -93,7 +96,7 @@ func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostMode
 		if rep := lint.Lint(cand); hasSyntaxErr(rep) {
 			continue
 		}
-		ok, _, n := RandomOwnBench(cand, m, benchN, 5)
+		ok, _, n := RandomOwnBench(cand, m, benchN, 5, backend)
 		out.Seconds += cost.Sim(n)
 		if ok {
 			out.Hit = true

@@ -39,7 +39,8 @@ type Options struct {
 	Mode            llm.GenMode // pair (default) or complete (Table III ablation)
 	UVMVectors      int         // transactions per UVM run
 	Seed            int64
-	DisableRollback bool // ablation: accept every candidate
+	DisableRollback bool        // ablation: accept every candidate
+	Backend         sim.Backend // simulation engine (zero value: compiled)
 	Cost            metrics.CostModel
 }
 
@@ -273,6 +274,7 @@ func synthGate(src, top string) error {
 func evaluate(src string, in Input, opts Options) evalResult {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: src, Top: in.Top, Clock: in.Clock, RefName: in.RefName, Seed: opts.Seed,
+		Backend: opts.Backend,
 	})
 	if err != nil {
 		return evalResult{err: err, log: "UVM_FATAL @ 0: elaboration failed: " + err.Error()}

@@ -6,6 +6,7 @@ import (
 
 	"uvllm/internal/dataset"
 	"uvllm/internal/faultgen"
+	"uvllm/internal/sim"
 )
 
 // The tests in this file assert the qualitative structure of the paper's
@@ -232,17 +233,17 @@ func TestTable3Shape(t *testing.T) {
 
 func TestExpertPassJudgments(t *testing.T) {
 	m := dataset.ByName("counter_12bit")
-	if !ExpertPass(m.Source, m) {
+	if !ExpertPass(m.Source, m, sim.BackendCompiled) {
 		t.Error("expert rejects the golden source")
 	}
 	buggy := strings.Replace(m.Source, "count + 12'd1", "count + 12'd2", 1)
-	if ExpertPass(buggy, m) {
+	if ExpertPass(buggy, m, sim.BackendCompiled) {
 		t.Error("expert accepts a buggy counter")
 	}
-	if ExpertPass("", m) {
+	if ExpertPass("", m, sim.BackendCompiled) {
 		t.Error("expert accepts empty source")
 	}
-	if ExpertPass("module counter_12bit(input clk; endmodule", m) {
+	if ExpertPass("module counter_12bit(input clk; endmodule", m, sim.BackendCompiled) {
 		t.Error("expert accepts syntax-broken source")
 	}
 }

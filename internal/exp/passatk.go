@@ -31,7 +31,7 @@ func PassAtKStudy(instances, samples int) PassAtKResult {
 	// passes[i] = number of seeds that produced an expert-validated fix.
 	passes := make([]int, len(subset))
 	for s := 0; s < samples; s++ {
-		recs := Run(Config{Seed: int64(100 + s), SkipBaselines: true, Instances: subset})
+		recs := Run(Config{Seed: int64(100 + s), SkipBaselines: true, Instances: subset, Backend: RecordsBackend})
 		for i, r := range recs {
 			if r.UVLLMFix {
 				passes[i]++

@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"uvllm/internal/dataset"
 	"uvllm/internal/faultgen"
 	"uvllm/internal/llm"
+	"uvllm/internal/sim"
 )
 
 // Record is the full evaluation of one benchmark instance.
@@ -45,6 +47,7 @@ type Config struct {
 	SLThreshold     int               // 0 = default
 	Instances       []*faultgen.Fault // nil = full benchmark
 	Workers         int               // 0 = NumCPU
+	Backend         sim.Backend       // simulation engine (zero value: compiled)
 }
 
 func oracleFor(f *faultgen.Fault, prof llm.Profile, seed int64) *llm.Oracle {
@@ -102,44 +105,66 @@ func runOne(f *faultgen.Fault, cfg Config, prof llm.Profile) *Record {
 			Seed: cfg.Seed, Mode: cfg.Mode,
 			DisableRollback: cfg.DisableRollback,
 			SLThreshold:     cfg.SLThreshold,
+			Backend:         cfg.Backend,
 		},
 	})
-	rec.UVLLMFix = rec.UVLLM.Success && ExpertPass(rec.UVLLM.Final, m)
+	rec.UVLLMFix = rec.UVLLM.Success && ExpertPass(rec.UVLLM.Final, m, cfg.Backend)
 
 	if cfg.SkipBaselines {
 		return rec
 	}
 
 	meic := baseline.NewMEIC(oracleFor(f, prof, cfg.Seed))
+	meic.Backend = cfg.Backend
 	rec.MEIC = meic.Repair(f)
-	rec.MEICFix = rec.MEIC.Hit && ExpertPass(rec.MEIC.Final, m)
+	rec.MEICFix = rec.MEIC.Hit && ExpertPass(rec.MEIC.Final, m, cfg.Backend)
 
 	raw := baseline.NewRawLLM(oracleFor(f, prof, cfg.Seed))
+	raw.Backend = cfg.Backend
 	rec.Raw = raw.Repair(f)
-	rec.RawFix = rec.Raw.Hit && ExpertPass(rec.Raw.Final, m)
+	rec.RawFix = rec.Raw.Hit && ExpertPass(rec.Raw.Final, m, cfg.Backend)
 
 	if !f.Class.IsSyntax() {
-		so := baseline.NewStrider().Repair(f)
+		strider := baseline.NewStrider()
+		strider.Backend = cfg.Backend
+		so := strider.Repair(f)
 		rec.Strider = &so
-		rec.StriderFix = so.Hit && ExpertPass(so.Final, m)
-		ro := baseline.NewRTLRepair().Repair(f)
+		rec.StriderFix = so.Hit && ExpertPass(so.Final, m, cfg.Backend)
+		rtlr := baseline.NewRTLRepair()
+		rtlr.Backend = cfg.Backend
+		ro := rtlr.Repair(f)
 		rec.RTLRepair = &ro
-		rec.RTLRepairFix = ro.Hit && ExpertPass(ro.Final, m)
+		rec.RTLRepairFix = ro.Hit && ExpertPass(ro.Final, m, cfg.Backend)
 	}
 	return rec
 }
 
 var (
-	fullOnce sync.Once
-	fullRecs []*Record
+	fullOnce    sync.Once
+	fullRecs    []*Record
+	fullBackend sim.Backend
 )
 
+// RecordsBackend selects the simulation backend for the whole cached
+// report path — Records, CompleteModeRecords, the ablation runs and the
+// pass@k study. Set it before the first of those calls (the experiments
+// command does, via its -backend flag); the default is the compiled fast
+// path.
+var RecordsBackend sim.Backend
+
 // Records returns the cached full-benchmark evaluation at the default
-// configuration (seed 1, pair mode, all baselines).
+// configuration (seed 1, pair mode, all baselines). The first call locks
+// in RecordsBackend; changing it afterwards is a programming error (the
+// cache would silently report figures from the wrong engine), so it
+// panics rather than mislead.
 func Records() []*Record {
 	fullOnce.Do(func() {
-		fullRecs = Run(Config{Seed: 1})
+		fullBackend = RecordsBackend
+		fullRecs = Run(Config{Seed: 1, Backend: fullBackend})
 	})
+	if RecordsBackend != fullBackend {
+		panic(fmt.Sprintf("exp: RecordsBackend changed to %v after Records was cached on %v", RecordsBackend, fullBackend))
+	}
 	return fullRecs
 }
 

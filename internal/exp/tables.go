@@ -9,6 +9,7 @@ import (
 	"uvllm/internal/dataset"
 	"uvllm/internal/faultgen"
 	"uvllm/internal/llm"
+	"uvllm/internal/sim"
 )
 
 // Table2Row is one row of paper Table II: the segmented stage
@@ -126,16 +127,23 @@ type Table3Row struct {
 }
 
 var (
-	completeOnce sync.Once
-	completeRecs []*Record
+	completeOnce    sync.Once
+	completeRecs    []*Record
+	completeBackend sim.Backend
 )
 
 // CompleteModeRecords runs (and caches) the full benchmark with the
-// complete-code generation mode, UVLLM only.
+// complete-code generation mode, UVLLM only. Like Records, the first call
+// locks in RecordsBackend and later mismatches panic rather than silently
+// report figures from the wrong engine.
 func CompleteModeRecords() []*Record {
 	completeOnce.Do(func() {
-		completeRecs = Run(Config{Seed: 1, Mode: llm.ModeComplete, SkipBaselines: true})
+		completeBackend = RecordsBackend
+		completeRecs = Run(Config{Seed: 1, Mode: llm.ModeComplete, SkipBaselines: true, Backend: completeBackend})
 	})
+	if RecordsBackend != completeBackend {
+		panic(fmt.Sprintf("exp: RecordsBackend changed to %v after CompleteModeRecords was cached on %v", RecordsBackend, completeBackend))
+	}
 	return completeRecs
 }
 
@@ -214,7 +222,7 @@ func AblationRollback(instances int) (withFR, withoutFR, withQuality, withoutQua
 		withQuality = 100 * withQuality / float64(failN)
 	}
 
-	raw := Run(Config{Seed: 1, SkipBaselines: true, DisableRollback: true, Instances: faults})
+	raw := Run(Config{Seed: 1, SkipBaselines: true, DisableRollback: true, Instances: faults, Backend: RecordsBackend})
 	fixed, failN = 0, 0
 	for _, r := range raw {
 		if r.UVLLMFix {
@@ -253,7 +261,7 @@ func AblationLocalization(instances int) (escFR, slFR, escT, slT float64) {
 	escFR = 100 * float64(fixed) / float64(len(recs))
 	escT /= float64(len(recs))
 
-	raw := Run(Config{Seed: 1, SkipBaselines: true, SLThreshold: 1, Instances: faults})
+	raw := Run(Config{Seed: 1, SkipBaselines: true, SLThreshold: 1, Instances: faults, Backend: RecordsBackend})
 	fixed = 0
 	for _, r := range raw {
 		if r.UVLLMFix {

@@ -16,7 +16,10 @@ import (
 //   - a long constrained-random regression (800 vectors, a seed none of
 //     the methods use) must pass against the golden model;
 //   - the directed corner vectors must pass as well.
-func ExpertPass(source string, m *dataset.Module) bool {
+//
+// The validation simulations run on the same backend as the evaluation
+// they validate, so `-backend event` really is an end-to-end cross-check.
+func ExpertPass(source string, m *dataset.Module, backend sim.Backend) bool {
 	if source == "" {
 		return false
 	}
@@ -24,14 +27,14 @@ func ExpertPass(source string, m *dataset.Module) bool {
 	if len(rep.Errors()) > 0 {
 		return false
 	}
-	ok, _, _ := baseline.RandomOwnBench(source, m, 800, 987654)
+	ok, _, _ := baseline.RandomOwnBench(source, m, 800, 987654, backend)
 	if !ok {
 		return false
 	}
-	s, err := sim.CompileAndNew(m.Source, m.Top)
+	s, err := sim.CompileAndNewBackend(m.Source, m.Top, backend)
 	if err != nil {
 		return false
 	}
-	ok, _, _ = baseline.RunOwnBench(source, m, baseline.WeakBench(m, s.Design()))
+	ok, _, _ = baseline.RunOwnBench(source, m, baseline.WeakBench(m, s.Design()), backend)
 	return ok
 }

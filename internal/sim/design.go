@@ -1,8 +1,11 @@
-// Package sim is an event-driven, 2-state RTL simulator for the
+// Package sim is a two-backend, 2-state RTL simulator for the
 // synthesizable Verilog subset parsed by internal/verilog. It plays the
 // role the commercial simulators (VCS, Icarus, ModelSim) play in the UVLLM
 // paper: the UVM testbench drives top-level ports, clocks the design and
-// samples outputs cycle by cycle.
+// samples outputs cycle by cycle. The default compiled backend lowers the
+// elaborated design into a levelized closure program (compile.go); the
+// event-driven interpreter in this file and sim.go is the reference
+// semantics both backends must match (see diff_test.go).
 //
 // Semantics notes (documented deviations from full IEEE 1364):
 //   - 2-state simulation: every signal initializes to 0; x/z literals read
@@ -76,8 +79,8 @@ type Design struct {
 	sigs    []sigInfo
 	byName  map[string]int
 	procs   []*process
-	combOf  map[int][]int       // signal -> comb processes to re-run
-	edgeOf  map[int][]edgeSpec2 // signal -> edge-triggered processes
+	combOf  [][]int       // signal -> comb processes to re-run
+	edgeOf  [][]edgeSpec2 // signal -> edge-triggered processes
 	inputs  []PortInfo
 	outputs []PortInfo
 }
@@ -102,8 +105,6 @@ func Elaborate(f *verilog.SourceFile, top string) (*Design, error) {
 	}
 	d := &Design{
 		byName: map[string]int{},
-		combOf: map[int][]int{},
-		edgeOf: map[int][]edgeSpec2{},
 	}
 	e := &elaborator{f: f, d: d}
 	sc, err := e.instantiate(m, "", nil, 0)
@@ -364,8 +365,11 @@ func (e *elaborator) connect(parent *verilog.Module, psc *scope, child *verilog.
 	return nil
 }
 
-// indexDeps builds the signal -> process trigger maps.
+// indexDeps builds the signal -> process trigger tables (dense slices:
+// they sit on the hot path of every signal store).
 func (d *Design) indexDeps() {
+	d.combOf = make([][]int, len(d.sigs))
+	d.edgeOf = make([][]edgeSpec2, len(d.sigs))
 	for _, p := range d.procs {
 		switch p.kind {
 		case procComb:

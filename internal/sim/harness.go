@@ -7,20 +7,24 @@ import (
 
 // Waveform records cycle-sampled values of named signals, the simulator's
 // stand-in for a VCD dump. The localization engine reads input values at
-// mismatch timestamps out of it (Algorithm 2's getInputValue).
+// mismatch timestamps out of it (Algorithm 2's getInputValue). Storage is
+// columnar: one slice per signal, indexed once by name at construction, so
+// the per-cycle hot loop appends without map traffic.
 type Waveform struct {
 	names  []string
-	data   map[string][]uint64
+	index  map[string]int
+	cols   [][]uint64
 	cycles int
 }
 
 // NewWaveform creates an empty waveform for the given signal names.
 func NewWaveform(names []string) *Waveform {
-	w := &Waveform{data: map[string][]uint64{}}
+	w := &Waveform{index: map[string]int{}}
 	w.names = append(w.names, names...)
 	sort.Strings(w.names)
-	for _, n := range w.names {
-		w.data[n] = nil
+	w.cols = make([][]uint64, len(w.names))
+	for i, n := range w.names {
+		w.index[n] = i
 	}
 	return w
 }
@@ -33,19 +37,28 @@ func (w *Waveform) Cycles() int { return w.cycles }
 
 // Record appends one cycle of values.
 func (w *Waveform) Record(vals map[string]uint64) {
-	for _, n := range w.names {
-		w.data[n] = append(w.data[n], vals[n])
+	for i, n := range w.names {
+		w.cols[i] = append(w.cols[i], vals[n])
+	}
+	w.cycles++
+}
+
+// recordRow appends one cycle of values aligned with Names() order — the
+// allocation-free fast path used by the harness.
+func (w *Waveform) recordRow(row []uint64) {
+	for i, v := range row {
+		w.cols[i] = append(w.cols[i], v)
 	}
 	w.cycles++
 }
 
 // At returns the value of name at cycle, or 0 when out of range.
 func (w *Waveform) At(name string, cycle int) uint64 {
-	col, ok := w.data[name]
-	if !ok || cycle < 0 || cycle >= len(col) {
+	i, ok := w.index[name]
+	if !ok || cycle < 0 || cycle >= len(w.cols[i]) {
 		return 0
 	}
-	return col[cycle]
+	return w.cols[i][cycle]
 }
 
 // ValuesAt returns every recorded signal's value at cycle.
@@ -57,14 +70,26 @@ func (w *Waveform) ValuesAt(cycle int) map[string]uint64 {
 	return out
 }
 
+// portRef is a top-level port resolved to its arena index once.
+type portRef struct {
+	name string
+	idx  int
+}
+
 // Harness drives a simulator with a cycle-based protocol: apply inputs,
 // let combinational logic settle, pulse the clock, sample outputs. It is
-// the glue between the Go UVM components and the RTL simulator.
+// the glue between the Go UVM components and the RTL simulator. Port
+// arena indices are resolved at construction so per-cycle sampling does
+// no name lookups.
 type Harness struct {
 	Sim   *Simulator
 	Clock string // clock input name; empty for purely combinational DUTs
 	Wave  *Waveform
 	cycle int
+
+	outPorts []portRef // top-level outputs
+	recIdx   []int     // arena index per recorded port, in Wave.Names() order (-1 = unknown)
+	recRow   []uint64  // scratch row reused every cycle
 }
 
 // NewHarness wraps sim with the given clock input (may be ""). All
@@ -77,7 +102,21 @@ func NewHarness(s *Simulator, clock string) *Harness {
 	for _, p := range s.Design().Outputs() {
 		names = append(names, p.Name)
 	}
-	return &Harness{Sim: s, Clock: clock, Wave: NewWaveform(names)}
+	h := &Harness{Sim: s, Clock: clock, Wave: NewWaveform(names)}
+	for _, p := range s.Design().Outputs() {
+		if idx, ok := s.d.byName[p.Name]; ok {
+			h.outPorts = append(h.outPorts, portRef{name: p.Name, idx: idx})
+		}
+	}
+	for _, n := range h.Wave.Names() {
+		idx := -1
+		if i, ok := s.d.byName[n]; ok {
+			idx = i
+		}
+		h.recIdx = append(h.recIdx, idx)
+	}
+	h.recRow = make([]uint64, len(h.recIdx))
+	return h
 }
 
 // Cycle applies inputs, advances one clock cycle (or just settles for
@@ -109,17 +148,18 @@ func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
 			return nil, err
 		}
 	}
-	outs := map[string]uint64{}
-	sample := map[string]uint64{}
-	for _, p := range h.Sim.Design().Inputs() {
-		sample[p.Name] = h.Sim.Get(p.Name)
+	outs := make(map[string]uint64, len(h.outPorts))
+	for _, p := range h.outPorts {
+		outs[p.name] = h.Sim.vals[p.idx]
 	}
-	for _, p := range h.Sim.Design().Outputs() {
-		v := h.Sim.Get(p.Name)
-		outs[p.Name] = v
-		sample[p.Name] = v
+	for i, idx := range h.recIdx {
+		if idx >= 0 {
+			h.recRow[i] = h.Sim.vals[idx]
+		} else {
+			h.recRow[i] = 0
+		}
 	}
-	h.Wave.Record(sample)
+	h.Wave.recordRow(h.recRow)
 	h.cycle++
 	return outs, nil
 }
@@ -129,9 +169,9 @@ func (h *Harness) CycleCount() int { return h.cycle }
 
 // Outputs samples the current top-level outputs without advancing time.
 func (h *Harness) Outputs() map[string]uint64 {
-	outs := map[string]uint64{}
-	for _, p := range h.Sim.Design().Outputs() {
-		outs[p.Name] = h.Sim.Get(p.Name)
+	outs := make(map[string]uint64, len(h.outPorts))
+	for _, p := range h.outPorts {
+		outs[p.name] = h.Sim.vals[p.idx]
 	}
 	return outs
 }

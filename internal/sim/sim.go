@@ -11,7 +11,7 @@ import (
 type Simulator struct {
 	d    *Design
 	vals []uint64
-	mems map[int][]uint64
+	mems [][]uint64 // per signal index; nil for non-memories
 
 	combQueue []int
 	inQueue   []bool
@@ -19,6 +19,13 @@ type Simulator struct {
 	inSeq     []bool
 	nba       []nbaWrite
 	running   int // index of the currently executing process, or -1
+
+	backend   Backend
+	prog      *program // compiled program; nil for the event-driven backend
+	levelized bool     // compiled AND cleanly levelizable: sweep scheduler active
+	needSweep bool     // levelized mode: a combinational process is dirty
+	inSweep   bool     // levelized mode: currently inside a sweep
+	dirty     []bool   // levelized mode: per-process triggered flag
 
 	// DeltaLimit bounds combinational settle iterations per Settle call;
 	// exceeding it reports an oscillation error. Defaults to 10000.
@@ -33,9 +40,14 @@ type nbaWrite struct {
 	val    uint64
 }
 
-// New elaborates top in f and returns a simulator with initial blocks
-// executed and combinational logic settled.
+// New elaborates top in f and returns a simulator on the default compiled
+// backend with initial blocks executed and combinational logic settled.
 func New(f *verilog.SourceFile, top string) (*Simulator, error) {
+	return NewBackend(f, top, BackendCompiled)
+}
+
+// NewBackend is New with an explicit backend selection.
+func NewBackend(f *verilog.SourceFile, top string, backend Backend) (*Simulator, error) {
 	d, err := Elaborate(f, top)
 	if err != nil {
 		return nil, err
@@ -43,15 +55,23 @@ func New(f *verilog.SourceFile, top string) (*Simulator, error) {
 	s := &Simulator{
 		d:          d,
 		vals:       make([]uint64, len(d.sigs)),
-		mems:       map[int][]uint64{},
+		mems:       make([][]uint64, len(d.sigs)),
 		inQueue:    make([]bool, len(d.procs)),
 		inSeq:      make([]bool, len(d.procs)),
 		running:    -1,
+		backend:    backend,
 		DeltaLimit: 10000,
 	}
 	for i, si := range d.sigs {
 		if si.isMem {
 			s.mems[i] = make([]uint64, si.depth)
+		}
+	}
+	if backend == BackendCompiled {
+		s.prog = compileProgram(s)
+		s.levelized = s.prog.clean()
+		if s.levelized {
+			s.dirty = make([]bool, len(d.procs))
 		}
 	}
 	if err := s.Reset(); err != nil {
@@ -60,15 +80,38 @@ func New(f *verilog.SourceFile, top string) (*Simulator, error) {
 	return s, nil
 }
 
-// CompileAndNew parses src and simulates module top. It returns an error
-// for syntax errors, making it usable as the pipeline's "does it compile"
-// gate (the paper's synthesis check after each patch).
+// CompileAndNew parses src and simulates module top on the default
+// compiled backend. It returns an error for syntax errors, making it
+// usable as the pipeline's "does it compile" gate (the paper's synthesis
+// check after each patch).
 func CompileAndNew(src, top string) (*Simulator, error) {
+	return CompileAndNewBackend(src, top, BackendCompiled)
+}
+
+// CompileAndNewBackend is CompileAndNew with an explicit backend.
+func CompileAndNewBackend(src, top string, backend Backend) (*Simulator, error) {
 	f, errs := verilog.Parse(src)
 	if len(errs) > 0 {
 		return nil, fmt.Errorf("sim: %s", errs[0].Error())
 	}
-	return New(f, top)
+	return NewBackend(f, top, backend)
+}
+
+// Backend returns the engine the simulator was constructed with.
+func (s *Simulator) Backend() Backend { return s.backend }
+
+// Levelized reports whether the compiled backend's levelized straight-line
+// sweep is active (false on the event-driven backend, and for compiled
+// designs that fell back to event scheduling).
+func (s *Simulator) Levelized() bool { return s.levelized }
+
+// FallbackReason explains why a compiled simulator is not running the
+// levelized sweep ("" when it is, or on the event-driven backend).
+func (s *Simulator) FallbackReason() string {
+	if s.prog == nil {
+		return ""
+	}
+	return s.prog.reason
 }
 
 // Design returns the elaborated design.
@@ -87,9 +130,14 @@ func (s *Simulator) Reset() error {
 	s.combQueue = s.combQueue[:0]
 	s.seqQueue = s.seqQueue[:0]
 	s.nba = s.nba[:0]
+	s.needSweep = false
+	s.inSweep = false
 	for i := range s.inQueue {
 		s.inQueue[i] = false
 		s.inSeq[i] = false
+	}
+	for i := range s.dirty {
+		s.dirty[i] = false
 	}
 	for _, p := range s.d.procs {
 		switch p.kind {
@@ -98,8 +146,15 @@ func (s *Simulator) Reset() error {
 				return err
 			}
 		case procComb:
-			s.enqueueComb(p.idx)
+			if s.levelized {
+				s.dirty[p.idx] = true
+			} else {
+				s.enqueueComb(p.idx)
+			}
 		}
+	}
+	if s.levelized {
+		s.needSweep = true
 	}
 	return s.Settle()
 }
@@ -136,8 +191,8 @@ func (s *Simulator) GetMem(name string, idx int) uint64 {
 	if !ok {
 		return 0
 	}
-	mem, ok := s.mems[i]
-	if !ok || idx < 0 || idx >= len(mem) {
+	mem := s.mems[i]
+	if idx < 0 || idx >= len(mem) {
 		return 0
 	}
 	return mem[idx]
@@ -166,15 +221,19 @@ func (s *Simulator) set(idx int, v uint64) {
 		return
 	}
 	s.vals[idx] = v
-	for _, p := range s.d.combOf[idx] {
-		// An always block does not re-trigger on changes it makes itself
-		// (the sensitivity wait re-arms when the block finishes, at which
-		// point its own events have passed). Continuous assignments do:
-		// "assign x = ~x" is a genuine combinational loop.
-		if p == s.running && s.d.procs[p].body != nil {
-			continue
+	if s.levelized {
+		s.markDirty(idx)
+	} else {
+		for _, p := range s.d.combOf[idx] {
+			// An always block does not re-trigger on changes it makes itself
+			// (the sensitivity wait re-arms when the block finishes, at which
+			// point its own events have passed). Continuous assignments do:
+			// "assign x = ~x" is a genuine combinational loop.
+			if p == s.running && s.d.procs[p].body != nil {
+				continue
+			}
+			s.enqueueComb(p)
 		}
-		s.enqueueComb(p)
 	}
 	oldBit, newBit := old&1, v&1
 	for _, ew := range s.d.edgeOf[idx] {
@@ -190,6 +249,10 @@ func (s *Simulator) set(idx int, v uint64) {
 // touchMem wakes the combinational readers of a memory after a word write
 // (memory contents are not part of the scalar change-detection in set).
 func (s *Simulator) touchMem(sig int) {
+	if s.levelized {
+		s.markDirty(sig)
+		return
+	}
 	for _, p := range s.d.combOf[sig] {
 		if p == s.running && s.d.procs[p].body != nil {
 			continue
@@ -205,9 +268,14 @@ func widthMask(w int) uint64 {
 	return (1 << uint(w)) - 1
 }
 
-// Settle runs the event loop until no activity remains: combinational
-// fixpoint, then NBA commits, then triggered sequential processes, looping.
+// Settle runs until no activity remains: combinational fixpoint, then NBA
+// commits, then triggered sequential processes, looping. The levelized
+// compiled backend replaces the event-queue walk of the combinational
+// phase with straight-line sweeps; everything else is shared.
 func (s *Simulator) Settle() error {
+	if s.levelized {
+		return s.settleLevelized()
+	}
 	steps := 0
 	for {
 		for len(s.combQueue) > 0 {
@@ -245,6 +313,91 @@ func (s *Simulator) Settle() error {
 	}
 }
 
+// markDirty triggers the combinational readers of a changed signal in
+// levelized mode, mirroring the event engine's self-trigger guard. A
+// sweep only needs (re)scheduling when the write happens outside one: in
+// topological order every reader runs after its drivers, so in-sweep
+// writes only ever dirty processes later in the current pass.
+func (s *Simulator) markDirty(idx int) {
+	marked := false
+	for _, p := range s.d.combOf[idx] {
+		if p == s.running && s.d.procs[p].body != nil {
+			continue
+		}
+		s.dirty[p] = true
+		marked = true
+	}
+	if marked && !s.inSweep {
+		s.needSweep = true
+	}
+}
+
+// settleLevelized is Settle for the compiled fast path: each delta round
+// evaluates the triggered combinational processes once in topological
+// order (an acyclic, single-driver network reaches its unique fixpoint in
+// a single pass), then commits the batched NBA writes, then runs
+// edge-triggered processes, looping until quiet.
+func (s *Simulator) settleLevelized() error {
+	steps := 0
+	for {
+		if s.needSweep {
+			steps++
+			if steps > s.DeltaLimit {
+				return fmt.Errorf("sim: combinational logic did not converge after %d deltas (oscillation)", s.DeltaLimit)
+			}
+			s.needSweep = false
+			s.inSweep = true
+			for i, pi := range s.prog.order {
+				if !s.dirty[pi] {
+					continue
+				}
+				s.dirty[pi] = false
+				s.running = pi
+				err := s.prog.orderFns[i](s)
+				s.running = -1
+				if err != nil {
+					s.inSweep = false
+					return err
+				}
+			}
+			s.inSweep = false
+			// Defense in depth: forward-only dataflow means no process
+			// behind the cursor can have been re-dirtied; if the static
+			// analysis ever misses a case, re-sweep (and ultimately trip
+			// the delta limit) rather than diverge silently.
+			for _, pi := range s.prog.order {
+				if s.dirty[pi] {
+					s.needSweep = true
+					break
+				}
+			}
+		}
+		if len(s.nba) > 0 {
+			writes := s.nba
+			s.nba = nil
+			for _, w := range writes {
+				s.commitNBA(w)
+			}
+			continue
+		}
+		if len(s.seqQueue) > 0 {
+			procs := s.seqQueue
+			s.seqQueue = nil
+			for _, pi := range procs {
+				s.inSeq[pi] = false
+				if err := s.runProc(s.d.procs[pi]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if s.needSweep {
+			continue
+		}
+		return nil
+	}
+}
+
 func (s *Simulator) commitNBA(w nbaWrite) {
 	if w.isMem {
 		mem := s.mems[w.sig]
@@ -265,6 +418,17 @@ func (s *Simulator) runProc(p *process) error {
 	prev := s.running
 	s.running = p.idx
 	defer func() { s.running = prev }()
+	if s.prog != nil {
+		if fn := s.prog.run[p.idx]; fn != nil {
+			return fn(s)
+		}
+	}
+	return s.interpProc(p)
+}
+
+// interpProc runs one process through the reference interpreter (the
+// caller manages s.running).
+func (s *Simulator) interpProc(p *process) error {
 	if p.connRHS != nil {
 		w := s.widthOfLHS(p.connLHS, p.connLHSsc)
 		rw := s.widthOf(p.connRHS, p.connRHSsc)
@@ -414,7 +578,9 @@ func (s *Simulator) writeLHS(lhs verilog.Expr, sc *scope, v uint64, blocking boo
 			w := widthMask(si.width)
 			if blocking {
 				mem := s.mems[idx]
-				if int(sel) < len(mem) && mem[sel] != v&w {
+				// Unsigned compare: an index with bit 63 set must fall out
+				// of range, not wrap negative past the bounds check.
+				if sel < uint64(len(mem)) && mem[sel] != v&w {
 					mem[sel] = v & w
 					s.touchMem(idx)
 				}
@@ -679,7 +845,7 @@ func (s *Simulator) eval(e verilog.Expr, sc *scope, ctxW int) (uint64, error) {
 		si := s.d.sigs[idx]
 		if si.isMem {
 			mem := s.mems[idx]
-			if int(sel) >= len(mem) {
+			if sel >= uint64(len(mem)) {
 				return 0, nil
 			}
 			return mem[sel] & m, nil

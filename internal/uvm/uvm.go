@@ -177,6 +177,8 @@ type Config struct {
 	Seed      int64
 	ResetLen  int // reset cycles before the sequence (default 2)
 	MaxErrors int // mismatch record cap (default 64)
+	// Backend selects the simulation engine (zero value: compiled).
+	Backend sim.Backend
 	// Assertions are checked against the DUT's port values each cycle.
 	Assertions []assert.Assertion
 }
@@ -185,7 +187,7 @@ type Config struct {
 // failures (syntax errors, unsupported constructs, oscillation at time 0)
 // are returned as errors; the caller treats them as simulation failures.
 func NewEnv(cfg Config) (*Env, error) {
-	s, err := sim.CompileAndNew(cfg.Source, cfg.Top)
+	s, err := sim.CompileAndNewBackend(cfg.Source, cfg.Top, cfg.Backend)
 	if err != nil {
 		return nil, err
 	}
