@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +34,21 @@ func main() {
 		return
 	}
 
-	var index strings.Builder
-	index.WriteString("id\tmodule\tcategory\tclass\tkind\tdescription\n")
+	// Create the output root up front so every later write (including an
+	// index for an empty benchmark) has a directory to land in.
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// The index streams through a bufio.Writer, which latches the first
+	// write error; the checked Flush/Close below turn any failure into a
+	// non-zero exit instead of a silently truncated index.tsv.
+	idxFile, err := os.Create(filepath.Join(*out, "index.tsv"))
+	if err != nil {
+		fatal(err)
+	}
+	index := bufio.NewWriter(idxFile)
+	fmt.Fprintf(index, "id\tmodule\tcategory\tclass\tkind\tdescription\n")
 	for _, f := range faults {
 		m := f.Meta()
 		dir := filepath.Join(*out, f.Module, fmt.Sprintf("%s-%d", f.Class, f.Variant))
@@ -51,9 +65,15 @@ func main() {
 			f.ID, f.Module, m.Category, f.Class, kind,
 			f.Descr, strings.ReplaceAll(strings.TrimSpace(m.Spec), "\n", "\n  "))
 		write(filepath.Join(dir, "meta.txt"), meta)
-		fmt.Fprintf(&index, "%s\t%s\t%s\t%s\t%s\t%s\n", f.ID, f.Module, m.Category, f.Class, kind, f.Descr)
+		fmt.Fprintf(index, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			f.ID, f.Module, m.Category, f.Class, kind, f.Descr)
 	}
-	write(filepath.Join(*out, "index.tsv"), index.String())
+	if err := index.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := idxFile.Close(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("benchgen: wrote %d instances under %s\n", len(faults), *out)
 }
 

@@ -1,0 +1,169 @@
+// Command benchguard is the CI bench-regression gate for the compiled
+// simulation hot loop. It parses `go test -bench` output, reduces each
+// benchmark to its best (minimum ns/op) run across -count repetitions, and
+// compares against the committed BENCH_baseline.json:
+//
+//	go test -run XXX -bench 'BenchmarkSim(EventDriven|Compiled)$' -count=5 . | tee bench.txt
+//	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
+//
+// Raw ns/op is machine-dependent, so the guarded quantity is the ratio
+// compiled/event measured in the same run: it cancels the host's absolute
+// speed while still catching regressions that slow the compiled sweep
+// relative to the reference interpreter. The guard fails (exit 1) when the
+// measured ratio regresses more than -tolerance (default from the baseline
+// file) over the baseline ratio, or when the compiled backend stops being
+// faster than the event-driven one at all (absolute cliff).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference measurement.
+type Baseline struct {
+	Note       string             `json:"note"`
+	Machine    string             `json:"machine"`
+	Tolerance  float64            `json:"tolerance"`  // allowed relative ratio regression, e.g. 0.20
+	Benchmarks map[string]float64 `json:"benchmarks"` // name -> ns/op on the reference machine
+}
+
+const (
+	benchEvent    = "BenchmarkSimEventDriven"
+	benchCompiled = "BenchmarkSimCompiled"
+)
+
+func main() {
+	var (
+		benchPath    = flag.String("bench", "", "go test -bench output file (default stdin)")
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+		tolerance    = flag.Float64("tolerance", 0, "override the baseline tolerance (0 = use file)")
+	)
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	tol := base.Tolerance
+	if *tolerance > 0 {
+		tol = *tolerance
+	}
+	if tol <= 0 {
+		tol = 0.20
+	}
+
+	in := os.Stdin
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	best, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	ev, okE := best[benchEvent]
+	cp, okC := best[benchCompiled]
+	if !okE || !okC {
+		fatal(fmt.Errorf("bench output missing %s or %s (got %v)", benchEvent, benchCompiled, names(best)))
+	}
+	baseEv, okE := base.Benchmarks[benchEvent]
+	baseCp, okC := base.Benchmarks[benchCompiled]
+	if !okE || !okC || baseEv <= 0 || baseCp <= 0 {
+		fatal(fmt.Errorf("baseline missing %s or %s", benchEvent, benchCompiled))
+	}
+
+	ratio := cp / ev
+	baseRatio := baseCp / baseEv
+	fmt.Printf("benchguard: event %.0f ns/op, compiled %.0f ns/op, ratio %.3f (baseline %.3f, tolerance %.0f%%)\n",
+		ev, cp, ratio, baseRatio, tol*100)
+
+	if ratio >= 1.0 {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: compiled backend is no longer faster than event-driven (ratio %.3f)\n", ratio)
+		os.Exit(1)
+	}
+	if ratio > baseRatio*(1+tol) {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: compiled hot loop regressed: ratio %.3f vs baseline %.3f (>%.0f%% slower relative to the event backend)\n",
+			ratio, baseRatio, tol*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// parseBench extracts min ns/op per benchmark from `go test -bench` output
+// lines of the form "BenchmarkName-8   100   123456 ns/op ...". The -N
+// GOMAXPROCS suffix is stripped.
+func parseBench(f *os.File) (map[string]float64, error) {
+	best := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, tok := range fields {
+			if tok == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		if cur, ok := best[name]; !ok || ns < cur {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return best, nil
+}
+
+func names(m map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,32 @@ type mutation struct {
 	descr string // human-readable record for the error dataset
 }
 
+// Mutation is one candidate source transformation of a fault class, exposed
+// for callers that inject faults into sources outside the curated dataset
+// (the rtlgen differential fuzzer mutates generated designs and checks that
+// every mutant still diverges observably from its golden original).
+type Mutation struct {
+	Source string // mutated source
+	Descr  string // what was injected
+}
+
+// MutateSource applies one fault class to an arbitrary Verilog source and
+// returns every structurally applicable candidate, unvalidated and in a
+// deterministic order. Unlike Generate it does not require the source to be
+// a registered dataset module and does not run the triggerability check.
+func MutateSource(src string, class Class) []Mutation {
+	var out []Mutation
+	seen := map[string]bool{src: true}
+	for _, mu := range mutate(src, class) {
+		if seen[mu.src] {
+			continue
+		}
+		seen[mu.src] = true
+		out = append(out, Mutation{Source: mu.src, Descr: mu.descr})
+	}
+	return out
+}
+
 // mutate returns the candidate mutations of one class applied to src, in a
 // deterministic order. An empty slice marks the class as structurally
 // inapplicable to the module (an "×" cell in Fig. 7).

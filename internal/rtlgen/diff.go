@@ -1,0 +1,252 @@
+package rtlgen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"uvllm/internal/faultgen"
+	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
+	"uvllm/internal/verilog"
+)
+
+// DiffReport summarizes one cross-backend differential run.
+type DiffReport struct {
+	Elaborated     bool   // both backends constructed successfully
+	Levelized      bool   // the compiled backend ran the levelized sweep
+	FallbackReason string // why not, when it did not
+	Cycles         int    // cycles actually compared
+}
+
+// DiffBackends simulates src on the event-driven and compiled backends
+// under an identical seeded stimulus stream and compares every observable:
+// per-cycle output ports, the full recorded waveform, its VCD rendering,
+// coverage counts and the final internal signal state. A non-nil error is a
+// genuine divergence (the bug case); designs that fail identically on both
+// backends — elaboration errors, oscillation — agree by definition.
+func DiffBackends(src, top, clock string, cycles int, seed int64) (DiffReport, error) {
+	var rep DiffReport
+	sE, errE := sim.CompileAndNewBackend(src, top, sim.BackendEventDriven)
+	sC, errC := sim.CompileAndNewBackend(src, top, sim.BackendCompiled)
+	if (errE == nil) != (errC == nil) {
+		return rep, fmt.Errorf("construction diverged: event=%v compiled=%v", errE, errC)
+	}
+	if errE != nil {
+		if errE.Error() != errC.Error() {
+			return rep, fmt.Errorf("construction errors differ:\n event:    %v\n compiled: %v", errE, errC)
+		}
+		return rep, nil
+	}
+	rep.Elaborated = true
+	rep.Levelized = sC.Levelized()
+	rep.FallbackReason = sC.FallbackReason()
+
+	hE := sim.NewHarness(sE, clock)
+	hC := sim.NewHarness(sC, clock)
+	covE := uvm.NewCoverage(sE.Design())
+	covC := uvm.NewCoverage(sC.Design())
+
+	rstE := hE.ApplyReset(2)
+	rstC := hC.ApplyReset(2)
+	if !errEqual(rstE, rstC) {
+		return rep, fmt.Errorf("reset diverged: event=%v compiled=%v", rstE, rstC)
+	}
+	if rstE != nil {
+		return rep, nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	inputs := sE.Design().Inputs()
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := map[string]uint64{}
+		for _, p := range inputs {
+			if p.Name == clock {
+				continue
+			}
+			in[p.Name] = rng.Uint64() & maskW(p.Width)
+		}
+		outE, cerrE := hE.Cycle(in)
+		outC, cerrC := hC.Cycle(in)
+		if !errEqual(cerrE, cerrC) {
+			return rep, fmt.Errorf("cycle %d diverged: event=%v compiled=%v", cyc, cerrE, cerrC)
+		}
+		if cerrE != nil {
+			return rep, nil // both died identically; trace prefix already compared
+		}
+		for sigName, v := range outE {
+			if outC[sigName] != v {
+				return rep, fmt.Errorf("cycle %d signal %s: event=0x%x compiled=0x%x", cyc, sigName, v, outC[sigName])
+			}
+		}
+		covE.Sample(in, outE)
+		covC.Sample(in, outC)
+		rep.Cycles++
+	}
+
+	if hE.Wave.Cycles() != hC.Wave.Cycles() {
+		return rep, fmt.Errorf("waveform length: event=%d compiled=%d", hE.Wave.Cycles(), hC.Wave.Cycles())
+	}
+	for _, n := range hE.Wave.Names() {
+		for cyc := 0; cyc < hE.Wave.Cycles(); cyc++ {
+			if hE.Wave.At(n, cyc) != hC.Wave.At(n, cyc) {
+				return rep, fmt.Errorf("waveform %s@%d: event=0x%x compiled=0x%x",
+					n, cyc, hE.Wave.At(n, cyc), hC.Wave.At(n, cyc))
+			}
+		}
+	}
+	var vcdE, vcdC bytes.Buffer
+	if err := sim.WriteVCD(&vcdE, hE.Wave, sE.Design(), top); err != nil {
+		return rep, fmt.Errorf("vcd: %v", err)
+	}
+	if err := sim.WriteVCD(&vcdC, hC.Wave, sC.Design(), top); err != nil {
+		return rep, fmt.Errorf("vcd: %v", err)
+	}
+	if !bytes.Equal(vcdE.Bytes(), vcdC.Bytes()) {
+		return rep, errors.New("VCD output differs")
+	}
+	if covE.Percent() != covC.Percent() || covE.Report() != covC.Report() {
+		return rep, fmt.Errorf("coverage diverged: event=%.4f compiled=%.4f", covE.Percent(), covC.Percent())
+	}
+	for _, n := range sE.Design().SignalNames() {
+		if sE.Get(n) != sC.Get(n) {
+			return rep, fmt.Errorf("internal signal %s: event=0x%x compiled=0x%x", n, sE.Get(n), sC.Get(n))
+		}
+	}
+	return rep, nil
+}
+
+// ErrUnparseable marks round-trip inputs the parser rejects; callers
+// (fuzzers especially) skip these rather than failing.
+var ErrUnparseable = errors.New("rtlgen: source does not parse")
+
+// RoundTrip checks printer/parser stability: a parseable source, once
+// canonically printed, must reparse without errors and reprint to the
+// identical bytes (AST-stable fixpoint after one canonicalization pass).
+func RoundTrip(src string) error {
+	f, errs := verilog.Parse(src)
+	if len(errs) > 0 {
+		return fmt.Errorf("%w: %v", ErrUnparseable, errs[0])
+	}
+	p1 := verilog.Print(f)
+	f1, errs := verilog.Parse(p1)
+	if len(errs) > 0 {
+		return fmt.Errorf("printed form does not reparse: %v\n--- printed ---\n%s", errs[0], p1)
+	}
+	p2 := verilog.Print(f1)
+	if p1 != p2 {
+		return fmt.Errorf("print not stable after reparse:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+	}
+	return nil
+}
+
+// MutantStats aggregates the third oracle over one design's mutants.
+type MutantStats struct {
+	Total    int // parseable functional mutants diffed
+	Diverged int // mutants observably different from their golden original
+}
+
+// DiffMutants applies every functional fault class to a generated design
+// and checks two properties per parseable mutant: the two backends must
+// agree on the mutant (the backend oracle extends to broken designs), and
+// divergence from the golden original is recorded — a mutation that no
+// longer changes observable behavior on any stimulus would mean faultgen's
+// classes stopped biting on generated RTL. maxPerClass bounds work.
+func DiffMutants(d *Design, cycles int, maxPerClass int) (MutantStats, error) {
+	var st MutantStats
+	for _, class := range faultgen.FunctionalClasses() {
+		muts := faultgen.MutateSource(d.Source, class)
+		if len(muts) > maxPerClass {
+			muts = muts[:maxPerClass]
+		}
+		for _, mu := range muts {
+			if _, errs := verilog.Parse(mu.Source); len(errs) > 0 {
+				continue // functional classes can still yield broken text on exotic shapes
+			}
+			if _, err := DiffBackends(mu.Source, d.Top, d.Clock, cycles, d.Seed); err != nil {
+				return st, fmt.Errorf("%s mutant (%s) backends diverged: %w", class, mu.Descr, err)
+			}
+			st.Total++
+			div, err := tracesDiverge(d.Source, mu.Source, d.Top, d.Clock, cycles, d.Seed)
+			if err != nil {
+				return st, fmt.Errorf("%s mutant (%s): %w", class, mu.Descr, err)
+			}
+			if div {
+				st.Diverged++
+			}
+		}
+	}
+	return st, nil
+}
+
+// tracesDiverge runs golden and mutant on the reference event-driven
+// backend under identical stimulus and reports whether any observable
+// differs. A mutant that fails to elaborate or dies mid-run while the
+// golden does not is observably divergent.
+func tracesDiverge(golden, mutant, top, clock string, cycles int, seed int64) (bool, error) {
+	sG, errG := sim.CompileAndNewBackend(golden, top, sim.BackendEventDriven)
+	if errG != nil {
+		return false, fmt.Errorf("golden failed to elaborate: %v", errG)
+	}
+	sM, errM := sim.CompileAndNewBackend(mutant, top, sim.BackendEventDriven)
+	if errM != nil {
+		return true, nil
+	}
+	hG := sim.NewHarness(sG, clock)
+	hM := sim.NewHarness(sM, clock)
+	if errEqual(hG.ApplyReset(2), hM.ApplyReset(2)) == false {
+		return true, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inputs := sG.Design().Inputs()
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := map[string]uint64{}
+		for _, p := range inputs {
+			if p.Name == clock {
+				continue
+			}
+			in[p.Name] = rng.Uint64() & maskW(p.Width)
+		}
+		outG, cerrG := hG.Cycle(in)
+		outM, cerrM := hM.Cycle(copyIn(in, sM))
+		if !errEqual(cerrG, cerrM) {
+			return true, nil
+		}
+		if cerrG != nil {
+			return false, nil // both died identically
+		}
+		for sigName, v := range outG {
+			if outM[sigName] != v {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// copyIn filters a stimulus map down to inputs the (possibly mutated)
+// design still has, so renamed/deleted ports do not error the harness.
+func copyIn(in map[string]uint64, s *sim.Simulator) map[string]uint64 {
+	out := make(map[string]uint64, len(in))
+	for k, v := range in {
+		if s.Has(k) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func errEqual(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+func maskW(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}

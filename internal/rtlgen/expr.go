@@ -1,0 +1,159 @@
+package rtlgen
+
+import "uvllm/internal/verilog"
+
+// expr generates a random expression tree of at most the given depth whose
+// result feeds a ctxW-bit context. Only constructs both simulator backends
+// support exactly are emitted, and shapes the printer cannot round-trip
+// unambiguously (unary directly nesting unary, e.g. "&(&x)" printing as the
+// "&&x" token) are avoided at the source.
+func (g *gen) expr(depth, ctxW int) verilog.Expr {
+	if depth <= 0 || len(g.pool) == 0 {
+		return g.leaf(ctxW)
+	}
+	switch g.intn(14) {
+	case 0, 1, 2:
+		return g.leaf(ctxW)
+	case 3:
+		return g.unary(depth)
+	case 4, 5, 6, 7:
+		return g.arith(depth, ctxW)
+	case 8:
+		return g.compare(depth)
+	case 9:
+		return g.shift(depth, ctxW)
+	case 10:
+		return &verilog.Ternary{Cond: g.expr(depth-1, 1), Then: g.expr(depth-1, ctxW), Else: g.expr(depth-1, ctxW)}
+	case 11:
+		return g.concat()
+	case 12:
+		return g.repl()
+	default:
+		return g.selectExpr()
+	}
+}
+
+// leaf draws a pool signal or a literal sized for the context.
+func (g *gen) leaf(ctxW int) verilog.Expr {
+	if len(g.pool) > 0 && g.intn(4) != 0 {
+		s := g.pool[g.intn(len(g.pool))]
+		return ident(s.name)
+	}
+	w := ctxW
+	if w < 1 {
+		w = 1
+	}
+	if w > 16 {
+		w = 16
+	}
+	return num64(uint64(g.rng.Int63())&((1<<uint(w))-1), w)
+}
+
+// nonUnary generates an operand that is never itself a Unary node (the
+// printer does not parenthesize unary-in-unary, and "& &x" would print as
+// the "&&" token).
+func (g *gen) nonUnary(depth, ctxW int) verilog.Expr {
+	e := g.expr(depth, ctxW)
+	if _, ok := e.(*verilog.Unary); ok {
+		return g.leaf(ctxW)
+	}
+	return e
+}
+
+var unaryOps = []string{"~", "-", "!", "&", "|", "^", "~&", "~|", "~^"}
+
+func (g *gen) unary(depth int) verilog.Expr {
+	op := unaryOps[g.intn(len(unaryOps))]
+	return &verilog.Unary{Op: op, X: g.nonUnary(depth-1, 8)}
+}
+
+var arithOps = []string{"+", "+", "-", "-", "&", "|", "^", "*", "/", "%", "~^"}
+
+func (g *gen) arith(depth, ctxW int) verilog.Expr {
+	op := arithOps[g.intn(len(arithOps))]
+	return &verilog.Binary{Op: op, X: g.expr(depth-1, ctxW), Y: g.expr(depth-1, ctxW)}
+}
+
+var cmpOps = []string{"==", "!=", "<", ">", "<=", ">=", "&&", "||"}
+
+func (g *gen) compare(depth int) verilog.Expr {
+	op := cmpOps[g.intn(len(cmpOps))]
+	return &verilog.Binary{Op: op, X: g.expr(depth-1, 8), Y: g.expr(depth-1, 8)}
+}
+
+func (g *gen) shift(depth, ctxW int) verilog.Expr {
+	op := "<<"
+	if g.intn(2) == 1 {
+		op = ">>"
+	}
+	// Shift amounts stay small constants or narrow signals so results are
+	// usually non-degenerate; >=64 shifts are still exercised occasionally.
+	var n verilog.Expr
+	if g.intn(3) == 0 && len(g.pool) > 0 {
+		s := g.pool[g.intn(len(g.pool))]
+		n = ident(s.name)
+	} else {
+		n = num64(uint64(g.intn(9)), 0)
+	}
+	return &verilog.Binary{Op: op, X: g.expr(depth-1, ctxW), Y: n}
+}
+
+// concat joins two or three pool signals, bounded to 64 total bits.
+func (g *gen) concat() verilog.Expr {
+	var parts []verilog.Expr
+	total := 0
+	n := 2 + g.intn(2)
+	for i := 0; i < n; i++ {
+		s := g.pool[g.intn(len(g.pool))]
+		if total+s.width > 64 {
+			continue
+		}
+		total += s.width
+		parts = append(parts, ident(s.name))
+	}
+	if len(parts) < 2 {
+		return g.leaf(8)
+	}
+	return &verilog.Concat{Parts: parts}
+}
+
+// repl replicates a narrow signal or literal a small constant number of
+// times, bounded to 64 total bits.
+func (g *gen) repl() verilog.Expr {
+	count := 2 + g.intn(3) // 2..4
+	var val verilog.Expr
+	if g.intn(2) == 0 {
+		// Narrow pool signal.
+		for try := 0; try < 4; try++ {
+			s := g.pool[g.intn(len(g.pool))]
+			if s.width*count <= 64 {
+				val = ident(s.name)
+				break
+			}
+		}
+	}
+	if val == nil {
+		val = num64(uint64(g.rng.Int63()), 1+g.intn(4))
+	}
+	return &verilog.Repl{Count: num64(uint64(count), 0), Value: val}
+}
+
+// selectExpr draws a bit select or constant part select on a pool signal.
+func (g *gen) selectExpr() verilog.Expr {
+	s := g.pool[g.intn(len(g.pool))]
+	if s.width <= 1 {
+		return ident(s.name)
+	}
+	if g.intn(3) == 0 {
+		// Part select with in-range constant bounds.
+		lsb := g.intn(s.width)
+		msb := lsb + g.intn(s.width-lsb)
+		return &verilog.PartSelect{X: ident(s.name), MSB: num64(uint64(msb), 0), LSB: num64(uint64(lsb), 0)}
+	}
+	if g.intn(4) == 0 && len(g.pool) > 1 {
+		// Variable bit select; out-of-range indices read 0 on both backends.
+		idx := g.pool[g.intn(len(g.pool))]
+		return &verilog.Index{X: ident(s.name), Index: ident(idx.name)}
+	}
+	return &verilog.Index{X: ident(s.name), Index: num64(uint64(g.intn(s.width)), 0)}
+}

@@ -87,9 +87,24 @@ type Harness struct {
 	Wave  *Waveform
 	cycle int
 
-	outPorts []portRef // top-level outputs
-	recIdx   []int     // arena index per recorded port, in Wave.Names() order (-1 = unknown)
-	recRow   []uint64  // scratch row reused every cycle
+	outPorts []portRef       // top-level outputs
+	recIdx   []int           // arena index per recorded port, in Wave.Names() order (-1 = unknown)
+	recRow   []uint64        // scratch row reused every cycle
+	inputSet map[string]bool // top-level input names
+}
+
+// sortedExtraKeys returns the stimulus keys that are not top-level inputs
+// (nor the clock), sorted for deterministic application order.
+func sortedExtraKeys(inputs map[string]uint64, inputSet map[string]bool, clock string) []string {
+	var extra []string
+	for name := range inputs {
+		if name == clock || inputSet[name] {
+			continue
+		}
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	return extra
 }
 
 // NewHarness wraps sim with the given clock input (may be ""). All
@@ -102,7 +117,10 @@ func NewHarness(s *Simulator, clock string) *Harness {
 	for _, p := range s.Design().Outputs() {
 		names = append(names, p.Name)
 	}
-	h := &Harness{Sim: s, Clock: clock, Wave: NewWaveform(names)}
+	h := &Harness{Sim: s, Clock: clock, Wave: NewWaveform(names), inputSet: map[string]bool{}}
+	for _, p := range s.Design().Inputs() {
+		h.inputSet[p.Name] = true
+	}
 	for _, p := range s.Design().Outputs() {
 		if idx, ok := s.d.byName[p.Name]; ok {
 			h.outPorts = append(h.outPorts, portRef{name: p.Name, idx: idx})
@@ -122,13 +140,37 @@ func NewHarness(s *Simulator, clock string) *Harness {
 // Cycle applies inputs, advances one clock cycle (or just settles for
 // combinational designs), records the waveform sample and returns the
 // top-level output values.
+//
+// Inputs are applied in port declaration order, not map order: on designs
+// whose comb state is glitch-count sensitive (self-read @(*) blocks), the
+// Set sequence determines the event queue's walk, and Go's randomized map
+// iteration would make identical stimulus produce different traces from
+// run to run (found by the rtlgen differential fuzzer).
 func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
-	for name, v := range inputs {
-		if name == h.Clock {
+	applied := 0
+	for _, p := range h.Sim.Design().Inputs() {
+		v, ok := inputs[p.Name]
+		if !ok || p.Name == h.Clock {
 			continue
 		}
-		if err := h.Sim.Set(name, v); err != nil {
+		applied++
+		if err := h.Sim.Set(p.Name, v); err != nil {
 			return nil, err
+		}
+	}
+	expect := len(inputs)
+	if h.Clock != "" {
+		if _, ok := inputs[h.Clock]; ok {
+			expect--
+		}
+	}
+	if applied != expect {
+		// Leftover keys name internal signals (still honored, in sorted
+		// order) or unknown signals (still an error).
+		for _, name := range sortedExtraKeys(inputs, h.inputSet, h.Clock) {
+			if err := h.Sim.Set(name, inputs[name]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := h.Sim.Settle(); err != nil {

@@ -237,9 +237,9 @@ func ExprString(e Expr) string {
 	case *Ternary:
 		return fmt.Sprintf("(%s) ? (%s) : (%s)", ExprString(v.Cond), ExprString(v.Then), ExprString(v.Else))
 	case *Index:
-		return fmt.Sprintf("%s[%s]", ExprString(v.X), ExprString(v.Index))
+		return fmt.Sprintf("%s[%s]", parenIfNotPostfix(v.X), ExprString(v.Index))
 	case *PartSelect:
-		return fmt.Sprintf("%s[%s:%s]", ExprString(v.X), ExprString(v.MSB), ExprString(v.LSB))
+		return fmt.Sprintf("%s[%s:%s]", parenIfNotPostfix(v.X), ExprString(v.MSB), ExprString(v.LSB))
 	case *Concat:
 		var parts []string
 		for _, p := range v.Parts {
@@ -250,6 +250,16 @@ func ExprString(e Expr) string {
 		return fmt.Sprintf("{%s{%s}}", ExprString(v.Count), ExprString(v.Value))
 	}
 	return "?"
+}
+
+// parenIfNotPostfix parenthesizes select bases that would not reparse as
+// the base of a postfix [] — e.g. (a + b)[0] must not print as a + b[0].
+func parenIfNotPostfix(e Expr) string {
+	switch e.(type) {
+	case *Ident, *Index, *PartSelect, *Concat, *Repl:
+		return ExprString(e)
+	}
+	return "(" + ExprString(e) + ")"
 }
 
 func parenIfBinary(e Expr) string {
