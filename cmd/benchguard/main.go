@@ -1,18 +1,22 @@
 // Command benchguard is the CI bench-regression gate for the compiled
-// simulation hot loop. It parses `go test -bench` output, reduces each
-// benchmark to its best (minimum ns/op) run across -count repetitions, and
-// compares against the committed BENCH_baseline.json:
+// simulation hot loop and the end-to-end verification pipeline. It parses
+// `go test -bench` output, reduces each benchmark to its best (minimum
+// ns/op) run across -count repetitions, and compares against the
+// committed BENCH_baseline.json:
 //
-//	go test -run XXX -bench 'BenchmarkSim(EventDriven|Compiled)$' -count=5 . | tee bench.txt
+//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify)$' -count=5 . | tee bench.txt
 //	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
 //
-// Raw ns/op is machine-dependent, so the guarded quantity is the ratio
-// compiled/event measured in the same run: it cancels the host's absolute
-// speed while still catching regressions that slow the compiled sweep
-// relative to the reference interpreter. The guard fails (exit 1) when the
-// measured ratio regresses more than -tolerance (default from the baseline
-// file) over the baseline ratio, or when the compiled backend stops being
-// faster than the event-driven one at all (absolute cliff).
+// Raw ns/op is machine-dependent, so every guarded quantity is a ratio
+// against BenchmarkSimEventDriven measured in the same run — the
+// reference interpreter cancels the host's absolute speed:
+//
+//   - compiled/event must stay within -tolerance of the baseline ratio
+//     and strictly below 1.0 (the compiled backend must stay faster);
+//   - pipeline/event (BenchmarkPipelineVerify, one warm-cache core.Verify)
+//     must stay within -tolerance of its baseline ratio, pinning the
+//     Program-reuse and trace-memo amortization end to end. This check is
+//     skipped when the baseline file predates the pipeline benchmark.
 package main
 
 import (
@@ -36,6 +40,7 @@ type Baseline struct {
 const (
 	benchEvent    = "BenchmarkSimEventDriven"
 	benchCompiled = "BenchmarkSimCompiled"
+	benchPipeline = "BenchmarkPipelineVerify"
 )
 
 func main() {
@@ -96,6 +101,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: FAIL: compiled hot loop regressed: ratio %.3f vs baseline %.3f (>%.0f%% slower relative to the event backend)\n",
 			ratio, baseRatio, tol*100)
 		os.Exit(1)
+	}
+
+	if basePl, ok := base.Benchmarks[benchPipeline]; ok && basePl > 0 {
+		pl, okP := best[benchPipeline]
+		if !okP {
+			fatal(fmt.Errorf("baseline guards %s but the bench output does not contain it", benchPipeline))
+		}
+		plRatio := pl / ev
+		basePlRatio := basePl / baseEv
+		fmt.Printf("benchguard: pipeline %.0f ns/op, ratio %.3f vs event (baseline %.3f)\n", pl, plRatio, basePlRatio)
+		if plRatio > basePlRatio*(1+tol) {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL: end-to-end pipeline regressed: ratio %.3f vs baseline %.3f (>%.0f%% slower relative to the event backend)\n",
+				plRatio, basePlRatio, tol*100)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("benchguard: OK")
 }

@@ -9,8 +9,10 @@
 //	experiments -table3     # pair-vs-complete ablation
 //	experiments -ablation   # extension ablations (rollback, localization)
 //
-// All numbers are deterministic (seeded); see EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison.
+// All numbers are deterministic (seeded) and independent of -workers; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison. With -v
+// the run also prints the amortization counters of the shared compile
+// cache and golden-trace memo.
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 func main() {
 	var (
 		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
+		workers  = flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU; results are identical for any value)")
+		verbose  = flag.Bool("v", false, "print compile-cache and golden-trace-memo statistics")
 		fig5     = flag.Bool("fig5", false, "print Fig. 5")
 		fig6     = flag.Bool("fig6", false, "print Fig. 6")
 		fig7     = flag.Bool("fig7", false, "print Fig. 7")
@@ -40,17 +44,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	exp.RecordsBackend = b
+	sess := exp.SharedSession(b)
+	sess.Workers = *workers
 	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk {
 		*all = true
 	}
 
 	if *all {
-		fmt.Print(exp.FullReport())
-		printAblations()
+		fmt.Print(sess.FullReport())
+		printAblations(sess)
+		printStats(sess, *verbose)
 		return
 	}
-	recs := exp.Records()
+	recs := sess.Records()
 	if *fig5 {
 		fmt.Print(exp.FormatFig5(exp.Fig5(recs)))
 	}
@@ -63,25 +69,34 @@ func main() {
 	if *table2 {
 		fmt.Print(exp.FormatTable2(exp.Table2(recs)))
 		fmt.Println()
-		fmt.Print(exp.FormatHeadline(exp.ComputeHeadline()))
+		fmt.Print(exp.FormatHeadline(sess.ComputeHeadline()))
 	}
 	if *table3 {
-		fmt.Print(exp.FormatTable3(exp.Table3()))
+		fmt.Print(exp.FormatTable3(sess.Table3()))
 	}
 	if *ablation {
-		printAblations()
+		printAblations(sess)
 	}
 	if *passk {
-		fmt.Print(exp.FormatPassAtK(exp.PassAtKStudy(100, 5)))
+		fmt.Print(exp.FormatPassAtK(sess.PassAtKStudy(100, 5)))
 	}
+	printStats(sess, *verbose)
 }
 
-func printAblations() {
+func printAblations(sess *exp.Session) {
 	fmt.Println("\nExtension ablations (first 120 instances)")
-	withRB, withoutRB, wq, woq := exp.AblationRollback(120)
+	withRB, withoutRB, wq, woq := sess.AblationRollback(120)
 	fmt.Printf("  rollback:      FR %.2f%% with vs %.2f%% without; delivered-code pass rate on failures %.1f%% with vs %.1f%% without\n",
 		withRB, withoutRB, wq, woq)
-	escFR, slFR, escT, slT := exp.AblationLocalization(120)
+	escFR, slFR, escT, slT := sess.AblationLocalization(120)
 	fmt.Printf("  localization:  MS->SL escalation FR %.2f%% / %.2fs, immediate SL FR %.2f%% / %.2fs\n",
 		escFR, escT, slFR, slT)
+}
+
+func printStats(sess *exp.Session, verbose bool) {
+	if !verbose {
+		return
+	}
+	fmt.Println()
+	fmt.Print(sess.StatsReport())
 }

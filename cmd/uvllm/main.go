@@ -25,6 +25,7 @@ import (
 	"uvllm/internal/llm"
 	"uvllm/internal/sim"
 	"uvllm/internal/synth"
+	"uvllm/internal/uvm"
 )
 
 func main() {
@@ -120,7 +121,10 @@ func main() {
 	res := core.Verify(core.Input{
 		Source: source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: client,
-		Opts: core.Options{Seed: *seed, Mode: genMode, Backend: simBackend},
+		Opts: core.Options{
+			Seed: *seed, Mode: genMode, Backend: simBackend,
+			Cache: sim.SharedCache(), Memo: uvm.SharedTraceMemo(),
+		},
 	})
 
 	fmt.Printf("result: success=%v stage=%s iterations=%d pass_rate=%.2f%% coverage=%.1f%%\n",
@@ -129,6 +133,10 @@ func main() {
 		res.Times.Pre, res.Times.MS, res.Times.SL, res.Times.Total(),
 		res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens)
 	if *verbose {
+		cs := sim.SharedCache().Stats()
+		ms := uvm.SharedTraceMemo().Stats()
+		fmt.Printf("amortization: compile cache %d hits / %d misses; golden-trace memo %d hits / %d misses\n",
+			cs.Hits, cs.Misses, ms.Hits, ms.Misses)
 		fmt.Println("--- pipeline log ---")
 		fmt.Println(strings.Join(res.Log, "\n"))
 		fmt.Println("--- final source ---")

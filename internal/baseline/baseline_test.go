@@ -37,14 +37,14 @@ func expertCheck(t *testing.T, source, module string) bool {
 	if err != nil {
 		return false
 	}
-	ok, _, _ := RandomOwnBench(source, m, 600, 999, sim.BackendCompiled)
+	ok, _, _ := RandomOwnBench(source, m, 600, 999, SimServices{Backend: sim.BackendCompiled})
 	_ = env
 	return ok
 }
 
 func TestWeakBenchShape(t *testing.T) {
 	m := dataset.ByName("alu")
-	d, err := elaborateFor(m)
+	d, err := elaborateFor(m, SimServices{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,15 +61,15 @@ func TestWeakBenchShape(t *testing.T) {
 
 func TestGoldenPassesOwnBenches(t *testing.T) {
 	for _, m := range dataset.All() {
-		d, err := elaborateFor(m)
+		d, err := elaborateFor(m, SimServices{})
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}
-		pass, log, _ := RunOwnBench(m.Source, m, WeakBench(m, d), sim.BackendCompiled)
+		pass, log, _ := RunOwnBench(m.Source, m, WeakBench(m, d), SimServices{})
 		if !pass {
 			t.Errorf("%s: golden fails weak bench:\n%s", m.Name, log)
 		}
-		pass, log, _ = RandomOwnBench(m.Source, m, 48, 5, sim.BackendCompiled)
+		pass, log, _ = RandomOwnBench(m.Source, m, 48, 5, SimServices{})
 		if !pass {
 			t.Errorf("%s: golden fails random bench:\n%s", m.Name, log)
 		}

@@ -34,6 +34,26 @@ type Outcome struct {
 	Usage   llm.Usage
 }
 
+// SimServices bundles the shared simulation machinery of one evaluation
+// job: the engine selection, the content-addressed compile cache and the
+// golden-trace memo. The zero value is valid (compiled backend, no
+// sharing); the evaluation harness hands every baseline the same bundle
+// so MEIC, raw GPT, Strider and RTL-Repair reuse each other's compiles.
+type SimServices struct {
+	Backend sim.Backend
+	Cache   *sim.Cache
+	Memo    *uvm.TraceMemo
+}
+
+// Compile builds (or fetches) the Program for src on the bundle's
+// backend, routing through the compile cache when one is attached.
+func (svc SimServices) Compile(src, top string) (*sim.Program, error) {
+	if svc.Cache != nil {
+		return svc.Cache.Compile(src, top, svc.Backend)
+	}
+	return sim.CompileSource(src, top, svc.Backend)
+}
+
 // WeakBench builds the small directed vector set that MEIC-style methods
 // test against: conventional corner patterns, no constrained-random
 // exploration. Its weakness (by design) is what produces the HR−FR gap.
@@ -96,10 +116,10 @@ func maskW(w int) uint64 {
 // RunOwnBench executes the method's own testbench on source, returning
 // pass/fail, the UVM-format log and the transaction count. Elaboration
 // failures count as a failing run with the error in the log.
-func RunOwnBench(source string, m *dataset.Module, vectors []map[string]uint64, backend sim.Backend) (bool, string, int) {
+func RunOwnBench(source string, m *dataset.Module, vectors []map[string]uint64, svc SimServices) (bool, string, int) {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: source, Top: m.Top, Clock: m.Clock, RefName: m.Name, Seed: 5,
-		Backend: backend,
+		Backend: svc.Backend, Cache: svc.Cache, Memo: svc.Memo,
 	})
 	if err != nil {
 		return false, "COMPILE_ERROR: " + err.Error(), 0
@@ -110,10 +130,10 @@ func RunOwnBench(source string, m *dataset.Module, vectors []map[string]uint64, 
 
 // RandomOwnBench is the slightly stronger random bench Strider-style
 // tools use during candidate screening.
-func RandomOwnBench(source string, m *dataset.Module, n int, seed int64, backend sim.Backend) (bool, string, int) {
+func RandomOwnBench(source string, m *dataset.Module, n int, seed int64, svc SimServices) (bool, string, int) {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: source, Top: m.Top, Clock: m.Clock, RefName: m.Name, Seed: seed,
-		Backend: backend,
+		Backend: svc.Backend, Cache: svc.Cache, Memo: svc.Memo,
 	})
 	if err != nil {
 		return false, "COMPILE_ERROR: " + err.Error(), 0
@@ -135,13 +155,14 @@ func RandomOwnBench(source string, m *dataset.Module, n int, seed int64, backend
 
 // elaborateFor returns the design of the golden source (for port shapes)
 // — baselines need port widths even when the faulty source does not
-// compile.
-func elaborateFor(m *dataset.Module) (*sim.Design, error) {
-	s, err := sim.CompileAndNew(m.Source, m.Top)
+// compile. No simulation state is created: the Design hangs off the
+// (cached) Program.
+func elaborateFor(m *dataset.Module, svc SimServices) (*sim.Design, error) {
+	p, err := svc.Compile(m.Source, m.Top)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: golden source of %s does not elaborate: %w", m.Name, err)
 	}
-	return s.Design(), nil
+	return p.Design(), nil
 }
 
 var defaultCost = metrics.DefaultCostModel()

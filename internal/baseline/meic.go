@@ -7,7 +7,6 @@ import (
 	"uvllm/internal/faultgen"
 	"uvllm/internal/llm"
 	"uvllm/internal/metrics"
-	"uvllm/internal/sim"
 )
 
 // MEIC reimplements the MEIC framework's structure (Xu et al. 2024, the
@@ -19,7 +18,7 @@ type MEIC struct {
 	Client  llm.Client
 	Cost    metrics.CostModel
 	MaxIter int         // paper-era MEIC iterates up to 10
-	Backend sim.Backend // simulation engine for its own testbench runs
+	Sim     SimServices // engine + shared compile cache + trace memo
 }
 
 // NewMEIC builds the baseline with defaults.
@@ -31,7 +30,7 @@ func NewMEIC(client llm.Client) *MEIC {
 func (x *MEIC) Repair(f *faultgen.Fault) Outcome {
 	m := f.Meta()
 	out := Outcome{Final: f.Source}
-	design, err := elaborateFor(m)
+	design, err := elaborateFor(m, x.Sim)
 	if err != nil {
 		return out
 	}
@@ -39,7 +38,7 @@ func (x *MEIC) Repair(f *faultgen.Fault) Outcome {
 	cur := f.Source
 	var history []string // MEIC carries its whole conversation forward
 	for iter := 1; iter <= x.MaxIter; iter++ {
-		pass, log, n := RunOwnBench(cur, m, vectors, x.Backend)
+		pass, log, n := RunOwnBench(cur, m, vectors, x.Sim)
 		out.Seconds += x.Cost.Sim(n)
 		if pass {
 			// The finite testbench is satisfied — MEIC accepts, whether
@@ -102,7 +101,7 @@ func (x *MEIC) Repair(f *faultgen.Fault) Outcome {
 		cur = cand
 	}
 	// Final check.
-	pass, _, n := RunOwnBench(cur, m, vectors, x.Backend)
+	pass, _, n := RunOwnBench(cur, m, vectors, x.Sim)
 	out.Seconds += x.Cost.Sim(n)
 	out.Hit = pass
 	out.Final = cur
@@ -162,9 +161,9 @@ func applyLoose(src string, reply *llm.RepairReply) (string, error) {
 // with no tool-derived error information, checked against the same weak
 // bench.
 type RawLLM struct {
-	Client  llm.Client
-	Cost    metrics.CostModel
-	Backend sim.Backend
+	Client llm.Client
+	Cost   metrics.CostModel
+	Sim    SimServices
 }
 
 // NewRawLLM builds the baseline with defaults.
@@ -176,7 +175,7 @@ func NewRawLLM(client llm.Client) *RawLLM {
 func (x *RawLLM) Repair(f *faultgen.Fault) Outcome {
 	m := f.Meta()
 	out := Outcome{Final: f.Source}
-	design, err := elaborateFor(m)
+	design, err := elaborateFor(m, x.Sim)
 	if err != nil {
 		return out
 	}
@@ -200,7 +199,7 @@ func (x *RawLLM) Repair(f *faultgen.Fault) Outcome {
 			}
 		}
 	}
-	pass, _, n := RunOwnBench(out.Final, m, vectors, x.Backend)
+	pass, _, n := RunOwnBench(out.Final, m, vectors, x.Sim)
 	out.Seconds += x.Cost.Sim(n)
 	out.Hit = pass
 	return out

@@ -9,8 +9,6 @@ import (
 	"uvllm/internal/lint"
 	"uvllm/internal/locate"
 	"uvllm/internal/metrics"
-	"uvllm/internal/sim"
-	"uvllm/internal/verilog"
 )
 
 // Strider reimplements the mechanism of Strider (Yang et al., TCAD 2024):
@@ -20,10 +18,10 @@ import (
 // the first candidate that passes its own random testbench. It handles
 // functional defects only — syntax-broken input cannot be simulated.
 type Strider struct {
-	Cost    metrics.CostModel
-	Budget  int // candidate mutations to try
-	BenchN  int // vectors in its acceptance bench
-	Backend sim.Backend
+	Cost   metrics.CostModel
+	Budget int // candidate mutations to try
+	BenchN int // vectors in its acceptance bench
+	Sim    SimServices
 }
 
 // NewStrider builds the baseline with defaults.
@@ -33,7 +31,7 @@ func NewStrider() *Strider {
 
 // Repair runs the search on one benchmark instance.
 func (x *Strider) Repair(f *faultgen.Fault) Outcome {
-	return templateSearch(f, x.Budget, x.BenchN, x.Cost, false, x.Backend)
+	return templateSearch(f, x.Budget, x.BenchN, x.Cost, false, x.Sim)
 }
 
 // RTLRepair reimplements the mechanism of RTL-Repair (Laeufer et al.,
@@ -41,10 +39,10 @@ func (x *Strider) Repair(f *faultgen.Fault) Outcome {
 // Its template set additionally covers declaration widths and part-select
 // bounds, which is why the paper finds it strongest on bitwidth defects.
 type RTLRepair struct {
-	Cost    metrics.CostModel
-	Budget  int
-	BenchN  int
-	Backend sim.Backend
+	Cost   metrics.CostModel
+	Budget int
+	BenchN int
+	Sim    SimServices
 }
 
 // NewRTLRepair builds the baseline with defaults.
@@ -54,10 +52,10 @@ func NewRTLRepair() *RTLRepair {
 
 // Repair runs the search on one benchmark instance.
 func (x *RTLRepair) Repair(f *faultgen.Fault) Outcome {
-	return templateSearch(f, x.Budget, x.BenchN, x.Cost, true, x.Backend)
+	return templateSearch(f, x.Budget, x.BenchN, x.Cost, true, x.Sim)
 }
 
-func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostModel, declTemplates bool, backend sim.Backend) Outcome {
+func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostModel, declTemplates bool, svc SimServices) Outcome {
 	m := f.Meta()
 	out := Outcome{Final: f.Source}
 
@@ -65,7 +63,7 @@ func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostMode
 	if rep := lint.Lint(f.Source); hasSyntaxErr(rep) {
 		return out
 	}
-	pass, log, n := RandomOwnBench(f.Source, m, benchN, 5, backend)
+	pass, log, n := RandomOwnBench(f.Source, m, benchN, 5, svc)
 	out.Seconds += cost.Sim(n)
 	if pass {
 		out.Hit = true // escaped detection: counts as a hit, not a fix
@@ -78,8 +76,7 @@ func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostMode
 	// is part of why their repair scope is narrower.
 	_, ms, _ := locate.ErrChk(log, nil)
 	suspicious := map[int]bool{}
-	if fl, perrs := verilog.Parse(f.Source); len(perrs) == 0 && len(ms) > 0 {
-		g := locate.BuildDFG(fl)
+	if g := locate.DFGFor(f.Source); g != nil && len(ms) > 0 {
 		for _, sig := range ms {
 			for _, def := range g.Defs[sig] {
 				suspicious[def.Line] = true
@@ -96,7 +93,7 @@ func templateSearch(f *faultgen.Fault, budget, benchN int, cost metrics.CostMode
 		if rep := lint.Lint(cand); hasSyntaxErr(rep) {
 			continue
 		}
-		ok, _, n := RandomOwnBench(cand, m, benchN, 5, backend)
+		ok, _, n := RandomOwnBench(cand, m, benchN, 5, svc)
 		out.Seconds += cost.Sim(n)
 		if ok {
 			out.Hit = true

@@ -42,6 +42,16 @@ type Options struct {
 	DisableRollback bool        // ablation: accept every candidate
 	Backend         sim.Backend // simulation engine (zero value: compiled)
 	Cost            metrics.CostModel
+
+	// Cache is the compile cache every simulation of the job goes
+	// through: the candidate of each repair iteration (and the final
+	// re-evaluation, which replays a cached source) compiles once. nil
+	// gets a fresh per-job cache; the evaluation harness passes its
+	// process-wide one so golden modules are shared across jobs.
+	Cache *sim.Cache
+	// Memo serves the scoreboard's golden traces; nil gets a fresh
+	// per-job memo (the 5-iteration loop replays the same stimulus).
+	Memo *uvm.TraceMemo
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +66,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Cost == (metrics.CostModel{}) {
 		o.Cost = metrics.DefaultCostModel()
+	}
+	if o.Cache == nil {
+		o.Cache = sim.NewCache()
+	}
+	if o.Memo == nil {
+		o.Memo = uvm.NewTraceMemo()
 	}
 	return o
 }
@@ -274,7 +290,7 @@ func synthGate(src, top string) error {
 func evaluate(src string, in Input, opts Options) evalResult {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: src, Top: in.Top, Clock: in.Clock, RefName: in.RefName, Seed: opts.Seed,
-		Backend: opts.Backend,
+		Backend: opts.Backend, Cache: opts.Cache, Memo: opts.Memo,
 	})
 	if err != nil {
 		return evalResult{err: err, log: "UVM_FATAL @ 0: elaboration failed: " + err.Error()}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"testing"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
+)
+
+// TestGoldenModulesCompileOnce is the end-to-end amortization guarantee:
+// a full-benchmark evaluation through one shared cache compiles every
+// distinct source — in particular each golden module, which hundreds of
+// expert validations reference — exactly once, and the golden-trace memo
+// serves repeat reference streams from memory.
+func TestGoldenModulesCompileOnce(t *testing.T) {
+	cache := sim.NewCache()
+	memo := uvm.NewTraceMemo()
+	recs := Run(Config{Seed: 1, Cache: cache, Memo: memo})
+	if len(recs) != len(faultgen.Benchmark()) {
+		t.Fatalf("got %d records, want the full benchmark", len(recs))
+	}
+
+	// Every golden module the benchmark exercises is resident and was
+	// reused (ExpertPass alone references it once per evaluated method).
+	modules := map[string]*dataset.Module{}
+	for _, f := range faultgen.Benchmark() {
+		m := f.Meta()
+		modules[m.Name] = m
+	}
+	for name, m := range modules {
+		hits, resident := cache.EntryStats(m.Source, m.Top, sim.BackendCompiled)
+		if !resident {
+			t.Errorf("golden %s missing from the compile cache", name)
+			continue
+		}
+		if hits == 0 {
+			t.Errorf("golden %s was compiled but never reused", name)
+		}
+	}
+
+	// Misses == entries means no source was ever compiled twice: each
+	// distinct (source, top, backend) cost exactly one compilation.
+	st := cache.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("cache evicted %d entries; the benchmark must fit (limit %d)", st.Evictions, sim.DefaultCacheLimit)
+	}
+	if st.Misses != int64(st.Entries) {
+		t.Errorf("misses %d != resident entries %d: some source compiled more than once", st.Misses, st.Entries)
+	}
+	if st.Hits == 0 {
+		t.Error("compile cache served no hits across the full benchmark")
+	}
+
+	ms := memo.Stats()
+	if ms.Hits == 0 {
+		t.Error("golden-trace memo served no hits across the full benchmark")
+	}
+	t.Logf("cache: %d hits / %d misses (%d programs); memo: %d hits / %d misses (%d traces)",
+		st.Hits, st.Misses, st.Entries, ms.Hits, ms.Misses, ms.Entries)
+}
+
+// TestSessionsAreKeyedPerBackend pins the replacement for the old
+// RecordsBackend global: sessions for different backends coexist and the
+// shared lookup is stable.
+func TestSessionsAreKeyedPerBackend(t *testing.T) {
+	c := SharedSession(sim.BackendCompiled)
+	e := SharedSession(sim.BackendEventDriven)
+	if c == e {
+		t.Fatal("compiled and event sessions must be distinct")
+	}
+	if SharedSession(sim.BackendCompiled) != c {
+		t.Fatal("SharedSession is not stable per backend")
+	}
+	if c.Backend != sim.BackendCompiled || e.Backend != sim.BackendEventDriven {
+		t.Fatal("session backend mismatch")
+	}
+}

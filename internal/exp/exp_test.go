@@ -4,10 +4,15 @@ import (
 	"strings"
 	"testing"
 
+	"uvllm/internal/baseline"
 	"uvllm/internal/dataset"
 	"uvllm/internal/faultgen"
 	"uvllm/internal/sim"
 )
+
+// testSession is the shared compiled-backend session all shape tests draw
+// their cached full-benchmark records from.
+func testSession() *Session { return SharedSession(sim.BackendCompiled) }
 
 // The tests in this file assert the qualitative structure of the paper's
 // results — who wins, where the gaps are, how the stages split — on the
@@ -15,7 +20,7 @@ import (
 // here we pin the shape with tolerant bands so the suite stays stable.
 
 func TestHeadlineBands(t *testing.T) {
-	h := ComputeHeadline()
+	h := testSession().ComputeHeadline()
 	if h.SyntaxFR < 80 || h.SyntaxFR > 95 {
 		t.Errorf("syntax FR %.2f outside band [80,95] (paper 86.99)", h.SyntaxFR)
 	}
@@ -40,7 +45,7 @@ func TestHeadlineBands(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	rows := Fig5(Records())
+	rows := Fig5(testSession().Records())
 	if len(rows) != 6 {
 		t.Fatalf("Fig5 has %d rows, want 5 categories + average", len(rows))
 	}
@@ -71,7 +76,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	rows := Fig6(Records())
+	rows := Fig6(testSession().Records())
 	if len(rows) != 5 {
 		t.Fatalf("Fig6 has %d rows, want 4 categories + average", len(rows))
 	}
@@ -115,7 +120,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	rows := Fig7(Records())
+	rows := Fig7(testSession().Records())
 	if len(rows) != 27 {
 		t.Fatalf("Fig7 has %d modules, want 27", len(rows))
 	}
@@ -168,7 +173,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rows := Table2(Records())
+	rows := Table2(testSession().Records())
 	if len(rows) != 11 {
 		t.Fatalf("Table2 has %d rows, want 8 groups + 3 aggregates", len(rows))
 	}
@@ -214,7 +219,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rows := Table3()
+	rows := testSession().Table3()
 	if len(rows) != 2 {
 		t.Fatalf("Table3 has %d rows", len(rows))
 	}
@@ -233,17 +238,17 @@ func TestTable3Shape(t *testing.T) {
 
 func TestExpertPassJudgments(t *testing.T) {
 	m := dataset.ByName("counter_12bit")
-	if !ExpertPass(m.Source, m, sim.BackendCompiled) {
+	if !ExpertPass(m.Source, m, baseline.SimServices{}) {
 		t.Error("expert rejects the golden source")
 	}
 	buggy := strings.Replace(m.Source, "count + 12'd1", "count + 12'd2", 1)
-	if ExpertPass(buggy, m, sim.BackendCompiled) {
+	if ExpertPass(buggy, m, baseline.SimServices{}) {
 		t.Error("expert accepts a buggy counter")
 	}
-	if ExpertPass("", m, sim.BackendCompiled) {
+	if ExpertPass("", m, baseline.SimServices{}) {
 		t.Error("expert accepts empty source")
 	}
-	if ExpertPass("module counter_12bit(input clk; endmodule", m, sim.BackendCompiled) {
+	if ExpertPass("module counter_12bit(input clk; endmodule", m, baseline.SimServices{}) {
 		t.Error("expert accepts syntax-broken source")
 	}
 }
@@ -278,7 +283,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestFullReportMentionsEverything(t *testing.T) {
-	rep := FullReport()
+	rep := testSession().FullReport()
 	for _, want := range []string{"Fig. 5", "Fig. 6", "Fig. 7", "Table II", "Table III", "Headline"} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("full report missing %q", want)
@@ -287,7 +292,7 @@ func TestFullReportMentionsEverything(t *testing.T) {
 }
 
 func TestPassAtKStudyShape(t *testing.T) {
-	r := PassAtKStudy(30, 3)
+	r := testSession().PassAtKStudy(30, 3)
 	if r.Instances != 30 || len(r.PassAt) != 3 {
 		t.Fatalf("shape = %+v", r)
 	}

@@ -19,9 +19,10 @@ type PassAtKResult struct {
 	PassAt    []float64 // PassAt[i] = estimated pass@(i+1), in percent
 }
 
-// PassAtKStudy evaluates the first `instances` benchmark entries with
-// `samples` seeds each (UVLLM only, expert-validated fixes).
-func PassAtKStudy(instances, samples int) PassAtKResult {
+// passAtKStudy evaluates the first `instances` benchmark entries with
+// `samples` seeds each (UVLLM only, expert-validated fixes), on the
+// session's backend and shared services.
+func passAtKStudy(sess *Session, instances, samples int) PassAtKResult {
 	all := faultgen.Benchmark()
 	if instances <= 0 || instances > len(all) {
 		instances = len(all)
@@ -31,7 +32,11 @@ func PassAtKStudy(instances, samples int) PassAtKResult {
 	// passes[i] = number of seeds that produced an expert-validated fix.
 	passes := make([]int, len(subset))
 	for s := 0; s < samples; s++ {
-		recs := Run(Config{Seed: int64(100 + s), SkipBaselines: true, Instances: subset, Backend: RecordsBackend})
+		cfg := sess.config()
+		cfg.Seed = int64(100 + s)
+		cfg.SkipBaselines = true
+		cfg.Instances = subset
+		recs := Run(cfg)
 		for i, r := range recs {
 			if r.UVLLMFix {
 				passes[i]++

@@ -17,9 +17,10 @@ type Headline struct {
 	Speedup       float64 // paper: 10.42x vs MEIC
 }
 
-// ComputeHeadline derives the headline numbers from the cached records.
-func ComputeHeadline() Headline {
-	rows := Table2(Records())
+// ComputeHeadline derives the headline numbers from the session's cached
+// records.
+func (s *Session) ComputeHeadline() Headline {
+	rows := Table2(s.Records())
 	var h Headline
 	for _, r := range rows {
 		switch r.Group {
@@ -32,12 +33,12 @@ func ComputeHeadline() Headline {
 			h.Speedup = r.Speedup
 		}
 	}
-	syn := computeRates(SyntaxRecords(), uvllmHit, uvllmFix)
-	fn := computeRates(FunctionalRecords(), uvllmHit, uvllmFix)
+	syn := computeRates(s.SyntaxRecords(), uvllmHit, uvllmFix)
+	fn := computeRates(s.FunctionalRecords(), uvllmHit, uvllmFix)
 	h.SyntaxHRFRGap = syn.HR - syn.FR
 	h.FuncHRFRGap = fn.HR - fn.FR
 	cov, n := 0.0, 0
-	for _, r := range Records() {
+	for _, r := range s.Records() {
 		if r.UVLLM.Coverage > 0 {
 			cov += r.UVLLM.Coverage
 			n++
@@ -67,10 +68,10 @@ func FormatHeadline(h Headline) string {
 }
 
 // FullReport renders every figure and table plus the headline block.
-func FullReport() string {
+func (s *Session) FullReport() string {
 	var b strings.Builder
-	recs := Records()
-	b.WriteString(FormatHeadline(ComputeHeadline()))
+	recs := s.Records()
+	b.WriteString(FormatHeadline(s.ComputeHeadline()))
 	b.WriteString("\n")
 	b.WriteString(FormatFig5(Fig5(recs)))
 	b.WriteString("\n")
@@ -80,6 +81,6 @@ func FullReport() string {
 	b.WriteString("\n")
 	b.WriteString(FormatTable2(Table2(recs)))
 	b.WriteString("\n")
-	b.WriteString(FormatTable3(Table3()))
+	b.WriteString(FormatTable3(s.Table3()))
 	return b.String()
 }

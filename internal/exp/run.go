@@ -4,7 +4,6 @@
 package exp
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -14,6 +13,7 @@ import (
 	"uvllm/internal/faultgen"
 	"uvllm/internal/llm"
 	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
 )
 
 // Record is the full evaluation of one benchmark instance.
@@ -48,6 +48,27 @@ type Config struct {
 	Instances       []*faultgen.Fault // nil = full benchmark
 	Workers         int               // 0 = NumCPU
 	Backend         sim.Backend       // simulation engine (zero value: compiled)
+
+	// Cache is the compile cache shared by every simulation of the run —
+	// UVLLM jobs, all four baselines and the expert validation — so the
+	// 331 instances compile each of the 27 golden modules exactly once.
+	// nil uses the process-wide sim.SharedCache.
+	Cache *sim.Cache
+	// Memo is the golden-trace memo shared the same way; nil uses the
+	// process-wide uvm.SharedTraceMemo.
+	Memo *uvm.TraceMemo
+}
+
+// services resolves the run's shared simulation bundle.
+func (cfg Config) services() baseline.SimServices {
+	svc := baseline.SimServices{Backend: cfg.Backend, Cache: cfg.Cache, Memo: cfg.Memo}
+	if svc.Cache == nil {
+		svc.Cache = sim.SharedCache()
+	}
+	if svc.Memo == nil {
+		svc.Memo = uvm.SharedTraceMemo()
+	}
+	return svc
 }
 
 func oracleFor(f *faultgen.Fault, prof llm.Profile, seed int64) *llm.Oracle {
@@ -72,6 +93,7 @@ func Run(cfg Config) []*Record {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	svc := cfg.services()
 	recs := make([]*Record, len(instances))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -80,7 +102,7 @@ func Run(cfg Config) []*Record {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				recs[i] = runOne(instances[i], cfg, prof)
+				recs[i] = runOne(instances[i], cfg, prof, svc)
 			}
 		}()
 	}
@@ -92,7 +114,7 @@ func Run(cfg Config) []*Record {
 	return recs
 }
 
-func runOne(f *faultgen.Fault, cfg Config, prof llm.Profile) *Record {
+func runOne(f *faultgen.Fault, cfg Config, prof llm.Profile, svc baseline.SimServices) *Record {
 	m := f.Meta()
 	rec := &Record{Fault: f}
 
@@ -106,88 +128,39 @@ func runOne(f *faultgen.Fault, cfg Config, prof llm.Profile) *Record {
 			DisableRollback: cfg.DisableRollback,
 			SLThreshold:     cfg.SLThreshold,
 			Backend:         cfg.Backend,
+			Cache:           svc.Cache,
+			Memo:            svc.Memo,
 		},
 	})
-	rec.UVLLMFix = rec.UVLLM.Success && ExpertPass(rec.UVLLM.Final, m, cfg.Backend)
+	rec.UVLLMFix = rec.UVLLM.Success && ExpertPass(rec.UVLLM.Final, m, svc)
 
 	if cfg.SkipBaselines {
 		return rec
 	}
 
 	meic := baseline.NewMEIC(oracleFor(f, prof, cfg.Seed))
-	meic.Backend = cfg.Backend
+	meic.Sim = svc
 	rec.MEIC = meic.Repair(f)
-	rec.MEICFix = rec.MEIC.Hit && ExpertPass(rec.MEIC.Final, m, cfg.Backend)
+	rec.MEICFix = rec.MEIC.Hit && ExpertPass(rec.MEIC.Final, m, svc)
 
 	raw := baseline.NewRawLLM(oracleFor(f, prof, cfg.Seed))
-	raw.Backend = cfg.Backend
+	raw.Sim = svc
 	rec.Raw = raw.Repair(f)
-	rec.RawFix = rec.Raw.Hit && ExpertPass(rec.Raw.Final, m, cfg.Backend)
+	rec.RawFix = rec.Raw.Hit && ExpertPass(rec.Raw.Final, m, svc)
 
 	if !f.Class.IsSyntax() {
 		strider := baseline.NewStrider()
-		strider.Backend = cfg.Backend
+		strider.Sim = svc
 		so := strider.Repair(f)
 		rec.Strider = &so
-		rec.StriderFix = so.Hit && ExpertPass(so.Final, m, cfg.Backend)
+		rec.StriderFix = so.Hit && ExpertPass(so.Final, m, svc)
 		rtlr := baseline.NewRTLRepair()
-		rtlr.Backend = cfg.Backend
+		rtlr.Sim = svc
 		ro := rtlr.Repair(f)
 		rec.RTLRepair = &ro
-		rec.RTLRepairFix = ro.Hit && ExpertPass(ro.Final, m, cfg.Backend)
+		rec.RTLRepairFix = ro.Hit && ExpertPass(ro.Final, m, svc)
 	}
 	return rec
-}
-
-var (
-	fullOnce    sync.Once
-	fullRecs    []*Record
-	fullBackend sim.Backend
-)
-
-// RecordsBackend selects the simulation backend for the whole cached
-// report path — Records, CompleteModeRecords, the ablation runs and the
-// pass@k study. Set it before the first of those calls (the experiments
-// command does, via its -backend flag); the default is the compiled fast
-// path.
-var RecordsBackend sim.Backend
-
-// Records returns the cached full-benchmark evaluation at the default
-// configuration (seed 1, pair mode, all baselines). The first call locks
-// in RecordsBackend; changing it afterwards is a programming error (the
-// cache would silently report figures from the wrong engine), so it
-// panics rather than mislead.
-func Records() []*Record {
-	fullOnce.Do(func() {
-		fullBackend = RecordsBackend
-		fullRecs = Run(Config{Seed: 1, Backend: fullBackend})
-	})
-	if RecordsBackend != fullBackend {
-		panic(fmt.Sprintf("exp: RecordsBackend changed to %v after Records was cached on %v", RecordsBackend, fullBackend))
-	}
-	return fullRecs
-}
-
-// SyntaxRecords filters the cached records to syntax-class instances.
-func SyntaxRecords() []*Record {
-	var out []*Record
-	for _, r := range Records() {
-		if r.Fault.Class.IsSyntax() {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// FunctionalRecords filters the cached records to functional instances.
-func FunctionalRecords() []*Record {
-	var out []*Record
-	for _, r := range Records() {
-		if !r.Fault.Class.IsSyntax() {
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // groupOf maps a module to its Table II group.

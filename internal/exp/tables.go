@@ -3,13 +3,9 @@ package exp
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"uvllm/internal/core"
 	"uvllm/internal/dataset"
-	"uvllm/internal/faultgen"
-	"uvllm/internal/llm"
-	"uvllm/internal/sim"
 )
 
 // Table2Row is one row of paper Table II: the segmented stage
@@ -126,35 +122,6 @@ type Table3Row struct {
 	FuncT   float64
 }
 
-var (
-	completeOnce    sync.Once
-	completeRecs    []*Record
-	completeBackend sim.Backend
-)
-
-// CompleteModeRecords runs (and caches) the full benchmark with the
-// complete-code generation mode, UVLLM only. Like Records, the first call
-// locks in RecordsBackend and later mismatches panic rather than silently
-// report figures from the wrong engine.
-func CompleteModeRecords() []*Record {
-	completeOnce.Do(func() {
-		completeBackend = RecordsBackend
-		completeRecs = Run(Config{Seed: 1, Mode: llm.ModeComplete, SkipBaselines: true, Backend: completeBackend})
-	})
-	if RecordsBackend != completeBackend {
-		panic(fmt.Sprintf("exp: RecordsBackend changed to %v after CompleteModeRecords was cached on %v", RecordsBackend, completeBackend))
-	}
-	return completeRecs
-}
-
-// Table3 computes the ablation table from the two cached runs.
-func Table3() []Table3Row {
-	return []Table3Row{
-		table3Row("UVLLM_pair", Records()),
-		table3Row("UVLLM_comp", CompleteModeRecords()),
-	}
-}
-
 func table3Row(name string, recs []*Record) Table3Row {
 	row := Table3Row{Variant: name}
 	var synN, funcN, synFix, funcFix int
@@ -194,82 +161,4 @@ func FormatTable3(rows []Table3Row) string {
 		fmt.Fprintf(&b, "%-12s | %9.2f %9.2f | %9.2f %9.2f\n", r.Variant, r.SynFR, r.FuncFR, r.SynT, r.FuncT)
 	}
 	return b.String()
-}
-
-// AblationRollback re-runs a slice of the benchmark with the rollback
-// mechanism disabled (UVLLM only) and reports the FR with and without it
-// — the design-choice bench DESIGN.md calls out. instances caps the
-// subset size (0 = full benchmark).
-func AblationRollback(instances int) (withFR, withoutFR, withQuality, withoutQuality float64) {
-	recs := Records()
-	if instances > 0 && instances < len(recs) {
-		recs = recs[:instances]
-	}
-	var faults []*faultgen.Fault
-	fixed, failN := 0, 0
-	for _, r := range recs {
-		faults = append(faults, r.Fault)
-		if r.UVLLMFix {
-			fixed++
-		}
-		if !r.UVLLM.Success {
-			withQuality += r.UVLLM.FinalScore
-			failN++
-		}
-	}
-	withFR = 100 * float64(fixed) / float64(len(recs))
-	if failN > 0 {
-		withQuality = 100 * withQuality / float64(failN)
-	}
-
-	raw := Run(Config{Seed: 1, SkipBaselines: true, DisableRollback: true, Instances: faults, Backend: RecordsBackend})
-	fixed, failN = 0, 0
-	for _, r := range raw {
-		if r.UVLLMFix {
-			fixed++
-		}
-		if !r.UVLLM.Success {
-			withoutQuality += r.UVLLM.FinalScore
-			failN++
-		}
-	}
-	withoutFR = 100 * float64(fixed) / float64(len(raw))
-	if failN > 0 {
-		withoutQuality = 100 * withoutQuality / float64(failN)
-	}
-	return withFR, withoutFR, withQuality, withoutQuality
-}
-
-// AblationLocalization re-runs a slice of the benchmark with SL mode
-// engaged from the first iteration versus the default MS→SL escalation,
-// reporting (escalated FR, immediate-SL FR, escalated mean Texec,
-// immediate-SL mean Texec).
-func AblationLocalization(instances int) (escFR, slFR, escT, slT float64) {
-	recs := Records()
-	if instances > 0 && instances < len(recs) {
-		recs = recs[:instances]
-	}
-	var faults []*faultgen.Fault
-	fixed := 0
-	for _, r := range recs {
-		faults = append(faults, r.Fault)
-		if r.UVLLMFix {
-			fixed++
-		}
-		escT += r.UVLLM.Times.Total()
-	}
-	escFR = 100 * float64(fixed) / float64(len(recs))
-	escT /= float64(len(recs))
-
-	raw := Run(Config{Seed: 1, SkipBaselines: true, SLThreshold: 1, Instances: faults, Backend: RecordsBackend})
-	fixed = 0
-	for _, r := range raw {
-		if r.UVLLMFix {
-			fixed++
-		}
-		slT += r.UVLLM.Times.Total()
-	}
-	slFR = 100 * float64(fixed) / float64(len(raw))
-	slT /= float64(len(raw))
-	return escFR, slFR, escT, slT
 }

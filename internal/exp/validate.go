@@ -4,7 +4,6 @@ import (
 	"uvllm/internal/baseline"
 	"uvllm/internal/dataset"
 	"uvllm/internal/lint"
-	"uvllm/internal/sim"
 )
 
 // ExpertPass is the independent validation behind the Fix Rate (paper
@@ -19,7 +18,11 @@ import (
 //
 // The validation simulations run on the same backend as the evaluation
 // they validate, so `-backend event` really is an end-to-end cross-check.
-func ExpertPass(source string, m *dataset.Module, backend sim.Backend) bool {
+// The golden module compiles through the bundle's cache (once per
+// process, not once per validation) and the 800-vector golden trace
+// comes from the memo — the ~12 instances sharing a module replay the
+// identical reference stream.
+func ExpertPass(source string, m *dataset.Module, svc baseline.SimServices) bool {
 	if source == "" {
 		return false
 	}
@@ -27,14 +30,14 @@ func ExpertPass(source string, m *dataset.Module, backend sim.Backend) bool {
 	if len(rep.Errors()) > 0 {
 		return false
 	}
-	ok, _, _ := baseline.RandomOwnBench(source, m, 800, 987654, backend)
+	ok, _, _ := baseline.RandomOwnBench(source, m, 800, 987654, svc)
 	if !ok {
 		return false
 	}
-	s, err := sim.CompileAndNewBackend(m.Source, m.Top, backend)
+	golden, err := svc.Compile(m.Source, m.Top)
 	if err != nil {
 		return false
 	}
-	ok, _, _ = baseline.RunOwnBench(source, m, baseline.WeakBench(m, s.Design()), backend)
+	ok, _, _ = baseline.RunOwnBench(source, m, baseline.WeakBench(m, golden.Design()), svc)
 	return ok
 }

@@ -7,12 +7,14 @@
 package locate
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 
+	"uvllm/internal/memo"
 	"uvllm/internal/sim"
 	"uvllm/internal/verilog"
 )
@@ -195,6 +197,26 @@ type ErrInfo struct {
 	SL              bool // true when suspicious-line mode is active
 }
 
+// dfgMemo content-addresses built data-flow graphs by source hash. The
+// repair loop re-slices the same candidate source on every SL-mode
+// iteration, and the template baselines localize against the same faulty
+// source per mutation batch; a DFG is read-only after construction, so
+// one build serves them all. A stored nil marks unparseable source.
+var dfgMemo = memo.New[[sha256.Size]byte, *DFG](256)
+
+// DFGFor returns the memoized data-flow graph of src, or nil when the
+// source does not parse. The returned graph is shared: read-only.
+func DFGFor(src string) *DFG {
+	g, _ := dfgMemo.Do(sha256.Sum256([]byte(src)), func() (*DFG, error) {
+		f, perrs := verilog.Parse(src)
+		if len(perrs) > 0 {
+			return nil, nil
+		}
+		return BuildDFG(f), nil
+	})
+	return g
+}
+
 // ErrInfoFetch implements Algorithm 2's main function: below the iteration
 // threshold it returns mismatch-signal information only (MS mode); at or
 // above it, it adds the dynamic slice (SL mode).
@@ -205,11 +227,10 @@ func ErrInfoFetch(src, uvmLog string, wave *sim.Waveform, iter, threshold int) E
 		return info
 	}
 	info.SL = true
-	f, perrs := verilog.Parse(src)
-	if len(perrs) > 0 {
+	g := DFGFor(src)
+	if g == nil {
 		return info
 	}
-	g := BuildDFG(f)
 	info.SuspiciousLines, info.Expanded = g.Slice(ms, 24)
 	return info
 }

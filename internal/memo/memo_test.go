@@ -1,0 +1,76 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSingleFlight: concurrent callers on one key run compute once and
+// share the value.
+func TestSingleFlight(t *testing.T) {
+	m := New[int, int](8)
+	var computes int32
+	var wg sync.WaitGroup
+	const workers = 16
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do(7, func() (int, error) {
+				atomic.AddInt32(&computes, 1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if hits, ok := m.EntryHits(7); !ok || hits != workers-1 {
+		t.Fatalf("EntryHits = (%d, %v)", hits, ok)
+	}
+}
+
+// TestErrorsAreMemoized: a failing compute is cached like a value.
+func TestErrorsAreMemoized(t *testing.T) {
+	m := New[string, int](8)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if _, err := m.Do("k", func() (int, error) { calls++; return 0, boom }); err != boom {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+// TestEviction: the table stays bounded and counts evictions.
+func TestEviction(t *testing.T) {
+	m := New[int, int](4)
+	for i := 0; i < 10; i++ {
+		if _, err := m.Do(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Entries > 4 {
+		t.Fatalf("grew to %d entries past limit 4", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if _, ok := m.EntryHits(0); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+}

@@ -20,6 +20,21 @@ type DiffReport struct {
 	Cycles         int    // cycles actually compared
 }
 
+// diffCache amortizes compilation across the differential pipeline: the
+// golden design is recompiled for every mutant in DiffMutants, and the
+// 330-seed sweep replays designs the fuzz corpus already contains. The
+// limit is deliberately small — fuzzing feeds an endless stream of
+// distinct sources, and evicted entries just recompile.
+var diffCache = sim.NewCacheLimit(512)
+
+// newSim compiles src through the shared cache and allocates an instance,
+// preserving CompileAndNewBackend's construction-error surface (parse and
+// elaboration errors from the cached compile, reset-time errors from the
+// fresh instance).
+func newSim(src, top string, backend sim.Backend) (*sim.Simulator, error) {
+	return diffCache.Instance(src, top, backend)
+}
+
 // DiffBackends simulates src on the event-driven and compiled backends
 // under an identical seeded stimulus stream and compares every observable:
 // per-cycle output ports, the full recorded waveform, its VCD rendering,
@@ -28,8 +43,8 @@ type DiffReport struct {
 // backends — elaboration errors, oscillation — agree by definition.
 func DiffBackends(src, top, clock string, cycles int, seed int64) (DiffReport, error) {
 	var rep DiffReport
-	sE, errE := sim.CompileAndNewBackend(src, top, sim.BackendEventDriven)
-	sC, errC := sim.CompileAndNewBackend(src, top, sim.BackendCompiled)
+	sE, errE := newSim(src, top, sim.BackendEventDriven)
+	sC, errC := newSim(src, top, sim.BackendCompiled)
 	if (errE == nil) != (errC == nil) {
 		return rep, fmt.Errorf("construction diverged: event=%v compiled=%v", errE, errC)
 	}
@@ -185,11 +200,11 @@ func DiffMutants(d *Design, cycles int, maxPerClass int) (MutantStats, error) {
 // differs. A mutant that fails to elaborate or dies mid-run while the
 // golden does not is observably divergent.
 func tracesDiverge(golden, mutant, top, clock string, cycles int, seed int64) (bool, error) {
-	sG, errG := sim.CompileAndNewBackend(golden, top, sim.BackendEventDriven)
+	sG, errG := newSim(golden, top, sim.BackendEventDriven)
 	if errG != nil {
 		return false, fmt.Errorf("golden failed to elaborate: %v", errG)
 	}
-	sM, errM := sim.CompileAndNewBackend(mutant, top, sim.BackendEventDriven)
+	sM, errM := newSim(mutant, top, sim.BackendEventDriven)
 	if errM != nil {
 		return true, nil
 	}

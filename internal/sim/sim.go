@@ -6,12 +6,17 @@ import (
 	"uvllm/internal/verilog"
 )
 
-// Simulator executes an elaborated Design. The zero value is not usable;
-// construct with New.
-type Simulator struct {
-	d    *Design
-	vals []uint64
-	mems [][]uint64 // per signal index; nil for non-memories
+// Instance is the mutable half of a simulation: the signal arena, the
+// memories, the event queues and the NBA buffer of one run of a Program.
+// Instances are cheap to create (Program.NewInstance), Reset, Snapshot
+// and Restore; the immutable design tables and compiled closures they
+// execute live in the shared Program. The zero value is not usable;
+// construct with Program.NewInstance or the New/CompileAndNew wrappers.
+type Instance struct {
+	program *Program // owning program (immutable, shared)
+	d       *Design  // == program.Design(), cached for the hot path
+	vals    []uint64
+	mems    [][]uint64 // per signal index; nil for non-memories
 
 	combQueue []int
 	inQueue   []bool
@@ -21,7 +26,7 @@ type Simulator struct {
 	running   int // index of the currently executing process, or -1
 
 	backend   Backend
-	prog      *program // compiled program; nil for the event-driven backend
+	code      *program // compiled closures; nil for the event-driven backend
 	levelized bool     // compiled AND cleanly levelizable: sweep scheduler active
 	needSweep bool     // levelized mode: a combinational process is dirty
 	inSweep   bool     // levelized mode: currently inside a sweep
@@ -31,6 +36,12 @@ type Simulator struct {
 	// exceeding it reports an oscillation error. Defaults to 10000.
 	DeltaLimit int
 }
+
+// Simulator is the historical name of Instance. It remains the type every
+// consumer-facing API uses, so code written against the pre-Program
+// simulator keeps compiling and the differential gates keep asserting
+// byte-identical behavior across the refactor.
+type Simulator = Instance
 
 type nbaWrite struct {
 	sig    int
@@ -46,38 +57,14 @@ func New(f *verilog.SourceFile, top string) (*Simulator, error) {
 	return NewBackend(f, top, BackendCompiled)
 }
 
-// NewBackend is New with an explicit backend selection.
+// NewBackend is New with an explicit backend selection: Compile followed
+// by NewInstance.
 func NewBackend(f *verilog.SourceFile, top string, backend Backend) (*Simulator, error) {
-	d, err := Elaborate(f, top)
+	p, err := Compile(f, top, backend)
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{
-		d:          d,
-		vals:       make([]uint64, len(d.sigs)),
-		mems:       make([][]uint64, len(d.sigs)),
-		inQueue:    make([]bool, len(d.procs)),
-		inSeq:      make([]bool, len(d.procs)),
-		running:    -1,
-		backend:    backend,
-		DeltaLimit: 10000,
-	}
-	for i, si := range d.sigs {
-		if si.isMem {
-			s.mems[i] = make([]uint64, si.depth)
-		}
-	}
-	if backend == BackendCompiled {
-		s.prog = compileProgram(s)
-		s.levelized = s.prog.clean()
-		if s.levelized {
-			s.dirty = make([]bool, len(d.procs))
-		}
-	}
-	if err := s.Reset(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return p.NewInstance()
 }
 
 // CompileAndNew parses src and simulates module top on the default
@@ -108,14 +95,18 @@ func (s *Simulator) Levelized() bool { return s.levelized }
 // FallbackReason explains why a compiled simulator is not running the
 // levelized sweep ("" when it is, or on the event-driven backend).
 func (s *Simulator) FallbackReason() string {
-	if s.prog == nil {
+	if s.code == nil {
 		return ""
 	}
-	return s.prog.reason
+	return s.code.reason
 }
 
 // Design returns the elaborated design.
 func (s *Simulator) Design() *Design { return s.d }
+
+// Program returns the immutable program this instance executes (nil only
+// for the compiler's internal scratch instance, which never simulates).
+func (s *Instance) Program() *Program { return s.program }
 
 // Reset zeroes all state, re-runs initial blocks and settles.
 func (s *Simulator) Reset() error {
@@ -347,13 +338,13 @@ func (s *Simulator) settleLevelized() error {
 			}
 			s.needSweep = false
 			s.inSweep = true
-			for i, pi := range s.prog.order {
+			for i, pi := range s.code.order {
 				if !s.dirty[pi] {
 					continue
 				}
 				s.dirty[pi] = false
 				s.running = pi
-				err := s.prog.orderFns[i](s)
+				err := s.code.orderFns[i](s)
 				s.running = -1
 				if err != nil {
 					s.inSweep = false
@@ -365,7 +356,7 @@ func (s *Simulator) settleLevelized() error {
 			// behind the cursor can have been re-dirtied; if the static
 			// analysis ever misses a case, re-sweep (and ultimately trip
 			// the delta limit) rather than diverge silently.
-			for _, pi := range s.prog.order {
+			for _, pi := range s.code.order {
 				if s.dirty[pi] {
 					s.needSweep = true
 					break
@@ -418,8 +409,8 @@ func (s *Simulator) runProc(p *process) error {
 	prev := s.running
 	s.running = p.idx
 	defer func() { s.running = prev }()
-	if s.prog != nil {
-		if fn := s.prog.run[p.idx]; fn != nil {
+	if s.code != nil {
+		if fn := s.code.run[p.idx]; fn != nil {
 			return fn(s)
 		}
 	}

@@ -1,0 +1,398 @@
+package sim
+
+// Lifecycle tests for the Program/Instance split: snapshot round-trips
+// mid-simulation (both backends, including memories and pending NBA
+// writes), instance independence, and the content-addressed compile
+// cache. These live in-package so they can stage pending scheduler state
+// (NBA buffer, event queues) that no external call sequence can observe
+// between Settle boundaries.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const memDUT = `module memdut(input clk, input rst_n, input we, input [3:0] addr, input [7:0] din, output reg [7:0] dout, output [7:0] peek);
+  reg [7:0] mem [15:0];
+  reg [7:0] acc;
+  assign peek = acc ^ dout;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      dout <= 0;
+      acc <= 0;
+    end else begin
+      if (we) mem[addr] <= din;
+      dout <= mem[addr];
+      acc <= acc + din;
+    end
+  end
+endmodule`
+
+func backends() []Backend { return []Backend{BackendCompiled, BackendEventDriven} }
+
+// driveCycle applies inputs, settles, and pulses the clock. It returns
+// errors rather than failing the test so goroutines can use it too.
+func driveCycle(s *Instance, in map[string]uint64) error {
+	for k, v := range in {
+		if err := s.Set(k, v); err != nil {
+			return err
+		}
+	}
+	if err := s.Settle(); err != nil {
+		return err
+	}
+	for _, clk := range []uint64{1, 0} {
+		if err := s.Set("clk", clk); err != nil {
+			return err
+		}
+		if err := s.Settle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mustCycle is driveCycle for test-goroutine callers.
+func mustCycle(t *testing.T, s *Instance, in map[string]uint64) {
+	t.Helper()
+	if err := driveCycle(s, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stateFingerprint renders every scalar signal and every memory word.
+func stateFingerprint(s *Instance) string {
+	out := ""
+	for _, n := range s.Design().SignalNames() {
+		out += fmt.Sprintf("%s=%x;", n, s.Get(n))
+	}
+	for i := 0; i < 16; i++ {
+		out += fmt.Sprintf("m%d=%x;", i, s.GetMem("mem", i))
+	}
+	return out
+}
+
+// TestSnapshotRestoreRoundTrip drives a memory-bearing sequential design
+// half way, snapshots, finishes the run, restores and re-runs the second
+// half: the continuation must reproduce the identical state trajectory on
+// both backends.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.String(), func(t *testing.T) {
+			p, err := CompileSource(memDUT, "memdut", b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := p.NewInstance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stim := func(c int) map[string]uint64 {
+				return map[string]uint64{
+					"rst_n": 1, "we": uint64(c % 2), "addr": uint64(c % 16), "din": uint64(0x30 + c),
+				}
+			}
+			mustCycle(t, s, map[string]uint64{"rst_n": 0})
+			for c := 0; c < 8; c++ {
+				mustCycle(t, s, stim(c))
+			}
+			sn := s.Snapshot()
+			mid := stateFingerprint(s)
+
+			var firstRun []string
+			for c := 8; c < 16; c++ {
+				mustCycle(t, s, stim(c))
+				firstRun = append(firstRun, stateFingerprint(s))
+			}
+
+			if err := s.Restore(sn); err != nil {
+				t.Fatal(err)
+			}
+			if got := stateFingerprint(s); got != mid {
+				t.Fatalf("restore did not rewind state:\n got %s\nwant %s", got, mid)
+			}
+			for c := 8; c < 16; c++ {
+				mustCycle(t, s, stim(c))
+				if got := stateFingerprint(s); got != firstRun[c-8] {
+					t.Fatalf("cycle %d diverged after restore:\n got %s\nwant %s", c, got, firstRun[c-8])
+				}
+			}
+
+			// The snapshot is a deep copy: restoring it a second time after
+			// the replay still lands on the captured state.
+			if err := s.Restore(sn); err != nil {
+				t.Fatal(err)
+			}
+			if got := stateFingerprint(s); got != mid {
+				t.Fatal("second restore from the same snapshot diverged")
+			}
+		})
+	}
+}
+
+// TestSnapshotCapturesPendingNBA stages a non-blocking write in the NBA
+// buffer (scalar and memory word), snapshots, lets it commit, restores
+// and commits again: the pending write must survive the round trip.
+func TestSnapshotCapturesPendingNBA(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.String(), func(t *testing.T) {
+			p, err := CompileSource(memDUT, "memdut", b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := p.NewInstance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			doutIdx := s.d.byName["dout"]
+			memIdx := s.d.byName["mem"]
+			s.nba = append(s.nba,
+				nbaWrite{sig: doutIdx, mask: 0xff, val: 0x5a},
+				nbaWrite{sig: memIdx, isMem: true, memIdx: 7, mask: 0xff, val: 0xa5},
+			)
+			sn := s.Snapshot()
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Get("dout"); got != 0x5a {
+				t.Fatalf("pending NBA not committed: dout=%x", got)
+			}
+			if got := s.GetMem("mem", 7); got != 0xa5 {
+				t.Fatalf("pending memory NBA not committed: mem[7]=%x", got)
+			}
+
+			if err := s.Restore(sn); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Get("dout"); got == 0x5a {
+				t.Fatal("restore did not rewind the committed NBA value")
+			}
+			if len(s.nba) != 2 {
+				t.Fatalf("restored NBA buffer has %d writes, want 2", len(s.nba))
+			}
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			if s.Get("dout") != 0x5a || s.GetMem("mem", 7) != 0xa5 {
+				t.Fatal("restored pending NBA did not recommit")
+			}
+		})
+	}
+}
+
+// TestSnapshotCapturesPendingEvents snapshots with an un-settled input
+// edge pending in the scheduler (comb queue / dirty flags / seq queue)
+// and checks the settle outcome is reproduced after restore.
+func TestSnapshotCapturesPendingEvents(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.String(), func(t *testing.T) {
+			p, err := CompileSource(memDUT, "memdut", b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := p.NewInstance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustCycle(t, s, map[string]uint64{"rst_n": 0})
+			mustCycle(t, s, map[string]uint64{"rst_n": 1, "we": 1, "addr": 3, "din": 0x11})
+			// Posedge staged but not settled: the edge-triggered process is
+			// queued, nothing has run.
+			if err := s.Set("din", 0x7f); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Set("clk", 1); err != nil {
+				t.Fatal(err)
+			}
+			sn := s.Snapshot()
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			want := stateFingerprint(s)
+
+			if err := s.Restore(sn); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			if got := stateFingerprint(s); got != want {
+				t.Fatalf("pending-event settle diverged:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsForeignSnapshot pins the shape check: a snapshot from
+// one program cannot be restored into an instance of another.
+func TestRestoreRejectsForeignSnapshot(t *testing.T) {
+	pa, err := CompileSource(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := CompileSource("module tiny(input a, output w);\nassign w = ~a;\nendmodule", "tiny", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := pa.NewInstance()
+	bI, _ := pb.NewInstance()
+	if err := bI.Restore(a.Snapshot()); err == nil {
+		t.Fatal("restore accepted a snapshot from a different program")
+	}
+	if err := a.Restore(nil); err == nil {
+		t.Fatal("restore accepted a nil snapshot")
+	}
+}
+
+// TestInstancesAreIndependent runs many instances of one shared Program
+// concurrently with per-goroutine stimulus and checks every instance
+// reaches the exact state a fresh serial run reaches. Under -race this is
+// the concurrency-safety gate for the shared Program (design tables,
+// compiled closures, levelization order).
+func TestInstancesAreIndependent(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(b.String(), func(t *testing.T) {
+			p, err := CompileSource(memDUT, "memdut", b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(salt int) string {
+				s, err := p.NewInstance()
+				if err != nil {
+					t.Error(err)
+					return ""
+				}
+				if err := driveCycle(s, map[string]uint64{"rst_n": 0}); err != nil {
+					t.Error(err)
+					return ""
+				}
+				for c := 0; c < 24; c++ {
+					err := driveCycle(s, map[string]uint64{
+						"rst_n": 1, "we": uint64((c + salt) % 2),
+						"addr": uint64((c * salt) % 16), "din": uint64(salt*31+c) & 0xff,
+					})
+					if err != nil {
+						t.Error(err)
+						return ""
+					}
+				}
+				return stateFingerprint(s)
+			}
+			const workers = 16
+			want := make([]string, workers)
+			for i := range want {
+				want[i] = run(i + 1) // serial reference
+			}
+			var wg sync.WaitGroup
+			got := make([]string, workers)
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					got[i] = run(i + 1)
+				}(i)
+			}
+			wg.Wait()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("concurrent instance %d diverged from serial reference", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheSingleCompile asserts the cache's single-flight behavior and
+// counters: many concurrent requests for one source cost one miss, and
+// every caller shares the identical Program.
+func TestCacheSingleCompile(t *testing.T) {
+	c := NewCache()
+	const workers = 8
+	progs := make([]*Program, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Compile(memDUT, "memdut", BackendCompiled)
+			if err != nil {
+				t.Error(err)
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent callers got distinct Programs for one key")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits / 1 entry", st, workers-1)
+	}
+	hits, resident := c.EntryStats(memDUT, "memdut", BackendCompiled)
+	if !resident || hits != workers-1 {
+		t.Fatalf("EntryStats = (%d, %v)", hits, resident)
+	}
+}
+
+// TestCacheKeysAndNegativeEntries pins the key dimensions (source, top,
+// backend) and error caching.
+func TestCacheKeysAndNegativeEntries(t *testing.T) {
+	c := NewCache()
+	pc, err := c.Compile(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := c.Compile(memDUT, "memdut", BackendEventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc == pe {
+		t.Fatal("different backends must not share a cache entry")
+	}
+	if pc.Backend() != BackendCompiled || pe.Backend() != BackendEventDriven {
+		t.Fatal("cached program has the wrong backend")
+	}
+
+	if _, err := c.Compile("module broken(", "broken", BackendCompiled); err == nil {
+		t.Fatal("broken source compiled")
+	}
+	if _, err := c.Compile("module broken(", "broken", BackendCompiled); err == nil {
+		t.Fatal("cached negative entry lost the error")
+	}
+	st := c.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (two backends + one broken source)", st.Misses)
+	}
+
+	// Instance() is the CompileAndNewBackend drop-in.
+	s, err := c.Instance(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Program() != pc {
+		t.Fatal("Instance did not reuse the cached Program")
+	}
+}
+
+// TestCacheEviction checks the bounded cache drops old entries instead of
+// growing without limit (the fuzzing workload).
+func TestCacheEviction(t *testing.T) {
+	c := NewCacheLimit(4)
+	for i := 0; i < 12; i++ {
+		src := fmt.Sprintf("module m(input a, output w);\nassign w = a ^ %d'd%d;\nendmodule", 1+i%3, i%2)
+		if _, err := c.Compile(src, "m", BackendCompiled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > 4 {
+		t.Fatalf("cache grew to %d entries past its limit of 4", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+}

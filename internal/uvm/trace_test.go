@@ -1,0 +1,122 @@
+package uvm
+
+import (
+	"reflect"
+	"testing"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/refmodel"
+	"uvllm/internal/sim"
+)
+
+func aluPorts(t *testing.T) []sim.PortInfo {
+	t.Helper()
+	m := dataset.ByName("alu")
+	p, err := sim.CompileSource(m.Source, m.Top, sim.BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Design().Inputs()
+}
+
+// TestMaterializeDeterministic pins that materializing a sequence yields
+// the identical stream a live run would draw.
+func TestMaterializeDeterministic(t *testing.T) {
+	ports := aluPorts(t)
+	a := Materialize(&RandomSequence{Ports: ports, N: 50}, 11)
+	b := Materialize(&RandomSequence{Ports: ports, N: 50}, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := Materialize(&RandomSequence{Ports: ports, N: 50}, 12)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+// TestTraceMemoMatchesModel checks a memoized trace is exactly what a
+// fresh reference model computes, and that replays hit.
+func TestTraceMemoMatchesModel(t *testing.T) {
+	m := dataset.ByName("counter_12bit")
+	vectors := []map[string]uint64{
+		{"rst_n": 1, "en": 1}, {"rst_n": 1, "en": 0}, {"rst_n": 1, "en": 1}, {"rst_n": 0, "en": 1}, {"rst_n": 1, "en": 1},
+	}
+	tm := NewTraceMemo()
+	got, err := tm.Expected(m.Name, true, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := refmodel.New(m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Reset()
+	for i, in := range vectors {
+		want := model.Step(in)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("cycle %d: memo %v != model %v", i, got[i], want)
+		}
+	}
+	if _, err := tm.Expected(m.Name, true, vectors); err != nil {
+		t.Fatal(err)
+	}
+	st := tm.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// A different reset phase is a different trace.
+	if _, err := tm.Expected(m.Name, false, vectors); err != nil {
+		t.Fatal(err)
+	}
+	if st := tm.Stats(); st.Misses != 2 {
+		t.Fatalf("reset flag not part of the key: %+v", st)
+	}
+}
+
+// TestRunWithMemoIsByteIdentical runs the same environment configuration
+// with and without the golden-trace memo (and with a shared compiled
+// Program) and requires identical pass rates, scoreboards and logs — the
+// memo is an amortization, never a semantic change.
+func TestRunWithMemoIsByteIdentical(t *testing.T) {
+	for _, name := range []string{"counter_12bit", "alu", "fifo_sync"} {
+		m := dataset.ByName(name)
+		prog, err := sim.CompileSource(m.Source, m.Top, sim.BackendCompiled)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		runOnce := func(memo *TraceMemo) (float64, string, *Scoreboard) {
+			env, err := NewEnv(Config{
+				Source: m.Source, Top: m.Top, Clock: m.Clock, RefName: m.Name,
+				Seed: 42, Program: prog, Memo: memo,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			var ports []sim.PortInfo
+			for _, p := range env.DUT.Sim.Design().Inputs() {
+				if p.Name != m.Clock {
+					ports = append(ports, p)
+				}
+			}
+			reset := ""
+			if m.HasReset {
+				reset = "rst_n"
+			}
+			rate := env.Run(&RandomSequence{Ports: ports, N: 120, ResetName: reset, ResetEvery: 40})
+			return rate, env.Log(), env.Score
+		}
+		memo := NewTraceMemo()
+		rateM1, logM1, sbM1 := runOnce(memo)
+		rateM2, logM2, sbM2 := runOnce(memo) // second run: memo hit path
+		rateD, logD, sbD := runOnce(nil)
+		if rateM1 != rateD || logM1 != logD || !reflect.DeepEqual(sbM1, sbD) {
+			t.Errorf("%s: memoized run differs from direct run", name)
+		}
+		if rateM2 != rateD || logM2 != logD || !reflect.DeepEqual(sbM2, sbD) {
+			t.Errorf("%s: memo-hit run differs from direct run", name)
+		}
+		if st := memo.Stats(); st.Hits == 0 {
+			t.Errorf("%s: second run did not hit the memo (%+v)", name, st)
+		}
+	}
+}

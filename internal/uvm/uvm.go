@@ -163,9 +163,11 @@ type Env struct {
 	OutAgent *Agent
 	Asserts  *assert.Checker // nil when no assertions attached
 
-	log   strings.Builder
-	fatal error
-	seed  int64
+	log     strings.Builder
+	fatal   error
+	seed    int64
+	refName string
+	memo    *TraceMemo
 }
 
 // Config selects how an Env is built.
@@ -181,13 +183,33 @@ type Config struct {
 	Backend sim.Backend
 	// Assertions are checked against the DUT's port values each cycle.
 	Assertions []assert.Assertion
+
+	// Program, when set, is the pre-compiled DUT: Source/Top/Backend are
+	// not consulted for compilation and the environment only allocates an
+	// Instance. One testbench run per DUT compiles once this way.
+	Program *sim.Program
+	// Cache, when set (and Program is not), routes compilation through the
+	// content-addressed compile cache.
+	Cache *sim.Cache
+	// Memo, when set, serves the scoreboard's expected outputs from the
+	// golden-trace memo instead of stepping a fresh reference model.
+	Memo *TraceMemo
 }
 
 // NewEnv elaborates the DUT and builds the environment. Elaboration
 // failures (syntax errors, unsupported constructs, oscillation at time 0)
 // are returned as errors; the caller treats them as simulation failures.
 func NewEnv(cfg Config) (*Env, error) {
-	s, err := sim.CompileAndNewBackend(cfg.Source, cfg.Top, cfg.Backend)
+	var s *sim.Simulator
+	var err error
+	switch {
+	case cfg.Program != nil:
+		s, err = cfg.Program.NewInstance()
+	case cfg.Cache != nil:
+		s, err = cfg.Cache.Instance(cfg.Source, cfg.Top, cfg.Backend)
+	default:
+		s, err = sim.CompileAndNewBackend(cfg.Source, cfg.Top, cfg.Backend)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +228,8 @@ func NewEnv(cfg Config) (*Env, error) {
 		InAgent:  &Agent{Name: "in_agt"},
 		OutAgent: &Agent{Name: "out_agt"},
 		seed:     cfg.Seed,
+		refName:  cfg.RefName,
+		memo:     cfg.Memo,
 	}
 	env.Cov = NewCoverage(s.Design())
 	if len(cfg.Assertions) > 0 {
@@ -217,8 +241,15 @@ func NewEnv(cfg Config) (*Env, error) {
 
 // Run drives the sequence to completion (or until the DUT dies), filling
 // the scoreboard, coverage and log. It returns the final pass rate.
+//
+// The stimulus is materialized up front (identical vectors to the lazy
+// walk: the sequence sees the same seeded RNG stream). When the
+// environment carries a golden-trace memo, the expected outputs for the
+// whole stream come from the memo — computed once per distinct (model,
+// stimulus) anywhere in the process — instead of stepping the reference
+// model again.
 func (e *Env) Run(seq Sequence) float64 {
-	rng := rand.New(rand.NewSource(e.seed))
+	vectors := Materialize(seq, e.seed)
 	resetName, _ := sim.FindReset(e.DUT.Sim.Design())
 
 	// Reset phase.
@@ -230,18 +261,26 @@ func (e *Env) Run(seq Sequence) float64 {
 		e.Ref.Reset()
 	}
 
-	for {
-		in, ok := seq.Next(rng)
-		if !ok {
-			break
+	var expected []map[string]uint64
+	if e.memo != nil {
+		if exp, err := e.memo.Expected(e.refName, resetName != "", vectors); err == nil {
+			expected = exp
 		}
+	}
+
+	for i, in := range vectors {
 		cycle := e.DUT.CycleCount()
 		got, err := e.DUT.Cycle(in)
 		if err != nil {
 			e.fatalf("cycle %d: %v", cycle, err)
 			return e.Score.PassRate()
 		}
-		want := e.Ref.Step(in)
+		var want map[string]uint64
+		if expected != nil {
+			want = expected[i]
+		} else {
+			want = e.Ref.Step(in)
+		}
 		e.Cov.Sample(in, got)
 		if e.Asserts != nil {
 			all := map[string]uint64{}
