@@ -1,0 +1,192 @@
+// Command doccheck enforces the repository's documentation contract: a
+// package must have a package comment, and every exported top-level
+// identifier (type, function, method, constant, variable) must carry a
+// doc comment. CI runs it over the packages whose API surface the
+// coverage subsystem exposes; it accepts any list of package directories.
+//
+//	doccheck                      # check the default set (see defaultDirs)
+//	doccheck ./internal/...       # check every package under internal
+//	doccheck ./internal/sim       # check one package
+//
+// The exit status is non-zero when any identifier is undocumented, and
+// each offender is printed as file:line: message, so editors and CI logs
+// link straight to the declaration.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultDirs is the enforced documentation surface: the simulator and
+// coverage APIs every other layer builds on, and the UVM components.
+var defaultDirs = []string{
+	"./internal/sim",
+	"./internal/cover",
+	"./internal/uvm",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	seen := map[string]bool{}
+	var expanded []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			expanded = append(expanded, dir)
+		}
+	}
+	for _, d := range dirs {
+		if strings.HasSuffix(d, "...") {
+			root := strings.TrimSuffix(strings.TrimSuffix(d, "..."), "/")
+			err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if de.IsDir() && hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		add(d)
+	}
+	sort.Strings(expanded)
+
+	bad := 0
+	for _, dir := range expanded {
+		probs, err := checkDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range probs {
+			fmt.Println(p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses the non-test files of one package directory and
+// returns one formatted problem line per undocumented exported
+// identifier (plus one for a missing package comment).
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", dir, err)
+	}
+	var probs []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			probs = append(probs, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			probs = append(probs, checkFile(fset, name, f)...)
+		}
+	}
+	sort.Strings(probs)
+	return probs, nil
+}
+
+func checkFile(fset *token.FileSet, filename string, f *ast.File) []string {
+	var probs []string
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		probs = append(probs, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && !isMethodOfUnexported(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), "exported %s %s is undocumented", kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A group comment ("// Stages." over a const block)
+					// documents every member, matching godoc behavior.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "exported value %s is undocumented", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return probs
+}
+
+// isMethodOfUnexported reports whether the method's receiver type is
+// unexported: its methods never appear in godoc, so they are exempt.
+func isMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic instantiations (T[P]).
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return !id.IsExported()
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(1)
+}

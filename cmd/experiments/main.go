@@ -36,6 +36,7 @@ func main() {
 		table3   = flag.Bool("table3", false, "print Table III")
 		ablation = flag.Bool("ablation", false, "print extension ablations")
 		passk    = flag.Bool("passk", false, "print the pass@k multi-seed study")
+		cov      = flag.Bool("cover", false, "print the random-vs-directed structural coverage study")
 		all      = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
@@ -46,13 +47,14 @@ func main() {
 	}
 	sess := exp.SharedSession(b)
 	sess.Workers = *workers
-	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk {
+	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov {
 		*all = true
 	}
 
 	if *all {
 		fmt.Print(sess.FullReport())
 		printAblations(sess)
+		printCoverage(sess)
 		printStats(sess, *verbose)
 		return
 	}
@@ -80,7 +82,20 @@ func main() {
 	if *passk {
 		fmt.Print(exp.FormatPassAtK(sess.PassAtKStudy(100, 5)))
 	}
+	if *cov {
+		printCoverage(sess)
+	}
 	printStats(sess, *verbose)
+}
+
+func printCoverage(sess *exp.Session) {
+	fmt.Println()
+	rows, err := sess.CoverageStudy(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: coverage study:", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.FormatCoverage(rows, 0))
 }
 
 func printAblations(sess *exp.Session) {

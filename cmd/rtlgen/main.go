@@ -27,9 +27,19 @@ func main() {
 		n      = flag.Int("n", 1, "number of designs (seeds seed..seed+n-1)")
 		out    = flag.String("out", "", "output directory (write gen_*.v files)")
 		check  = flag.Bool("check", false, "run the differential oracles on each design")
-		cycles = flag.Int("cycles", 60, "stimulus cycles per design in -check mode")
+		cov    = flag.Bool("cover", false, "coverage-directed sweep: compare random vs directed stimulus, keep coverage-raising designs")
+		cycles = flag.Int("cycles", 60, "stimulus cycles per design in -check and -cover modes")
 	)
 	flag.Parse()
+
+	if *cov {
+		runs, cum, err := rtlgen.CoverSweep(*seed, *n, *cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rtlgen.FormatCoverSweep(runs, cum))
+		return
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

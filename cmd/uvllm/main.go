@@ -37,6 +37,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		mode     = flag.String("mode", "pair", "repair generation form: pair or complete")
 		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
+		cov      = flag.Bool("cover", false, "collect structural coverage (statements, branches, toggles, FSM) during UVM runs")
 		list     = flag.Bool("list", false, "list benchmark modules and exit")
 		lintOnly = flag.Bool("lint", false, "lint the input and exit")
 		synthRpt = flag.Bool("synth", false, "synthesize the input, print the cell report and exit")
@@ -112,6 +113,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	var coverOpts sim.CoverOptions
+	if *cov {
+		coverOpts = sim.CoverAll()
+	}
 	client := llm.NewOracle(llm.Knowledge{
 		FaultID: faultID, Golden: golden, Class: class,
 		Complexity: m.Complexity, IsFSM: m.IsFSM,
@@ -124,11 +129,15 @@ func main() {
 		Opts: core.Options{
 			Seed: *seed, Mode: genMode, Backend: simBackend,
 			Cache: sim.SharedCache(), Memo: uvm.SharedTraceMemo(),
+			Cover: coverOpts,
 		},
 	})
 
 	fmt.Printf("result: success=%v stage=%s iterations=%d pass_rate=%.2f%% coverage=%.1f%%\n",
 		res.Success, res.FixedStage, res.Iterations, res.PassRate*100, res.Coverage)
+	if *cov {
+		fmt.Printf("structural coverage: %.1f%% (best across UVM runs)\n", res.StructCoverage)
+	}
 	fmt.Printf("modeled time: pre=%.2fs ms=%.2fs sl=%.2fs total=%.2fs; LLM calls=%d (%d in / %d out tokens)\n",
 		res.Times.Pre, res.Times.MS, res.Times.SL, res.Times.Total(),
 		res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens)

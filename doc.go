@@ -13,10 +13,12 @@
 // standard library only: a Verilog frontend (internal/verilog), a
 // Verilator-style linter (internal/lint), a two-backend RTL simulator —
 // a compiled, levelized engine differentially tested against an
-// event-driven reference (internal/sim) — the UVM components
-// (internal/uvm), golden reference models (internal/refmodel), the
-// paradigm error generator and the 331-instance benchmark
-// (internal/faultgen), the pipeline itself (internal/preproc,
+// event-driven reference, with structural coverage instrumentation
+// (internal/sim, internal/cover) — the UVM components including
+// coverage-directed stimulus (internal/uvm), golden reference models
+// (internal/refmodel), the paradigm error generator and the
+// 331-instance benchmark (internal/faultgen), a random-RTL differential
+// fuzzer (internal/rtlgen), the pipeline itself (internal/preproc,
 // internal/locate, internal/repair, internal/core), the comparison
 // baselines (internal/baseline) and the experiment harness that
 // regenerates every figure and table of the evaluation (internal/exp).

@@ -42,6 +42,10 @@ type Options struct {
 	DisableRollback bool        // ablation: accept every candidate
 	Backend         sim.Backend // simulation engine (zero value: compiled)
 	Cost            metrics.CostModel
+	// Cover enables structural coverage collection (statements, branches,
+	// toggles, FSM occupancy) during every UVM evaluation of the job. The
+	// zero value keeps it off; it costs nothing then.
+	Cover sim.CoverOptions
 
 	// Cache is the compile cache every simulation of the job goes
 	// through: the candidate of each repair iteration (and the final
@@ -108,8 +112,11 @@ type Result struct {
 	Iterations int
 	Times      StageTimes
 	Usage      llm.Usage
-	Coverage   float64
-	Log        []string
+	Coverage   float64 // best port-level (bin/toggle) coverage percent
+	// StructCoverage is the best structural coverage percent observed
+	// across evaluations; collected only when Options.Cover is set.
+	StructCoverage float64
+	Log            []string
 }
 
 type evalResult struct {
@@ -117,6 +124,7 @@ type evalResult struct {
 	log   string
 	wave  *sim.Waveform
 	cov   float64
+	scov  float64 // structural coverage percent (0 when not collected)
 	err   error
 }
 
@@ -155,6 +163,9 @@ func Verify(in Input) Result {
 		res.Times.MS += opts.Cost.Sim(opts.UVMVectors) // testing time accrues to the repair loop
 		if ev.cov > res.Coverage {
 			res.Coverage = ev.cov
+		}
+		if ev.scov > res.StructCoverage {
+			res.StructCoverage = ev.scov
 		}
 		if ev.err != nil {
 			res.Log = append(res.Log, fmt.Sprintf("iter %d: simulation failed: %v", iter, ev.err))
@@ -290,19 +301,23 @@ func synthGate(src, top string) error {
 func evaluate(src string, in Input, opts Options) evalResult {
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: src, Top: in.Top, Clock: in.Clock, RefName: in.RefName, Seed: opts.Seed,
-		Backend: opts.Backend, Cache: opts.Cache, Memo: opts.Memo,
+		Backend: opts.Backend, Cache: opts.Cache, Memo: opts.Memo, Cover: opts.Cover,
 	})
 	if err != nil {
 		return evalResult{err: err, log: "UVM_FATAL @ 0: elaboration failed: " + err.Error()}
 	}
 	score := env.Run(randomSeq(env, opts.UVMVectors))
-	return evalResult{
+	ev := evalResult{
 		score: score,
 		log:   env.Log(),
 		wave:  env.Waveform(),
 		cov:   env.Cov.Percent(),
 		err:   env.Fatal(),
 	}
+	if m := env.StructCoverage(); m != nil {
+		ev.scov = m.Percent()
+	}
+	return ev
 }
 
 func randomSeq(env *uvm.Env, n int) *uvm.RandomSequence {

@@ -1,0 +1,244 @@
+// Package cover is the structural-coverage data model shared by both
+// simulator backends, the coverage-directed stimulus layer and the
+// evaluation harness. A Map is a registry of structural points —
+// statements, branch arms, per-bit signal toggles, inferred FSM states
+// and transitions — with a hit count per point. The point universe is
+// fixed at registration time (internal/sim enumerates it from the
+// elaborated design), so Percent has a meaningful denominator, Diff can
+// report genuinely new coverage, and Encode renders a deterministic byte
+// string that the cross-backend differential gates compare verbatim.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a structural coverage point.
+type Kind uint8
+
+// Point kinds. The order is part of the deterministic encoding.
+const (
+	// KindStmt is one executable statement of a process body.
+	KindStmt Kind = iota
+	// KindBranch is one arm of an if or case statement (including the
+	// implicit empty else and the case default).
+	KindBranch
+	// KindToggle0 is one signal bit observed at 0.
+	KindToggle0
+	// KindToggle1 is one signal bit observed at 1.
+	KindToggle1
+	// KindState is one occupied state of an inferred FSM register.
+	KindState
+	// KindTrans is one taken state transition of an inferred FSM register.
+	KindTrans
+)
+
+var kindNames = [...]string{"stmt", "branch", "tog0", "tog1", "state", "trans"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Point identifies one structural coverage point within a design. Name is
+// hierarchical and stable across elaborations of the same source (e.g.
+// "p3.s1.if" for a statement, "u1.state=2" for an FSM state).
+type Point struct {
+	Kind Kind
+	Name string
+}
+
+// String renders the point as kind:name.
+func (p Point) String() string { return p.Kind.String() + ":" + p.Name }
+
+// Map is a structural coverage map: a fixed point universe with a hit
+// count per point. The zero value is not usable; construct with New. A
+// Map is not safe for concurrent mutation.
+type Map struct {
+	counts map[Point]uint64
+}
+
+// New returns an empty map with an empty point universe.
+func New() *Map {
+	return &Map{counts: map[Point]uint64{}}
+}
+
+// Register adds a point to the universe with zero hits. Registering an
+// existing point is a no-op (its count is preserved).
+func (m *Map) Register(p Point) {
+	if _, ok := m.counts[p]; !ok {
+		m.counts[p] = 0
+	}
+}
+
+// Add registers the point if needed and increments its hit count by n.
+func (m *Map) Add(p Point, n uint64) {
+	m.counts[p] += n
+}
+
+// Count returns the hit count of a point (0 if unregistered).
+func (m *Map) Count(p Point) uint64 { return m.counts[p] }
+
+// Len returns the number of registered points.
+func (m *Map) Len() int { return len(m.counts) }
+
+// Hit returns the number of points with a non-zero count.
+func (m *Map) Hit() int {
+	n := 0
+	for _, c := range m.counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Percent returns hit points over registered points in [0,100]; an empty
+// universe scores 0.
+func (m *Map) Percent() float64 {
+	if len(m.counts) == 0 {
+		return 0
+	}
+	return 100 * float64(m.Hit()) / float64(len(m.counts))
+}
+
+// KindPercent returns the percent restricted to one kind, and whether the
+// universe has any points of that kind.
+func (m *Map) KindPercent(k Kind) (float64, bool) {
+	total, hit := 0, 0
+	for p, c := range m.counts {
+		if p.Kind != k {
+			continue
+		}
+		total++
+		if c > 0 {
+			hit++
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return 100 * float64(hit) / float64(total), true
+}
+
+// Merge folds other into m: the universes union, counts add. It returns m.
+func (m *Map) Merge(other *Map) *Map {
+	if other == nil {
+		return m
+	}
+	for p, c := range other.counts {
+		m.counts[p] += c
+	}
+	return m
+}
+
+// Gain returns how many points hit in other are not yet hit in m — the
+// new-coverage signal the directed stimulus scheduler ranks candidates
+// by. Points absent from m's universe count as new.
+func (m *Map) Gain(other *Map) int {
+	if other == nil {
+		return 0
+	}
+	n := 0
+	for p, c := range other.counts {
+		if c > 0 && m.counts[p] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff returns the points hit in other but not in m, sorted.
+func (m *Map) Diff(other *Map) []Point {
+	var out []Point
+	if other == nil {
+		return out
+	}
+	for p, c := range other.counts {
+		if c > 0 && m.counts[p] == 0 {
+			out = append(out, p)
+		}
+	}
+	sortPoints(out)
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Map) Clone() *Map {
+	out := New()
+	for p, c := range m.counts {
+		out.counts[p] = c
+	}
+	return out
+}
+
+// Points returns the full universe, sorted.
+func (m *Map) Points() []Point {
+	out := make([]Point, 0, len(m.counts))
+	for p := range m.counts {
+		out = append(out, p)
+	}
+	sortPoints(out)
+	return out
+}
+
+func sortPoints(ps []Point) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Kind != ps[j].Kind {
+			return ps[i].Kind < ps[j].Kind
+		}
+		return ps[i].Name < ps[j].Name
+	})
+}
+
+// Encode renders the map as a deterministic byte string — one
+// "kind:name=count" line per point in sorted order — suitable for
+// byte-identity assertions across simulator backends.
+func (m *Map) Encode() []byte {
+	var b strings.Builder
+	for _, p := range m.Points() {
+		fmt.Fprintf(&b, "%s=%d\n", p, m.counts[p])
+	}
+	return []byte(b.String())
+}
+
+// Report renders a human-readable summary: overall percent, a per-kind
+// breakdown and the sorted list of missed points (capped at maxMiss; 0
+// means no miss list).
+func (m *Map) Report(maxMiss int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "structural coverage: %.1f%% (%d/%d points)\n", m.Percent(), m.Hit(), m.Len())
+	var total, hit [KindTrans + 1]int
+	for p, c := range m.counts {
+		total[p.Kind]++
+		if c > 0 {
+			hit[p.Kind]++
+		}
+	}
+	for k := KindStmt; k <= KindTrans; k++ {
+		if total[k] > 0 {
+			fmt.Fprintf(&b, "  %-6s %6.1f%% (%d/%d)\n", k, 100*float64(hit[k])/float64(total[k]), hit[k], total[k])
+		}
+	}
+	if maxMiss > 0 {
+		missed := 0
+		for _, p := range m.Points() {
+			if m.counts[p] > 0 {
+				continue
+			}
+			if missed < maxMiss {
+				fmt.Fprintf(&b, "  MISS %s\n", p)
+			}
+			missed++
+		}
+		if missed > maxMiss {
+			fmt.Fprintf(&b, "  ... %d more missed points\n", missed-maxMiss)
+		}
+	}
+	return b.String()
+}

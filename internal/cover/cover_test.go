@@ -1,0 +1,146 @@
+package cover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPercentAndHit(t *testing.T) {
+	m := New()
+	if got := m.Percent(); got != 0 {
+		t.Fatalf("empty map Percent = %v, want 0", got)
+	}
+	a := Point{KindStmt, "p0.s0"}
+	b := Point{KindBranch, "p0.s1.then"}
+	c := Point{KindToggle1, "x[0]"}
+	m.Register(a)
+	m.Register(b)
+	m.Register(c)
+	if got := m.Percent(); got != 0 {
+		t.Fatalf("unhit Percent = %v, want 0", got)
+	}
+	m.Add(a, 2)
+	m.Add(c, 1)
+	if m.Hit() != 2 || m.Len() != 3 {
+		t.Fatalf("Hit/Len = %d/%d, want 2/3", m.Hit(), m.Len())
+	}
+	if got := m.Percent(); got < 66.6 || got > 66.7 {
+		t.Fatalf("Percent = %v, want ~66.67", got)
+	}
+	if pct, ok := m.KindPercent(KindStmt); !ok || pct != 100 {
+		t.Fatalf("KindPercent(stmt) = %v,%v want 100,true", pct, ok)
+	}
+	if _, ok := m.KindPercent(KindState); ok {
+		t.Fatal("KindPercent(state) reported a universe with no state points")
+	}
+}
+
+func TestRegisterPreservesCount(t *testing.T) {
+	m := New()
+	p := Point{KindStmt, "p"}
+	m.Add(p, 3)
+	m.Register(p)
+	if m.Count(p) != 3 {
+		t.Fatalf("Register reset count to %d", m.Count(p))
+	}
+}
+
+func TestMergeGainDiff(t *testing.T) {
+	base := New()
+	base.Register(Point{KindStmt, "a"})
+	base.Add(Point{KindStmt, "b"}, 1)
+
+	run := New()
+	run.Add(Point{KindStmt, "a"}, 2)   // newly hit
+	run.Add(Point{KindStmt, "b"}, 5)   // already hit in base
+	run.Register(Point{KindStmt, "c"}) // registered but unhit
+	run.Add(Point{KindBranch, "d"}, 1) // new point entirely
+
+	if g := base.Gain(run); g != 2 {
+		t.Fatalf("Gain = %d, want 2 (a and d)", g)
+	}
+	diff := base.Diff(run)
+	if len(diff) != 2 || diff[0].Name != "a" || diff[1].Name != "d" {
+		t.Fatalf("Diff = %v", diff)
+	}
+
+	base.Merge(run)
+	if base.Count(Point{KindStmt, "a"}) != 2 || base.Count(Point{KindStmt, "b"}) != 6 {
+		t.Fatalf("Merge counts wrong: a=%d b=%d", base.Count(Point{KindStmt, "a"}), base.Count(Point{KindStmt, "b"}))
+	}
+	if base.Len() != 4 {
+		t.Fatalf("merged Len = %d, want 4", base.Len())
+	}
+	if g := base.Gain(run); g != 0 {
+		t.Fatalf("Gain after merge = %d, want 0", g)
+	}
+	if base.Gain(nil) != 0 || len(base.Diff(nil)) != 0 {
+		t.Fatal("nil other must be a no-op")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	build := func(order []Point) *Map {
+		m := New()
+		for i, p := range order {
+			m.Add(p, uint64(i+1))
+		}
+		return m
+	}
+	pts := []Point{
+		{KindTrans, "fsm:1->2"},
+		{KindStmt, "p0.s0"},
+		{KindToggle0, "x[3]"},
+		{KindBranch, "p0.s1.else"},
+	}
+	rev := []Point{pts[3], pts[2], pts[1], pts[0]}
+	m1 := build(pts)
+	m2 := New()
+	for i := range rev {
+		// Same counts as m1, inserted in reverse order.
+		m2.Add(rev[i], uint64(len(pts)-i))
+	}
+	// m1 counts: trans=1 stmt=2 tog0=3 branch=4; m2: branch=4 tog0=3 stmt=2 trans=1.
+	if !bytes.Equal(m1.Encode(), m2.Encode()) {
+		t.Fatalf("Encode not insertion-order independent:\n%s\nvs\n%s", m1.Encode(), m2.Encode())
+	}
+	enc := string(m1.Encode())
+	if !strings.Contains(enc, "stmt:p0.s0=2") || !strings.Contains(enc, "trans:fsm:1->2=1") {
+		t.Fatalf("Encode content wrong:\n%s", enc)
+	}
+	// Kind order: stmt before branch before tog0 before trans.
+	if strings.Index(enc, "stmt:") > strings.Index(enc, "branch:") {
+		t.Fatalf("kind order wrong:\n%s", enc)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Add(Point{KindStmt, "a"}, 1)
+	c := m.Clone()
+	c.Add(Point{KindStmt, "a"}, 1)
+	if m.Count(Point{KindStmt, "a"}) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReport(t *testing.T) {
+	m := New()
+	m.Add(Point{KindStmt, "a"}, 1)
+	m.Register(Point{KindStmt, "b"})
+	m.Register(Point{KindBranch, "c"})
+	r := m.Report(10)
+	if !strings.Contains(r, "33.3%") {
+		t.Fatalf("Report percent wrong:\n%s", r)
+	}
+	if !strings.Contains(r, "MISS stmt:b") || !strings.Contains(r, "MISS branch:c") {
+		t.Fatalf("Report misses wrong:\n%s", r)
+	}
+	if strings.Contains(m.Report(0), "MISS") {
+		t.Fatal("Report(0) must omit the miss list")
+	}
+	if !strings.Contains(m.Report(1), "more missed points") {
+		t.Fatal("Report cap note missing")
+	}
+}

@@ -23,6 +23,7 @@ const (
 	SevWarning
 )
 
+// String implements fmt.Stringer.
 func (s Severity) String() string {
 	if s == SevError {
 		return "Error"
@@ -62,6 +63,7 @@ type Diag struct {
 	Msg      string
 }
 
+// String renders the diagnostic in Verilator's %Severity-Code format.
 func (d Diag) String() string {
 	return fmt.Sprintf("%%%s-%s: %d:%d: %s", d.Severity, d.Code, d.Line, d.Col, d.Msg)
 }

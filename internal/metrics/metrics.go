@@ -6,6 +6,8 @@
 // rather than absolute seconds.
 package metrics
 
+import "sort"
+
 // CostModel converts counted work into modeled seconds.
 type CostModel struct {
 	LintSeconds         float64 // one linter pass
@@ -99,4 +101,22 @@ func Mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty; the mean of the two
+// middle elements for even lengths). The input slice is not modified.
+// The coverage studies compare stimulus generators by median rather
+// than mean so one saturated or degenerate design cannot carry the
+// verdict.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }

@@ -107,3 +107,23 @@ func TestMean(t *testing.T) {
 		t.Errorf("mean = %f", got)
 	}
 }
+
+func TestMedian(t *testing.T) {
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median(nil) = %v", got)
+	}
+	if got := Median([]float64{3}); got != 3 {
+		t.Fatalf("Median single = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatal("Median mutated its input")
+	}
+}

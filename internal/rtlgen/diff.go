@@ -62,6 +62,15 @@ func DiffBackends(src, top, clock string, cycles int, seed int64) (DiffReport, e
 	hC := sim.NewHarness(sC, clock)
 	covE := uvm.NewCoverage(sE.Design())
 	covC := uvm.NewCoverage(sC.Design())
+	// Structural coverage joins the observable set: the encoded maps must
+	// be byte-identical across backends, which additionally cross-checks
+	// the compiled condition probes against the interpreter's evaluator.
+	if err := hE.EnableCover(sim.CoverAll()); err != nil {
+		return rep, fmt.Errorf("cover (event): %v", err)
+	}
+	if err := hC.EnableCover(sim.CoverAll()); err != nil {
+		return rep, fmt.Errorf("cover (compiled): %v", err)
+	}
 
 	rstE := hE.ApplyReset(2)
 	rstC := hC.ApplyReset(2)
@@ -123,6 +132,10 @@ func DiffBackends(src, top, clock string, cycles int, seed int64) (DiffReport, e
 	}
 	if covE.Percent() != covC.Percent() || covE.Report() != covC.Report() {
 		return rep, fmt.Errorf("coverage diverged: event=%.4f compiled=%.4f", covE.Percent(), covC.Percent())
+	}
+	encE, encC := hE.Coverage().Encode(), hC.Coverage().Encode()
+	if !bytes.Equal(encE, encC) {
+		return rep, fmt.Errorf("structural coverage maps differ:\n--- event ---\n%s--- compiled ---\n%s", encE, encC)
 	}
 	for _, n := range sE.Design().SignalNames() {
 		if sE.Get(n) != sC.Get(n) {

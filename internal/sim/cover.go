@@ -1,0 +1,598 @@
+package sim
+
+// Structural coverage instrumentation, shared by both backends. The
+// coverage model is *cycle-sampled*: points are recorded against the
+// settled simulation state at two well-defined instants of the harness
+// cycle protocol — statements and branch arms against the pre-edge state
+// (inputs applied and combinational logic settled, the state every
+// posedge process observes), toggles and FSM occupancy against the
+// post-cycle state. Sampling against fixpoints rather than transient
+// executions is what makes coverage maps byte-identical across the
+// event-driven and compiled backends: the differential suite already
+// proves the fixpoints agree, and the rtlgen gates extend that proof to
+// the encoded coverage maps (which additionally cross-checks the
+// compiled condition probes against the interpreter's evaluator).
+//
+// The instrumentation is zero-overhead when off: the only cost on a
+// non-covering instance is one nil check per harness cycle, and nothing
+// is added to the signal-store or settle hot paths. The coverage plan —
+// point enumeration and compiled condition probes — is built lazily,
+// once per Program, and shared by every covering instance.
+
+import (
+	"fmt"
+	"sync"
+
+	"uvllm/internal/cover"
+	"uvllm/internal/verilog"
+)
+
+// CoverOptions selects the structural coverage models an Instance
+// collects. The zero value disables coverage entirely.
+type CoverOptions struct {
+	// Statements counts executable statements of always-block bodies
+	// reached by the settled pre-edge state.
+	Statements bool
+	// Branches counts if/case arms (including implicit empty elses and
+	// case defaults) selected by the settled pre-edge state.
+	Branches bool
+	// Toggles records every non-memory signal bit observed at 0 and at 1
+	// in the post-cycle state.
+	Toggles bool
+	// FSM records state and transition occupancy of inferred FSM
+	// registers (sequentially written signals dispatched on by a case
+	// statement with constant arms).
+	FSM bool
+
+	// ExcludeSignals names signals left out of the toggle and FSM
+	// universes. The harness adds its clock automatically: the clock is
+	// low at both sample instants, so its high phase is unobservable by
+	// construction.
+	ExcludeSignals []string
+}
+
+// CoverAll enables every coverage model.
+func CoverAll() CoverOptions {
+	return CoverOptions{Statements: true, Branches: true, Toggles: true, FSM: true}
+}
+
+// Any reports whether at least one coverage model is enabled.
+func (o CoverOptions) Any() bool {
+	return o.Statements || o.Branches || o.Toggles || o.FSM
+}
+
+// ---------------------------------------------------------------------------
+// Coverage plan: per-Program point enumeration and condition probes.
+
+// coverProbe evaluates one branch condition or case-arm expression at its
+// self-determined width against an instance's current state. ok is false
+// when the (interpreted) evaluation fails; compiled probes cannot fail.
+type coverProbe func(*Instance) (v uint64, ok bool)
+
+type coverNodeKind uint8
+
+const (
+	coverPlain coverNodeKind = iota
+	coverIf
+	coverCase
+	coverFor
+)
+
+// coverNode is one statement of the coverage plan. Points are
+// precomputed so sampling never formats names.
+type coverNode struct {
+	stmt cover.Point
+	kind coverNodeKind
+
+	// coverIf
+	cond    coverProbe
+	thenPt  cover.Point
+	elsePt  cover.Point
+	thenSub []*coverNode
+	elseSub []*coverNode
+
+	// coverCase
+	sel    coverProbe
+	arms   []coverArm
+	defPt  cover.Point
+	defSub []*coverNode
+
+	// coverFor
+	body []*coverNode
+}
+
+// coverArm is one explicit (non-default) case item.
+type coverArm struct {
+	vals []coverProbe
+	pt   cover.Point
+	sub  []*coverNode
+}
+
+type coverProcPlan struct {
+	nodes []*coverNode
+}
+
+type coverTogglePlan struct {
+	sig   int
+	name  string
+	width int
+	pts0  []cover.Point
+	pts1  []cover.Point
+}
+
+type coverFSMPlan struct {
+	sig      int
+	name     string
+	statePts map[uint64]cover.Point
+	transPts map[[2]uint64]cover.Point
+}
+
+// coverPlan is the immutable, per-Program coverage structure.
+type coverPlan struct {
+	procs   []coverProcPlan
+	toggles []coverTogglePlan
+	fsms    []coverFSMPlan
+}
+
+// coverPlan returns the program's coverage plan, building it on first
+// use. The plan is immutable and shared by all instances.
+func (p *Program) coverPlan() *coverPlan {
+	p.coverOnce.Do(func() {
+		p.coverP = buildCoverPlan(p)
+	})
+	return p.coverP
+}
+
+// maxFSMStates bounds the inferred-FSM state universe so the transition
+// cross product (states²) stays small.
+const maxFSMStates = 16
+
+func buildCoverPlan(p *Program) *coverPlan {
+	d := p.d
+	// The scratch compiler serves two roles: constant evaluation of case
+	// arms for FSM inference (both backends), and — on the compiled
+	// backend only — lowering condition probes to closures, which the
+	// cross-backend coverage gate then checks against the interpreter.
+	comp := &compiler{s: &Instance{d: d, vals: make([]uint64, len(d.sigs))}}
+	compiled := p.backend == BackendCompiled
+
+	plan := &coverPlan{}
+
+	// Statement/branch plan: always-block bodies only. Continuous
+	// assignments and port connections are structureless (one expression,
+	// no arms) and initial blocks run once at reset; neither discriminates
+	// stimulus quality, which is what the model is for.
+	for _, pr := range d.procs {
+		if pr.body == nil || pr.kind == procInit {
+			continue
+		}
+		b := &coverNodeBuilder{comp: comp, compiled: compiled, prefix: fmt.Sprintf("p%d", pr.idx)}
+		nodes := b.build(pr, pr.body)
+		if len(nodes) > 0 {
+			plan.procs = append(plan.procs, coverProcPlan{nodes: nodes})
+		}
+	}
+
+	// Toggle plan: every scalar (non-memory) signal bit, both directions.
+	for i, si := range d.sigs {
+		if si.isMem || si.width <= 0 {
+			continue
+		}
+		tg := coverTogglePlan{sig: i, name: si.name, width: si.width}
+		for b := 0; b < si.width; b++ {
+			bit := fmt.Sprintf("%s[%d]", si.name, b)
+			tg.pts0 = append(tg.pts0, cover.Point{Kind: cover.KindToggle0, Name: bit})
+			tg.pts1 = append(tg.pts1, cover.Point{Kind: cover.KindToggle1, Name: bit})
+		}
+		plan.toggles = append(plan.toggles, tg)
+	}
+
+	// FSM plan: a sequentially written register that some case statement
+	// dispatches on with all-constant arms is inferred to be a state
+	// register; its declared states are the arm constants.
+	plan.fsms = inferFSMs(d, comp)
+	return plan
+}
+
+// coverNodeBuilder numbers statements within one process.
+type coverNodeBuilder struct {
+	comp     *compiler
+	compiled bool
+	prefix   string
+	n        int
+}
+
+func (b *coverNodeBuilder) probe(e verilog.Expr, sc *scope) coverProbe {
+	if b.compiled {
+		if fn, err := b.comp.compileSelf(e, sc); err == nil {
+			return func(s *Instance) (uint64, bool) { return fn(s), true }
+		}
+	}
+	return func(s *Instance) (uint64, bool) {
+		v, err := s.evalSelf(e, sc)
+		return v, err == nil
+	}
+}
+
+// build lowers one statement tree into coverage nodes.
+func (b *coverNodeBuilder) build(pr *process, st verilog.Stmt) []*coverNode {
+	switch v := st.(type) {
+	case nil, *verilog.NullStmt:
+		return nil
+	case *verilog.Block:
+		var out []*coverNode
+		for _, sub := range v.Stmts {
+			out = append(out, b.build(pr, sub)...)
+		}
+		return out
+	case *verilog.If:
+		b.n++
+		id := fmt.Sprintf("%s.s%d", b.prefix, b.n)
+		n := &coverNode{
+			stmt:    cover.Point{Kind: cover.KindStmt, Name: id},
+			kind:    coverIf,
+			cond:    b.probe(v.Cond, pr.sc),
+			thenPt:  cover.Point{Kind: cover.KindBranch, Name: id + ".then"},
+			elsePt:  cover.Point{Kind: cover.KindBranch, Name: id + ".else"},
+			thenSub: b.build(pr, v.Then),
+		}
+		if v.Else != nil {
+			n.elseSub = b.build(pr, v.Else)
+		}
+		return []*coverNode{n}
+	case *verilog.Case:
+		b.n++
+		id := fmt.Sprintf("%s.s%d", b.prefix, b.n)
+		n := &coverNode{
+			stmt:  cover.Point{Kind: cover.KindStmt, Name: id},
+			kind:  coverCase,
+			sel:   b.probe(v.Expr, pr.sc),
+			defPt: cover.Point{Kind: cover.KindBranch, Name: id + ".default"},
+		}
+		armIdx := 0
+		for i := range v.Items {
+			it := &v.Items[i]
+			if it.Exprs == nil {
+				n.defSub = b.build(pr, it.Body)
+				continue
+			}
+			arm := coverArm{
+				pt:  cover.Point{Kind: cover.KindBranch, Name: fmt.Sprintf("%s.a%d", id, armIdx)},
+				sub: b.build(pr, it.Body),
+			}
+			for _, ex := range it.Exprs {
+				arm.vals = append(arm.vals, b.probe(ex, pr.sc))
+			}
+			n.arms = append(n.arms, arm)
+			armIdx++
+		}
+		return []*coverNode{n}
+	case *verilog.For:
+		b.n++
+		id := fmt.Sprintf("%s.s%d", b.prefix, b.n)
+		// The body is marked reachable when the loop statement is; the
+		// sampler does not re-execute loop iterations (it must not mutate
+		// state), so per-iteration branch decisions inside loops are
+		// approximated by the settled post-loop state.
+		return []*coverNode{{
+			stmt: cover.Point{Kind: cover.KindStmt, Name: id},
+			kind: coverFor,
+			body: b.build(pr, v.Body),
+		}}
+	default:
+		b.n++
+		return []*coverNode{{
+			stmt: cover.Point{Kind: cover.KindStmt, Name: fmt.Sprintf("%s.s%d", b.prefix, b.n)},
+			kind: coverPlain,
+		}}
+	}
+}
+
+// inferFSMs finds state registers: signals written by a sequential
+// process and dispatched on by a bare-identifier case statement whose
+// arms are all constant. The declared state set is the union of arm
+// constants over every such case (capped at maxFSMStates); the
+// transition universe is the full states×states cross product.
+func inferFSMs(d *Design, comp *compiler) []coverFSMPlan {
+	seqWritten := map[int]bool{}
+	for _, pr := range d.procs {
+		if pr.kind == procSeq {
+			for _, sig := range writeSet(pr) {
+				seqWritten[sig] = true
+			}
+		}
+	}
+	states := map[int]map[uint64]bool{} // sig -> declared states
+	ok := map[int]bool{}
+	for _, pr := range d.procs {
+		if pr.body == nil {
+			continue
+		}
+		sc := pr.sc
+		verilog.WalkStmt(pr.body, func(st verilog.Stmt) bool {
+			cs, isCase := st.(*verilog.Case)
+			if !isCase {
+				return true
+			}
+			id, isIdent := cs.Expr.(*verilog.Ident)
+			if !isIdent {
+				return true
+			}
+			idx, declared := sc.names[id.Name]
+			if !declared || !seqWritten[idx] || d.sigs[idx].isMem {
+				return true
+			}
+			vals := map[uint64]bool{}
+			for i := range cs.Items {
+				for _, ex := range cs.Items[i].Exprs {
+					v, isConst := comp.staticEval(ex, sc)
+					if !isConst {
+						return true // one dynamic arm disqualifies this case
+					}
+					vals[v] = true
+				}
+			}
+			if len(vals) < 2 {
+				return true
+			}
+			if states[idx] == nil {
+				states[idx] = map[uint64]bool{}
+			}
+			for v := range vals {
+				states[idx][v] = true
+			}
+			ok[idx] = true
+			return true
+		})
+	}
+	var plans []coverFSMPlan
+	// Deterministic order: signal index order.
+	for idx := 0; idx < len(d.sigs); idx++ {
+		if !ok[idx] || len(states[idx]) > maxFSMStates {
+			continue
+		}
+		name := d.sigs[idx].name
+		f := coverFSMPlan{
+			sig:      idx,
+			name:     name,
+			statePts: map[uint64]cover.Point{},
+			transPts: map[[2]uint64]cover.Point{},
+		}
+		for v := range states[idx] {
+			f.statePts[v] = cover.Point{Kind: cover.KindState, Name: fmt.Sprintf("%s=%d", name, v)}
+		}
+		for a := range states[idx] {
+			for b := range states[idx] {
+				f.transPts[[2]uint64{a, b}] = cover.Point{Kind: cover.KindTrans, Name: fmt.Sprintf("%s:%d->%d", name, a, b)}
+			}
+		}
+		plans = append(plans, f)
+	}
+	return plans
+}
+
+// ---------------------------------------------------------------------------
+// Per-instance coverage state and sampling.
+
+// instCover is the mutable coverage state of one covering instance.
+type instCover struct {
+	opts    CoverOptions
+	plan    *coverPlan
+	m       *cover.Map
+	toggles []coverTogglePlan // plan entries minus exclusions
+	fsms    []coverFSMPlan
+	fsmPrev []uint64
+	fsmSeen []bool
+}
+
+// EnableCover switches structural coverage collection on (or off, with a
+// zero CoverOptions), replacing any coverage collected so far. The full
+// point universe of the enabled models is registered immediately, so
+// Coverage().Percent() has its denominator before the first sample.
+// Coverage state is not part of Snapshot/Restore: it is observational,
+// and rewinding an instance does not un-observe its history.
+func (s *Instance) EnableCover(opts CoverOptions) error {
+	if !opts.Any() {
+		s.cov = nil
+		return nil
+	}
+	if s.program == nil {
+		return fmt.Errorf("sim: cover: instance has no program")
+	}
+	plan := s.program.coverPlan()
+	excluded := map[string]bool{}
+	for _, n := range opts.ExcludeSignals {
+		excluded[n] = true
+	}
+	ic := &instCover{opts: opts, plan: plan, m: cover.New()}
+	if opts.Statements || opts.Branches {
+		for _, pp := range plan.procs {
+			registerNodes(ic.m, opts, pp.nodes)
+		}
+	}
+	if opts.Toggles {
+		for _, tg := range plan.toggles {
+			if excluded[tg.name] {
+				continue
+			}
+			ic.toggles = append(ic.toggles, tg)
+			for b := 0; b < tg.width; b++ {
+				ic.m.Register(tg.pts0[b])
+				ic.m.Register(tg.pts1[b])
+			}
+		}
+	}
+	if opts.FSM {
+		for _, f := range plan.fsms {
+			if excluded[f.name] {
+				continue
+			}
+			ic.fsms = append(ic.fsms, f)
+			for _, pt := range f.statePts {
+				ic.m.Register(pt)
+			}
+			for _, pt := range f.transPts {
+				ic.m.Register(pt)
+			}
+		}
+		ic.fsmPrev = make([]uint64, len(ic.fsms))
+		ic.fsmSeen = make([]bool, len(ic.fsms))
+	}
+	s.cov = ic
+	return nil
+}
+
+func registerNodes(m *cover.Map, opts CoverOptions, nodes []*coverNode) {
+	for _, n := range nodes {
+		if opts.Statements {
+			m.Register(n.stmt)
+		}
+		switch n.kind {
+		case coverIf:
+			if opts.Branches {
+				m.Register(n.thenPt)
+				m.Register(n.elsePt)
+			}
+			registerNodes(m, opts, n.thenSub)
+			registerNodes(m, opts, n.elseSub)
+		case coverCase:
+			if opts.Branches {
+				for i := range n.arms {
+					m.Register(n.arms[i].pt)
+				}
+				m.Register(n.defPt)
+			}
+			for i := range n.arms {
+				registerNodes(m, opts, n.arms[i].sub)
+			}
+			registerNodes(m, opts, n.defSub)
+		case coverFor:
+			registerNodes(m, opts, n.body)
+		}
+	}
+}
+
+// CoverEnabled reports whether the instance is collecting coverage.
+func (s *Instance) CoverEnabled() bool { return s.cov != nil }
+
+// Coverage returns the accumulated structural coverage map, or nil when
+// coverage is not enabled. The returned map is live: it keeps
+// accumulating as the instance simulates. Clone it to get a stable copy.
+func (s *Instance) Coverage() *cover.Map {
+	if s.cov == nil {
+		return nil
+	}
+	return s.cov.m
+}
+
+// coverSampleExec records statement and branch coverage against the
+// current (settled) state. The harness calls it at the pre-edge instant.
+func (s *Instance) coverSampleExec() {
+	ic := s.cov
+	if ic == nil || (!ic.opts.Statements && !ic.opts.Branches) {
+		return
+	}
+	for _, pp := range ic.plan.procs {
+		ic.walk(s, pp.nodes)
+	}
+}
+
+func (ic *instCover) walk(s *Instance, nodes []*coverNode) {
+	for _, n := range nodes {
+		if ic.opts.Statements {
+			ic.m.Add(n.stmt, 1)
+		}
+		switch n.kind {
+		case coverIf:
+			v, ok := n.cond(s)
+			if !ok {
+				continue
+			}
+			if v != 0 {
+				if ic.opts.Branches {
+					ic.m.Add(n.thenPt, 1)
+				}
+				ic.walk(s, n.thenSub)
+			} else {
+				if ic.opts.Branches {
+					ic.m.Add(n.elsePt, 1)
+				}
+				ic.walk(s, n.elseSub)
+			}
+		case coverCase:
+			sel, ok := n.sel(s)
+			if !ok {
+				continue
+			}
+			matched := false
+			for i := range n.arms {
+				for _, vp := range n.arms[i].vals {
+					v, vok := vp(s)
+					if vok && v == sel {
+						matched = true
+						break
+					}
+				}
+				if matched {
+					if ic.opts.Branches {
+						ic.m.Add(n.arms[i].pt, 1)
+					}
+					ic.walk(s, n.arms[i].sub)
+					break
+				}
+			}
+			if !matched {
+				if ic.opts.Branches {
+					ic.m.Add(n.defPt, 1)
+				}
+				ic.walk(s, n.defSub)
+			}
+		case coverFor:
+			ic.walk(s, n.body)
+		}
+	}
+}
+
+// coverSampleState records toggle and FSM coverage against the current
+// (settled) state. The harness calls it at the post-cycle instant.
+func (s *Instance) coverSampleState() {
+	ic := s.cov
+	if ic == nil {
+		return
+	}
+	if ic.opts.Toggles {
+		for _, tg := range ic.toggles {
+			v := s.vals[tg.sig]
+			for b := 0; b < tg.width; b++ {
+				if v&(1<<uint(b)) != 0 {
+					ic.m.Add(tg.pts1[b], 1)
+				} else {
+					ic.m.Add(tg.pts0[b], 1)
+				}
+			}
+		}
+	}
+	if ic.opts.FSM {
+		for i := range ic.fsms {
+			f := &ic.fsms[i]
+			cur := s.vals[f.sig]
+			if pt, ok := f.statePts[cur]; ok {
+				ic.m.Add(pt, 1)
+			}
+			if ic.fsmSeen[i] {
+				if pt, ok := f.transPts[[2]uint64{ic.fsmPrev[i], cur}]; ok {
+					ic.m.Add(pt, 1)
+				}
+			}
+			ic.fsmPrev[i] = cur
+			ic.fsmSeen[i] = true
+		}
+	}
+}
+
+// coverOnceState is embedded in Program (declared here to keep all
+// coverage structure in one file).
+type coverOnceState struct {
+	coverOnce sync.Once
+	coverP    *coverPlan
+}

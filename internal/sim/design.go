@@ -133,6 +133,59 @@ func (d *Design) Inputs() []PortInfo { return d.inputs }
 // Outputs returns the top-level output ports in declaration order.
 func (d *Design) Outputs() []PortInfo { return d.outputs }
 
+// Constants returns the distinct literal values appearing in the
+// design's process bodies, sorted ascending. The coverage-directed
+// stimulus layer uses them as a value dictionary: inputs drawn from the
+// constants a design compares against reach equality branches and case
+// arms that uniform random vectors almost never hit.
+func (d *Design) Constants() []uint64 {
+	seen := map[uint64]bool{}
+	collect := func(e verilog.Expr) {
+		verilog.WalkExpr(e, func(x verilog.Expr) bool {
+			if n, ok := x.(*verilog.Number); ok {
+				seen[n.Value] = true
+			}
+			return true
+		})
+	}
+	for _, p := range d.procs {
+		if p.connRHS != nil {
+			collect(p.connRHS)
+			continue
+		}
+		verilog.WalkStmt(p.body, func(st verilog.Stmt) bool {
+			switch v := st.(type) {
+			case *verilog.Assign:
+				collect(v.RHS)
+			case *verilog.If:
+				collect(v.Cond)
+			case *verilog.Case:
+				collect(v.Expr)
+				for i := range v.Items {
+					for _, ex := range v.Items[i].Exprs {
+						collect(ex)
+					}
+				}
+			case *verilog.For:
+				if v.Init != nil {
+					collect(v.Init.RHS)
+				}
+				collect(v.Cond)
+				if v.Step != nil {
+					collect(v.Step.RHS)
+				}
+			}
+			return true
+		})
+	}
+	out := make([]uint64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SignalNames returns all hierarchical signal names, sorted.
 func (d *Design) SignalNames() []string {
 	names := make([]string, 0, len(d.sigs))

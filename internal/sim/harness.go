@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"uvllm/internal/cover"
 )
 
 // Waveform records cycle-sampled values of named signals, the simulator's
@@ -176,6 +178,12 @@ func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
 	if err := h.Sim.Settle(); err != nil {
 		return nil, err
 	}
+	if h.Sim.cov != nil {
+		// Pre-edge instant: inputs applied, combinational logic settled —
+		// the state every posedge process observes. Statement and branch
+		// coverage samples here.
+		h.Sim.coverSampleExec()
+	}
 	if h.Clock != "" {
 		if err := h.Sim.Set(h.Clock, 1); err != nil {
 			return nil, err
@@ -189,6 +197,11 @@ func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
 		if err := h.Sim.Settle(); err != nil {
 			return nil, err
 		}
+	}
+	if h.Sim.cov != nil {
+		// Post-cycle instant: NBAs committed, everything settled. Toggle
+		// and FSM occupancy coverage samples here.
+		h.Sim.coverSampleState()
 	}
 	outs := make(map[string]uint64, len(h.outPorts))
 	for _, p := range h.outPorts {
@@ -208,6 +221,22 @@ func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
 
 // CycleCount returns the number of cycles driven so far.
 func (h *Harness) CycleCount() int { return h.cycle }
+
+// EnableCover switches structural coverage collection on for the
+// harnessed instance, automatically excluding the harness clock from the
+// toggle universe (the clock is low at both sample instants, so its high
+// phase is unobservable by construction). A zero CoverOptions disables
+// collection.
+func (h *Harness) EnableCover(opts CoverOptions) error {
+	if opts.Any() && h.Clock != "" {
+		opts.ExcludeSignals = append(append([]string(nil), opts.ExcludeSignals...), h.Clock)
+	}
+	return h.Sim.EnableCover(opts)
+}
+
+// Coverage returns the accumulated structural coverage map, or nil when
+// coverage is not enabled.
+func (h *Harness) Coverage() *cover.Map { return h.Sim.Coverage() }
 
 // Outputs samples the current top-level outputs without advancing time.
 func (h *Harness) Outputs() map[string]uint64 {

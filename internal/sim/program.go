@@ -19,6 +19,8 @@ type Program struct {
 	backend   Backend
 	code      *program // compiled closures; nil on the event-driven backend
 	levelized bool
+
+	coverOnceState // lazily built structural-coverage plan (cover.go)
 }
 
 // Compile elaborates top in f and, on the compiled backend, lowers the

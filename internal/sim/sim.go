@@ -35,6 +35,8 @@ type Instance struct {
 	// DeltaLimit bounds combinational settle iterations per Settle call;
 	// exceeding it reports an oscillation error. Defaults to 10000.
 	DeltaLimit int
+
+	cov *instCover // structural coverage state; nil when not collecting
 }
 
 // Simulator is the historical name of Instance. It remains the type every

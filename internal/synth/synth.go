@@ -71,6 +71,7 @@ var opNames = map[OpKind]string{
 	OpShl: "shl", OpShr: "shr", OpMux: "mux", OpConcat: "concat", OpSlice: "slice",
 }
 
+// String implements fmt.Stringer.
 func (k OpKind) String() string { return opNames[k] }
 
 // Node is one cell of the netlist.

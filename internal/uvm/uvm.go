@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"uvllm/internal/assert"
+	"uvllm/internal/cover"
 	"uvllm/internal/refmodel"
 	"uvllm/internal/sim"
 )
@@ -181,6 +182,11 @@ type Config struct {
 	MaxErrors int // mismatch record cap (default 64)
 	// Backend selects the simulation engine (zero value: compiled).
 	Backend sim.Backend
+	// Cover enables structural coverage collection on the DUT instance
+	// (statements, branches, toggles, FSM occupancy — see
+	// sim.CoverOptions). The zero value keeps coverage off, which costs
+	// nothing on the simulation hot path.
+	Cover sim.CoverOptions
 	// Assertions are checked against the DUT's port values each cycle.
 	Assertions []assert.Assertion
 
@@ -232,6 +238,11 @@ func NewEnv(cfg Config) (*Env, error) {
 		memo:     cfg.Memo,
 	}
 	env.Cov = NewCoverage(s.Design())
+	if cfg.Cover.Any() {
+		if err := env.DUT.EnableCover(cfg.Cover); err != nil {
+			return nil, err
+		}
+	}
 	if len(cfg.Assertions) > 0 {
 		env.Asserts = assert.NewChecker(cfg.Assertions)
 	}
@@ -306,6 +317,10 @@ func (e *Env) Run(seq Sequence) float64 {
 	}
 	e.logf("UVM_INFO @ %d: uvm_test_top.env.scoreboard [SCBD] pass_rate=%.2f%% (%d/%d) coverage=%.1f%%",
 		e.DUT.CycleCount(), e.Score.PassRate()*100, e.Score.Passed, e.Score.Total, e.Cov.Percent())
+	if m := e.DUT.Coverage(); m != nil {
+		e.logf("UVM_INFO @ %d: uvm_test_top.env.cover [COV] structural=%.1f%% (%d/%d points)",
+			e.DUT.CycleCount(), m.Percent(), m.Hit(), m.Len())
+	}
 	return e.Score.PassRate()
 }
 
@@ -339,3 +354,7 @@ func (e *Env) Fatal() error { return e.fatal }
 
 // Waveform exposes the recorded DUT waveform for the localization engine.
 func (e *Env) Waveform() *sim.Waveform { return e.DUT.Wave }
+
+// StructCoverage returns the structural coverage map accumulated by the
+// run, or nil when Config.Cover left structural coverage off.
+func (e *Env) StructCoverage() *cover.Map { return e.DUT.Coverage() }

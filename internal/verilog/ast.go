@@ -31,6 +31,7 @@ const (
 	DirInout
 )
 
+// String implements fmt.Stringer.
 func (d PortDir) String() string {
 	switch d {
 	case DirInput:
@@ -115,6 +116,7 @@ const (
 	KindInteger
 )
 
+// String implements fmt.Stringer.
 func (k NetKind) String() string {
 	switch k {
 	case KindWire:
@@ -170,6 +172,7 @@ const (
 	EdgeNeg
 )
 
+// String implements fmt.Stringer.
 func (e EdgeKind) String() string {
 	switch e {
 	case EdgePos:
@@ -233,12 +236,23 @@ type Instance struct {
 	Line     int
 }
 
-func (d *NetDecl) ItemLine() int      { return d.Line }
-func (d *ParamDecl) ItemLine() int    { return d.Line }
-func (a *ContAssign) ItemLine() int   { return a.Line }
-func (a *AlwaysBlock) ItemLine() int  { return a.Line }
+// ItemLine implements Item.
+func (d *NetDecl) ItemLine() int { return d.Line }
+
+// ItemLine implements Item.
+func (d *ParamDecl) ItemLine() int { return d.Line }
+
+// ItemLine implements Item.
+func (a *ContAssign) ItemLine() int { return a.Line }
+
+// ItemLine implements Item.
+func (a *AlwaysBlock) ItemLine() int { return a.Line }
+
+// ItemLine implements Item.
 func (i *InitialBlock) ItemLine() int { return i.Line }
-func (i *Instance) ItemLine() int     { return i.Line }
+
+// ItemLine implements Item.
+func (i *Instance) ItemLine() int { return i.Line }
 
 func (d *NetDecl) itemNode()      {}
 func (d *ParamDecl) itemNode()    {}
@@ -304,11 +318,22 @@ type NullStmt struct {
 	Line int
 }
 
-func (b *Block) StmtLine() int    { return b.Line }
-func (a *Assign) StmtLine() int   { return a.Line }
-func (i *If) StmtLine() int       { return i.Line }
-func (c *Case) StmtLine() int     { return c.Line }
-func (f *For) StmtLine() int      { return f.Line }
+// StmtLine implements Stmt.
+func (b *Block) StmtLine() int { return b.Line }
+
+// StmtLine implements Stmt.
+func (a *Assign) StmtLine() int { return a.Line }
+
+// StmtLine implements Stmt.
+func (i *If) StmtLine() int { return i.Line }
+
+// StmtLine implements Stmt.
+func (c *Case) StmtLine() int { return c.Line }
+
+// StmtLine implements Stmt.
+func (f *For) StmtLine() int { return f.Line }
+
+// StmtLine implements Stmt.
 func (n *NullStmt) StmtLine() int { return n.Line }
 
 func (b *Block) stmtNode()    {}
@@ -386,15 +411,32 @@ type Repl struct {
 	Line  int
 }
 
-func (e *Ident) ExprLine() int      { return e.Line }
-func (e *Number) ExprLine() int     { return e.Line }
-func (e *Unary) ExprLine() int      { return e.Line }
-func (e *Binary) ExprLine() int     { return e.Line }
-func (e *Ternary) ExprLine() int    { return e.Line }
-func (e *Index) ExprLine() int      { return e.Line }
+// ExprLine implements Expr.
+func (e *Ident) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Number) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Unary) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Binary) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Ternary) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Index) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
 func (e *PartSelect) ExprLine() int { return e.Line }
-func (e *Concat) ExprLine() int     { return e.Line }
-func (e *Repl) ExprLine() int       { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Concat) ExprLine() int { return e.Line }
+
+// ExprLine implements Expr.
+func (e *Repl) ExprLine() int { return e.Line }
 
 func (e *Ident) exprNode()      {}
 func (e *Number) exprNode()     {}

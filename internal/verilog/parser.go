@@ -12,6 +12,7 @@ type SyntaxError struct {
 	Msg  string
 }
 
+// Error implements the error interface.
 func (e SyntaxError) Error() string {
 	return fmt.Sprintf("%d:%d: syntax error: %s", e.Line, e.Col, e.Msg)
 }

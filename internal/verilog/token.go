@@ -22,6 +22,7 @@ const (
 	TokOp      // + - * / % = <= == != < > && || ! & | ^ ~ << >> === !== etc.
 )
 
+// String implements fmt.Stringer.
 func (k TokenKind) String() string {
 	switch k {
 	case TokEOF:
@@ -52,6 +53,7 @@ type Token struct {
 	Col  int
 }
 
+// String renders the token with its position, for parser debugging.
 func (t Token) String() string {
 	return fmt.Sprintf("%s %q @%d:%d", t.Kind, t.Text, t.Line, t.Col)
 }
