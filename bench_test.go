@@ -19,6 +19,7 @@ import (
 	"uvllm/internal/dataset"
 	"uvllm/internal/exp"
 	"uvllm/internal/faultgen"
+	"uvllm/internal/formal"
 	"uvllm/internal/lint"
 	"uvllm/internal/llm"
 	"uvllm/internal/sim"
@@ -376,6 +377,86 @@ func BenchmarkFaultGeneration(b *testing.B) {
 		}
 		if n == 0 {
 			b.Fatal("no faults generated")
+		}
+	}
+}
+
+// BenchmarkBitBlast measures the formal engine's front half in
+// isolation: bit-blasting one representative sequential module (FIFO:
+// registers, a memory, symbolic-address muxes) and unrolling its
+// transition relation 8 cycles into the AIG. This is the cost every
+// bounded check pays before the first SAT clause exists, guarded by
+// benchguard against the event-driven reference.
+func BenchmarkBitBlast(b *testing.B) {
+	m := dataset.ByName("fifo_sync")
+	p, err := sim.CompileSource(m.Source, m.Top, sim.BackendCompiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := formal.NewModelOpts(p, formal.Options{Clock: m.Clock})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := model.InitState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < 8; c++ {
+			if st, err = model.Step(st, model.FreshInputs()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSATSolve measures the CDCL core on a fixed genuinely hard
+// UNSAT instance (12-bit adder reassociation miter through Tseitin):
+// pure propagate/analyze/backjump work, no blasting.
+func BenchmarkSATSolve(b *testing.B) {
+	g := formal.NewAIG()
+	const w = 12
+	x, y, z := g.VarVec(w), g.VarVec(w), g.VarVec(w)
+	miter := g.EqVec(g.AddVec(g.AddVec(x, y), z), g.AddVec(x, g.AddVec(y, z))).Not()
+	cnf, _ := g.Tseitin([]formal.Lit{miter})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := formal.NewSolverCNF(cnf)
+		if s.Solve() {
+			b.Fatal("reassociation miter must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkBMCEquiv measures one full bounded-equivalence check end to
+// end — blast both designs, unroll, Tseitin, solve per depth — on a
+// golden module against a faultgen mutant that the engine refutes.
+func BenchmarkBMCEquiv(b *testing.B) {
+	m := dataset.ByName("comparator_4bit")
+	faults := faultgen.Generate(m, faultgen.FuncLogic)
+	if len(faults) == 0 {
+		b.Fatal("no FuncLogic variants on comparator_4bit")
+	}
+	golden, err := sim.CompileSource(m.Source, m.Top, sim.BackendCompiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mutant, err := sim.CompileSource(faults[0].Source, m.Top, sim.BackendCompiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := formal.BMCEquiv(golden, mutant, m.Clock, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Equivalent {
+			b.Fatal("mutant unexpectedly equivalent")
 		}
 	}
 }

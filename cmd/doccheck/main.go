@@ -25,11 +25,13 @@ import (
 )
 
 // defaultDirs is the enforced documentation surface: the simulator and
-// coverage APIs every other layer builds on, and the UVM components.
+// coverage APIs every other layer builds on, the UVM components, and
+// the formal engine.
 var defaultDirs = []string{
 	"./internal/sim",
 	"./internal/cover",
 	"./internal/uvm",
+	"./internal/formal",
 }
 
 func main() {

@@ -8,6 +8,7 @@
 //	experiments -table2     # segmented stage contributions + MEIC speedup
 //	experiments -table3     # pair-vs-complete ablation
 //	experiments -ablation   # extension ablations (rollback, localization)
+//	experiments -formal     # bounded-equivalence study (formal engine)
 //
 // All numbers are deterministic (seeded) and independent of -workers; see
 // EXPERIMENTS.md for the recorded paper-vs-measured comparison. With -v
@@ -37,6 +38,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "print extension ablations")
 		passk    = flag.Bool("passk", false, "print the pass@k multi-seed study")
 		cov      = flag.Bool("cover", false, "print the random-vs-directed structural coverage study")
+		form     = flag.Bool("formal", false, "print the bounded-equivalence study (formal engine over the 27 modules)")
 		all      = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
@@ -47,7 +49,7 @@ func main() {
 	}
 	sess := exp.SharedSession(b)
 	sess.Workers = *workers
-	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov {
+	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov && !*form {
 		*all = true
 	}
 
@@ -55,6 +57,7 @@ func main() {
 		fmt.Print(sess.FullReport())
 		printAblations(sess)
 		printCoverage(sess)
+		printFormal(sess, *verbose)
 		printStats(sess, *verbose)
 		return
 	}
@@ -85,7 +88,23 @@ func main() {
 	if *cov {
 		printCoverage(sess)
 	}
+	if *form {
+		printFormal(sess, *verbose)
+	}
 	printStats(sess, *verbose)
+}
+
+func printFormal(sess *exp.Session, verbose bool) {
+	fmt.Println()
+	st, err := sess.EquivStudy(0, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: bounded-equivalence study:", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.FormatEquiv(st))
+	if verbose {
+		fmt.Print(exp.FormatEquivStats(st))
+	}
 }
 
 func printCoverage(sess *exp.Session) {

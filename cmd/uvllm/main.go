@@ -9,7 +9,11 @@
 //	uvllm -module counter_12bit -file my_counter.v    # verify your file
 //
 // In both modes the specification, reference model and clocking come from
-// the named benchmark module.
+// the named benchmark module. With -formal, a successful verification is
+// additionally checked by the formal engine: the delivered source must be
+// provably equivalent to the golden for every post-reset stimulus up to
+// -formal-depth cycles (refutations print a replayable counterexample and
+// fail the run).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"uvllm/internal/core"
 	"uvllm/internal/dataset"
 	"uvllm/internal/faultgen"
+	"uvllm/internal/formal"
 	"uvllm/internal/lint"
 	"uvllm/internal/llm"
 	"uvllm/internal/sim"
@@ -38,6 +43,8 @@ func main() {
 		mode     = flag.String("mode", "pair", "repair generation form: pair or complete")
 		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
 		cov      = flag.Bool("cover", false, "collect structural coverage (statements, branches, toggles, FSM) during UVM runs")
+		useForm  = flag.Bool("formal", false, "after verification, bounded-prove the final source equivalent to the golden (refutation fails the run)")
+		formDep  = flag.Int("formal-depth", 0, "formal unrolling depth in cycles (0 = default)")
 		list     = flag.Bool("list", false, "list benchmark modules and exit")
 		lintOnly = flag.Bool("lint", false, "lint the input and exit")
 		synthRpt = flag.Bool("synth", false, "synthesize the input, print the cell report and exit")
@@ -141,6 +148,11 @@ func main() {
 	fmt.Printf("modeled time: pre=%.2fs ms=%.2fs sl=%.2fs total=%.2fs; LLM calls=%d (%d in / %d out tokens)\n",
 		res.Times.Pre, res.Times.MS, res.Times.SL, res.Times.Total(),
 		res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens)
+
+	formalFailed := false
+	if *useForm && res.Success {
+		formalFailed = !runFormal(res.Final, golden, m, *formDep)
+	}
 	if *verbose {
 		cs := sim.SharedCache().Stats()
 		ms := uvm.SharedTraceMemo().Stats()
@@ -151,9 +163,45 @@ func main() {
 		fmt.Println("--- final source ---")
 		fmt.Println(res.Final)
 	}
-	if !res.Success {
+	if !res.Success || formalFailed {
 		os.Exit(1)
 	}
+}
+
+// runFormal bounded-proves the delivered source equivalent to the golden
+// (the third oracle: where the UVM run samples stimulus, the proof
+// exhausts it to the unrolling depth). It reports true when the source
+// is proved equivalent or the design is outside the blastable subset
+// (in which case the simulation verdict stands alone).
+func runFormal(final, golden string, m *dataset.Module, depth int) bool {
+	if depth <= 0 {
+		depth = formal.DefaultBMCDepth
+	}
+	g, err := sim.SharedCache().Compile(golden, m.Top, sim.BackendCompiled)
+	if err != nil {
+		fmt.Printf("formal: golden does not compile: %v\n", err)
+		return true
+	}
+	c, err := sim.SharedCache().Compile(final, m.Top, sim.BackendCompiled)
+	if err != nil {
+		fmt.Printf("formal: delivered source does not compile: %v\n", err)
+		return false
+	}
+	res, err := formal.BMCEquiv(g, c, m.Clock, depth)
+	if err != nil {
+		fmt.Printf("formal: not checked (%v)\n", err)
+		return true
+	}
+	if res.Equivalent {
+		fmt.Printf("formal: PROVED equivalent to golden for every stimulus up to %d cycles (%d AIG nodes, %d conflicts)\n",
+			depth, res.Stats.AIGNodes, res.Stats.Conflicts())
+		return true
+	}
+	div, cyc, rerr := formal.ReplayCex(golden, final, m.Top, m.Clock, res.Cex, sim.BackendCompiled)
+	fmt.Printf("formal: REFUTED — diverges from golden at post-reset cycle %d on %s (simulation replay: diverged=%v at cycle %d, err=%v)\n",
+		res.Cex.Cycle, res.Cex.Signal, div, cyc, rerr)
+	fmt.Printf("formal: counterexample stimulus: %v\n", res.Cex.Inputs)
+	return false
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -18,10 +18,13 @@
 // coverage-directed stimulus (internal/uvm), golden reference models
 // (internal/refmodel), the paradigm error generator and the
 // 331-instance benchmark (internal/faultgen), a random-RTL differential
-// fuzzer (internal/rtlgen), the pipeline itself (internal/preproc,
-// internal/locate, internal/repair, internal/core), the comparison
-// baselines (internal/baseline) and the experiment harness that
-// regenerates every figure and table of the evaluation (internal/exp).
+// fuzzer (internal/rtlgen), a formal engine — bit-blasting to an AIG, a
+// CDCL SAT solver and bounded equivalence checking as the exhaustive
+// third verification oracle (internal/formal) — the pipeline itself
+// (internal/preproc, internal/locate, internal/repair, internal/core),
+// the comparison baselines (internal/baseline) and the experiment
+// harness that regenerates every figure and table of the evaluation
+// (internal/exp).
 //
 // See DESIGN.md for the system inventory and the documented substitutions
 // (most importantly: GPT-4-turbo is simulated by a calibrated stochastic

@@ -1,0 +1,26 @@
+package assert
+
+import "fmt"
+
+// Promoted wraps a mined assertion with a bounded-proof certificate: the
+// property did not merely hold on the observed trace, it was proved by
+// the formal engine (internal/formal) to hold on every post-reset input
+// sequence up to Depth cycles. Promotion is the held-on-trace →
+// proved-to-depth-k upgrade of the assertion lifecycle; the wrapper
+// still checks cycle by cycle inside the UVM monitor (a bounded proof is
+// not an unbounded one), but its description carries the certificate.
+type Promoted struct {
+	Assertion
+	Depth int // proved for all stimulus up to this many cycles
+}
+
+// Promote attaches a bounded-proof certificate to an assertion.
+func Promote(a Assertion, depth int) Promoted {
+	return Promoted{Assertion: a, Depth: depth}
+}
+
+// Describe implements Assertion, appending the proof certificate to the
+// wrapped description.
+func (p Promoted) Describe() string {
+	return fmt.Sprintf("%s  // proved to depth %d", p.Assertion.Describe(), p.Depth)
+}

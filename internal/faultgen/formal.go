@@ -1,0 +1,71 @@
+package faultgen
+
+import (
+	"errors"
+
+	"uvllm/internal/formal"
+	"uvllm/internal/sim"
+)
+
+// FormalVerdict classifies a benchmark fault by bounded equivalence
+// against its golden module: the formal companion to Effective's
+// simulation-based triggerability check. Where Effective asks "did some
+// stimulus we ran observe the fault", the classifier asks the exhaustive
+// question "can any k-cycle post-reset stimulus observe it".
+type FormalVerdict string
+
+// Classifier verdicts.
+const (
+	// FormalDetectable: the SAT solver found a k-cycle stimulus on which
+	// mutant and golden observably diverge (a replayable counterexample).
+	FormalDetectable FormalVerdict = "detectable"
+	// FormalKEquivalent: no stimulus of up to k cycles can distinguish
+	// the mutant from the golden — the fault is invisible to any
+	// bounded testbench of that depth.
+	FormalKEquivalent FormalVerdict = "k-equivalent"
+	// FormalUnsupported: the pair is outside the bit-blastable subset
+	// (does not elaborate, non-levelizable construct, or the miter
+	// exhausted its solver budget).
+	FormalUnsupported FormalVerdict = "unsupported"
+)
+
+// classifyBudget bounds each classification solve; the benchmark's
+// multiplier/divider modules can otherwise produce miters whose UNSAT
+// proofs dominate a test run.
+var classifyBudget = 20000
+
+// ClassifyBounded classifies one fault by k-depth bounded equivalence,
+// returning the counterexample for detectable faults. Syntax-class
+// faults (which do not parse) and designs outside the blastable subset
+// report FormalUnsupported.
+func ClassifyBounded(f *Fault, k int) (FormalVerdict, *formal.Counterexample) {
+	m := f.Meta()
+	if m == nil {
+		return FormalUnsupported, nil
+	}
+	return ClassifySourceBounded(f.Golden, f.Source, m.Top, m.Clock, k)
+}
+
+// ClassifySourceBounded is ClassifyBounded over raw sources: golden vs
+// mutant on module top with the given clock.
+func ClassifySourceBounded(golden, mutant, top, clock string, k int) (FormalVerdict, *formal.Counterexample) {
+	pg, err := sim.SharedCache().Compile(golden, top, sim.BackendCompiled)
+	if err != nil {
+		return FormalUnsupported, nil
+	}
+	pm, err := sim.SharedCache().Compile(mutant, top, sim.BackendCompiled)
+	if err != nil {
+		return FormalUnsupported, nil
+	}
+	res, err := formal.BMCEquivOpts(pg, pm, clock, k, formal.Options{MaxConflicts: classifyBudget})
+	if err != nil {
+		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
+			return FormalUnsupported, nil
+		}
+		return FormalUnsupported, nil
+	}
+	if res.Cex != nil {
+		return FormalDetectable, res.Cex
+	}
+	return FormalKEquivalent, nil
+}

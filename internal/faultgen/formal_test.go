@@ -1,0 +1,79 @@
+package faultgen
+
+import (
+	"testing"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/formal"
+	"uvllm/internal/sim"
+)
+
+// TestClassifyBoundedDetectable classifies real benchmark faults: on a
+// supported module, functional faults the simulation oracle validated as
+// triggerable must classify as detectable with a counterexample that
+// replays, or k-equivalent only when the fault genuinely needs a deeper
+// run than the bound to surface.
+func TestClassifyBoundedDetectable(t *testing.T) {
+	m := dataset.ByName("counter_12bit")
+	if m == nil {
+		t.Skip("counter_12bit not in dataset")
+	}
+	faults := Generate(m, FuncLogic)
+	if len(faults) == 0 {
+		t.Skip("no FuncLogic variants on counter_12bit")
+	}
+	const k = 6
+	detectable := 0
+	for _, f := range faults {
+		verdict, cex := ClassifyBounded(f, k)
+		switch verdict {
+		case FormalDetectable:
+			detectable++
+			if cex == nil {
+				t.Fatalf("%s: detectable without counterexample", f.ID)
+			}
+			div, cyc, err := formal.ReplayCex(f.Golden, f.Source, m.Top, m.Clock, cex, sim.BackendCompiled)
+			if err != nil {
+				t.Fatalf("%s: replay: %v", f.ID, err)
+			}
+			if !div || cyc != cex.Cycle {
+				t.Fatalf("%s: cex did not replay (div=%v cycle=%d want %d)", f.ID, div, cyc, cex.Cycle)
+			}
+		case FormalKEquivalent, FormalUnsupported:
+			// Fine: deep faults and non-blastable variants exist.
+		}
+	}
+	if detectable == 0 {
+		t.Fatalf("no FuncLogic fault on counter_12bit classified detectable at depth %d", k)
+	}
+}
+
+// TestClassifyBoundedEquivalent pins the k-equivalent verdict on a
+// semantically identical rewrite, and the unsupported verdict on a
+// syntax-class fault that does not parse.
+func TestClassifyBoundedEquivalent(t *testing.T) {
+	m := dataset.ByName("adder_8bit")
+	if m == nil {
+		t.Skip("adder_8bit not in dataset")
+	}
+	reassoc := `module adder_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    input cin,
+    output [7:0] sum,
+    output cout
+);
+    assign {cout, sum} = {7'd0, cin} + b + a;
+endmodule
+`
+	f := &Fault{ID: "adder_8bit/reassoc", Module: m.Name, Golden: m.Source, Source: reassoc}
+	verdict, cex := ClassifyBounded(f, 3)
+	if verdict != FormalKEquivalent || cex != nil {
+		t.Fatalf("reassociated adder: verdict %s (cex %v), want k-equivalent", verdict, cex)
+	}
+
+	syn := &Fault{ID: "adder_8bit/broken", Module: m.Name, Golden: m.Source, Source: "module adder_8bit(input a; endmodule"}
+	if verdict, _ := ClassifyBounded(syn, 3); verdict != FormalUnsupported {
+		t.Fatalf("unparseable mutant: verdict %s, want unsupported", verdict)
+	}
+}

@@ -1,0 +1,144 @@
+package formal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAIGBasics pins the constant/idempotence simplification rules and
+// structural hashing.
+func TestAIGBasics(t *testing.T) {
+	g := NewAIG()
+	a, b := g.NewVar(), g.NewVar()
+	if g.And(a, False) != False || g.And(True, b) != b || g.And(a, a) != a {
+		t.Fatal("constant/idempotence simplification broken")
+	}
+	if g.And(a, a.Not()) != False {
+		t.Fatal("a AND ~a must fold to false")
+	}
+	if g.And(a, b) != g.And(b, a) {
+		t.Fatal("structural hashing must canonicalize operand order")
+	}
+	if g.Xor(a, a) != False || g.Xor(a, a.Not()) != True {
+		t.Fatal("xor folding broken")
+	}
+	if g.Mux(True, a, b) != a || g.Mux(False, a, b) != b || g.Mux(a, b, b) != b {
+		t.Fatal("mux folding broken")
+	}
+}
+
+// evalVec decodes a vector under a concrete variable assignment.
+func evalVec(g *AIG, assign map[uint32]bool, v Vec) uint64 {
+	bits := g.Eval(func(n uint32) bool { return assign[n] }, v)
+	var out uint64
+	for i, b := range bits {
+		if b {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// TestVecOpsAgainstConcrete cross-checks every word-level operator against
+// its uint64 reference on random operands — the same relationship the
+// bit-blaster later relies on against the simulator.
+func TestVecOpsAgainstConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + rng.Intn(16)
+		mask := uint64(1)<<uint(w) - 1
+		g := NewAIG()
+		xv, yv := g.VarVec(w), g.VarVec(w)
+		x, y := rng.Uint64()&mask, rng.Uint64()&mask
+		assign := map[uint32]bool{}
+		for i := 0; i < w; i++ {
+			assign[xv[i].Node()] = x>>uint(i)&1 == 1
+			assign[yv[i].Node()] = y>>uint(i)&1 == 1
+		}
+		check := func(name string, got Vec, want uint64) {
+			t.Helper()
+			if gv := evalVec(g, assign, got); gv != want&mask {
+				t.Fatalf("w=%d x=%#x y=%#x: %s = %#x, want %#x", w, x, y, name, gv, want&mask)
+			}
+		}
+		check("add", g.AddVec(xv, yv), x+y)
+		check("sub", g.SubVec(xv, yv), x-y)
+		check("neg", g.NegVec(xv), -x)
+		check("mul", g.MulVec(xv, yv), x*y)
+		check("and", g.AndVec(xv, yv), x&y)
+		check("or", g.OrVec(xv, yv), x|y)
+		check("xor", g.XorVec(xv, yv), x^y)
+		check("not", g.NotVec(xv), ^x)
+		quo, rem := g.DivModVec(xv, yv)
+		if y == 0 {
+			check("div0", quo, 0)
+			check("mod0", rem, 0)
+		} else {
+			check("div", quo, x/y)
+			check("mod", rem, x%y)
+		}
+		shAmt := rng.Uint64() & 0x1f
+		sh := g.ConstVec(shAmt, 6)
+		wantShl := uint64(0)
+		wantShr := uint64(0)
+		if shAmt < 64 {
+			wantShl = x << shAmt
+			wantShr = x >> shAmt
+		}
+		check("shl", g.ShlVec(xv, sh), wantShl)
+		check("shr", g.ShrVec(xv, sh), wantShr)
+
+		eqGot := g.Eval(func(n uint32) bool { return assign[n] }, []Lit{
+			g.EqVec(xv, yv), g.UltVec(xv, yv), g.UleVec(xv, yv),
+			g.RedOr(xv), g.RedAnd(xv), g.RedXor(xv), g.EqConst(xv, x),
+		})
+		wantBools := []bool{x == y, x < y, x <= y, x != 0, x == mask,
+			parity(x), true}
+		for i, want := range wantBools {
+			if eqGot[i] != want {
+				t.Fatalf("w=%d x=%#x y=%#x: predicate %d = %v, want %v", w, x, y, i, eqGot[i], want)
+			}
+		}
+	}
+}
+
+func parity(x uint64) bool {
+	p := false
+	for ; x != 0; x &= x - 1 {
+		p = !p
+	}
+	return p
+}
+
+// TestShiftBySymbolicAmount drives the barrel shifters with symbolic
+// amounts, including the >= 64 overflow convention of the simulator.
+func TestShiftBySymbolicAmount(t *testing.T) {
+	g := NewAIG()
+	const w = 8
+	xv := g.VarVec(w)
+	nv := g.VarVec(8) // wide enough to express overflow amounts
+	shl, shr := g.ShlVec(xv, nv), g.ShrVec(xv, nv)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		x := rng.Uint64() & 0xff
+		n := rng.Uint64() & 0xff
+		assign := map[uint32]bool{}
+		for i := 0; i < w; i++ {
+			assign[xv[i].Node()] = x>>uint(i)&1 == 1
+		}
+		for i := 0; i < 8; i++ {
+			assign[nv[i].Node()] = n>>uint(i)&1 == 1
+		}
+		wantL, wantR := uint64(0), uint64(0)
+		if n < 64 {
+			wantL = (x << n) & 0xff
+			wantR = x >> n
+		}
+		if got := evalVec(g, assign, shl); got != wantL {
+			t.Fatalf("x=%#x n=%d: shl=%#x want %#x", x, n, got, wantL)
+		}
+		if got := evalVec(g, assign, shr); got != wantR {
+			t.Fatalf("x=%#x n=%d: shr=%#x want %#x", x, n, got, wantR)
+		}
+	}
+}

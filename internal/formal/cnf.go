@@ -1,0 +1,98 @@
+package formal
+
+// CNF is a clause set in near-DIMACS form: variables are 1-based ints, a
+// negative literal is the negation of its variable.
+type CNF struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// AddClause appends one clause.
+func (c *CNF) AddClause(lits ...int) {
+	c.Clauses = append(c.Clauses, lits)
+}
+
+// Tseitin converts the cone of influence of the given roots into CNF,
+// asserting every root literal true. It returns the clause set and the
+// mapping from AIG node index to CNF variable (only nodes inside the cone
+// are mapped; the caller uses the map to decode SAT models back into AIG
+// variable assignments).
+func (g *AIG) Tseitin(roots []Lit) (*CNF, map[uint32]int) {
+	cnf := &CNF{}
+	vars := map[uint32]int{}
+	newVar := func(n uint32) int {
+		if v, ok := vars[n]; ok {
+			return v
+		}
+		cnf.NumVars++
+		vars[n] = cnf.NumVars
+		return cnf.NumVars
+	}
+	lit := func(l Lit) int {
+		v := vars[l.Node()]
+		if l.Neg() {
+			return -v
+		}
+		return v
+	}
+
+	// Collect the cone bottom-up.
+	visited := map[uint32]bool{0: true}
+	var order []uint32
+	var stack []uint32
+	for _, r := range roots {
+		if n := r.Node(); !visited[n] {
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		if visited[n] {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		nd := g.nodes[n]
+		if nd.a == varSentinel {
+			visited[n] = true
+			order = append(order, n)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		an, bn := nd.a.Node(), nd.b.Node()
+		if !visited[an] {
+			stack = append(stack, an)
+			continue
+		}
+		if !visited[bn] {
+			stack = append(stack, bn)
+			continue
+		}
+		visited[n] = true
+		order = append(order, n)
+		stack = stack[:len(stack)-1]
+	}
+
+	for _, n := range order {
+		v := newVar(n)
+		nd := g.nodes[n]
+		if nd.a == varSentinel {
+			continue // free input variable: no defining clauses
+		}
+		a, b := lit(nd.a), lit(nd.b)
+		// v <-> a AND b
+		cnf.AddClause(-v, a)
+		cnf.AddClause(-v, b)
+		cnf.AddClause(v, -a, -b)
+	}
+	for _, r := range roots {
+		if c, val := g.IsConst(r); c {
+			if !val {
+				// Root is constant false: the formula is trivially UNSAT.
+				cnf.AddClause()
+			}
+			continue
+		}
+		cnf.AddClause(lit(r))
+	}
+	return cnf, vars
+}

@@ -1,0 +1,250 @@
+package formal
+
+import (
+	"fmt"
+
+	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
+)
+
+// Counterexample is a refutation witness: the per-cycle stimulus (every
+// driven input, frozen reset included) that makes two designs' outputs
+// diverge, or an assertion fail, at cycle Cycle of the post-reset run.
+type Counterexample struct {
+	Inputs []map[string]uint64 // one map per harness cycle, in order
+	Cycle  int                 // 0-based cycle of the divergence/violation
+	Signal string              // a diverging output (or the asserted signal)
+}
+
+// Sequence converts the counterexample into a replayable UVM stimulus
+// sequence — the bridge from a SAT model back into the simulation world.
+func (c *Counterexample) Sequence() *uvm.DirectedSequence {
+	vecs := make([]map[string]uint64, len(c.Inputs))
+	for i, in := range c.Inputs {
+		cp := make(map[string]uint64, len(in))
+		for k, v := range in {
+			cp[k] = v
+		}
+		vecs[i] = cp
+	}
+	return &uvm.DirectedSequence{Vectors: vecs}
+}
+
+// DefaultBMCDepth is the conventional unrolling depth of the bounded
+// checks: deep enough that every register of the benchmark modules is
+// written at least once post-reset, shallow enough that full-table
+// studies solve in seconds. Callers pass it where no caller-specific
+// depth applies.
+const DefaultBMCDepth = 8
+
+// EquivResult is the verdict of a bounded equivalence check.
+type EquivResult struct {
+	Equivalent bool            // UNSAT at every depth through K
+	Depth      int             // depth proved (Equivalent) or refuted at
+	Cex        *Counterexample // nil when equivalent
+	Stats      BMCStats
+}
+
+// BMCStats aggregates per-depth solver work of one bounded check.
+type BMCStats struct {
+	AIGNodes int          // graph size after the full unrolling
+	Solves   []SolveStats // one entry per depth actually solved
+}
+
+// Conflicts sums the conflict counts over all depths.
+func (s BMCStats) Conflicts() int {
+	n := 0
+	for _, sv := range s.Solves {
+		n += sv.Conflicts
+	}
+	return n
+}
+
+// BMCEquiv checks bounded sequential equivalence of two compiled designs:
+// both are reset concretely, then unrolled k cycles over shared per-cycle
+// input variables (a miter), and each depth asks the SAT solver whether
+// any output can differ at that cycle. UNSAT through depth k proves the
+// designs indistinguishable by any k-cycle post-reset stimulus under the
+// protocol (reset held deasserted); SAT returns a replayable
+// counterexample. Output sets are compared on a's ports, with ports b
+// lacks reading zero — the same convention as the scoreboard's map
+// compare. Designs outside the blastable subset return ErrUnsupported.
+func BMCEquiv(a, b *sim.Program, clock string, k int) (EquivResult, error) {
+	return BMCEquivOpts(a, b, clock, k, Options{})
+}
+
+// BMCEquivOpts is BMCEquiv with explicit blaster options.
+func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivResult, error) {
+	var res EquivResult
+	g := NewAIG()
+	opts.Clock = clock
+	ma, err := newModelShared(g, a, opts)
+	if err != nil {
+		return res, err
+	}
+	mb, err := newModelShared(g, b, opts)
+	if err != nil {
+		return res, err
+	}
+	sta, err := ma.InitState()
+	if err != nil {
+		return res, err
+	}
+	stb, err := mb.InitState()
+	if err != nil {
+		return res, err
+	}
+
+	// b's free inputs that a also drives share a's variables; inputs only
+	// b has stay at their post-reset values (the harness never sets them).
+	// Depths are solved by iterative deepening — one (cheap, usually
+	// structurally collapsed) solve per cycle — which both finds the
+	// earliest possible divergence and beats a single deep solve in
+	// practice: SAT mutants decide at the first reachable depth, and the
+	// shared unrolling prefix is hashed away across depths.
+	var inputsSoFar []map[string]Vec
+	for t := 0; t < k; t++ {
+		inA := ma.FreshInputs()
+		inB := map[string]Vec{}
+		for _, p := range mb.FreeInputs() {
+			if v, ok := inA[p.Name]; ok {
+				inB[p.Name] = v
+			}
+		}
+		inputsSoFar = append(inputsSoFar, inA)
+		if sta, err = ma.Step(sta, inA); err != nil {
+			return res, err
+		}
+		if stb, err = mb.Step(stb, inB); err != nil {
+			return res, err
+		}
+
+		// Miter at this depth: any of a's outputs differs.
+		bad := False
+		diffs := make([]Lit, len(ma.Outputs()))
+		for i, p := range ma.Outputs() {
+			av := ma.OutputVec(sta, i)
+			bv, ok := mb.OutputVecByName(stb, p.Name)
+			if !ok {
+				bv = g.ConstVec(0, len(av))
+			}
+			w := len(av)
+			if len(bv) > w {
+				w = len(bv)
+			}
+			d := g.EqVec(g.Resize(av, w), g.Resize(bv, w)).Not()
+			diffs[i] = d
+			bad = g.Or(bad, d)
+		}
+		res.Stats.AIGNodes = g.NumNodes()
+		if c, v := g.IsConst(bad); c && !v {
+			continue // structurally identical at this depth: no solve needed
+		}
+		cnf, vars := g.Tseitin([]Lit{bad})
+		s := NewSolverCNF(cnf)
+		s.MaxConflicts = opts.MaxConflicts
+		sat := s.Solve()
+		res.Stats.Solves = append(res.Stats.Solves, s.Stats())
+		if s.Exhausted() {
+			return res, fmt.Errorf("%w: depth %d after %d conflicts", ErrBudget, t, s.Stats().Conflicts)
+		}
+		if !sat {
+			continue
+		}
+		res.Depth = t
+		res.Cex = extractCex(ma, inputsSoFar, vars, s, diffs, t)
+		return res, nil
+	}
+	res.Equivalent = true
+	res.Depth = k
+	res.Stats.AIGNodes = g.NumNodes()
+	return res, nil
+}
+
+// extractCex decodes the SAT model into concrete per-cycle stimulus and
+// names one diverging output.
+func extractCex(m *Model, inputs []map[string]Vec, vars map[uint32]int, s *Solver, diffs []Lit, cycle int) *Counterexample {
+	g := m.g
+	assign := func(n uint32) bool { return s.Value(vars[n]) }
+	cex := &Counterexample{Cycle: cycle}
+	frozen := m.FrozenInputs()
+	for _, in := range inputs {
+		vals := map[string]uint64{}
+		for name, vec := range in {
+			bits := g.Eval(assign, vec)
+			var v uint64
+			for i, b := range bits {
+				if b {
+					v |= 1 << uint(i)
+				}
+			}
+			vals[name] = v
+		}
+		for name, v := range frozen {
+			vals[name] = v
+		}
+		cex.Inputs = append(cex.Inputs, vals)
+	}
+	for i, d := range diffs {
+		if got := g.Eval(assign, []Lit{d}); got[0] {
+			cex.Signal = m.Outputs()[i].Name
+			break
+		}
+	}
+	return cex
+}
+
+// CombEquiv is bounded equivalence specialized to combinational designs:
+// a depth-1 unrolling (one input application and settle) is exhaustive
+// when neither design carries state.
+func CombEquiv(a, b *sim.Program) (EquivResult, error) {
+	return BMCEquiv(a, b, "", 1)
+}
+
+// ReplayCex drives both sources through fresh simulator instances on the
+// given backend under the counterexample's stimulus — the differential
+// reset protocol, then the recorded vectors — and reports whether any
+// output diverged and at which cycle. A formal SAT verdict is only
+// trusted once this returns true; the agreement oracles assert it.
+func ReplayCex(srcA, srcB, top, clock string, cex *Counterexample, backend sim.Backend) (bool, int, error) {
+	sA, err := sim.CompileAndNewBackend(srcA, top, backend)
+	if err != nil {
+		return false, 0, fmt.Errorf("formal: replay: %w", err)
+	}
+	sB, err := sim.CompileAndNewBackend(srcB, top, backend)
+	if err != nil {
+		return true, 0, nil // b does not even elaborate: divergent by definition
+	}
+	hA, hB := sim.NewHarness(sA, clock), sim.NewHarness(sB, clock)
+	if err := hA.ApplyReset(ResetCycles); err != nil {
+		return false, 0, err
+	}
+	if err := hB.ApplyReset(ResetCycles); err != nil {
+		return true, 0, nil
+	}
+	for cyc, in := range cex.Inputs {
+		inA, inB := map[string]uint64{}, map[string]uint64{}
+		for k, v := range in {
+			if sA.Has(k) {
+				inA[k] = v
+			}
+			if sB.Has(k) {
+				inB[k] = v
+			}
+		}
+		outA, errA := hA.Cycle(inA)
+		outB, errB := hB.Cycle(inB)
+		if (errA == nil) != (errB == nil) {
+			return true, cyc, nil
+		}
+		if errA != nil {
+			return false, 0, fmt.Errorf("formal: replay: both died at cycle %d: %v", cyc, errA)
+		}
+		for name, v := range outA {
+			if outB[name] != v {
+				return true, cyc, nil
+			}
+		}
+	}
+	return false, 0, nil
+}

@@ -1,0 +1,193 @@
+package formal
+
+import (
+	"fmt"
+
+	"uvllm/internal/assert"
+	"uvllm/internal/sim"
+)
+
+// Bounded assertion checking: the structural forms internal/assert mines
+// (OneHot, Bound, Mutex) reference cycle-sampled port values, which is
+// exactly what a Model's unrolled states provide. Forms carrying opaque
+// Go predicates (Invariant, Implication) and the reset-conditioned
+// ResetValue (vacuous under the frozen-reset protocol) cannot be blasted
+// and are reported as skipped.
+
+// AssertVerdict classifies one assertion after a bounded check.
+type AssertVerdict int
+
+// Assertion verdicts.
+const (
+	// AssertProved: the property holds on every post-reset stimulus up to
+	// the requested depth.
+	AssertProved AssertVerdict = iota
+	// AssertRefuted: a concrete stimulus violates the property; the
+	// counterexample replays in simulation.
+	AssertRefuted
+	// AssertSkipped: the assertion form is outside the blastable subset.
+	AssertSkipped
+)
+
+// String implements fmt.Stringer.
+func (v AssertVerdict) String() string {
+	switch v {
+	case AssertProved:
+		return "proved"
+	case AssertRefuted:
+		return "refuted"
+	case AssertSkipped:
+		return "skipped"
+	}
+	return "verdict?"
+}
+
+// AssertResult is the outcome of one assertion's bounded check.
+type AssertResult struct {
+	Assertion assert.Assertion
+	Verdict   AssertVerdict
+	Depth     int             // depth proved, or the violation cycle
+	Cex       *Counterexample // refutation stimulus, nil otherwise
+	Stats     BMCStats
+}
+
+// CheckAssertions bounded-checks each assertion against the design: the
+// model is unrolled k cycles from the concrete reset state and each
+// cycle's sampled values (inputs and outputs, the UVM monitor's view)
+// instantiate the property. Unsupported designs return ErrUnsupported.
+func CheckAssertions(prog *sim.Program, clock string, as []assert.Assertion, k int) ([]AssertResult, error) {
+	m, err := newModelShared(NewAIG(), prog, Options{Clock: clock})
+	if err != nil {
+		return nil, err
+	}
+	var out []AssertResult
+	for _, a := range as {
+		res, err := m.checkOne(a, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PromoteAssertions upgrades every provable assertion to its
+// assert.Promoted form (held-on-trace → proved-to-depth-k), returning the
+// upgraded list alongside the refuted and skipped subsets. The input
+// order is preserved in the promoted list: callers can swap it directly
+// into a uvm.Config.
+func PromoteAssertions(prog *sim.Program, clock string, as []assert.Assertion, k int) (promoted []assert.Assertion, refuted []AssertResult, skipped int, err error) {
+	results, err := CheckAssertions(prog, clock, as, k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, r := range results {
+		switch r.Verdict {
+		case AssertProved:
+			promoted = append(promoted, assert.Promote(r.Assertion, r.Depth))
+		case AssertRefuted:
+			refuted = append(refuted, r)
+			promoted = append(promoted, r.Assertion)
+		default:
+			skipped++
+			promoted = append(promoted, r.Assertion)
+		}
+	}
+	return promoted, refuted, skipped, nil
+}
+
+// checkOne unrolls the model and checks one assertion at every depth.
+func (m *Model) checkOne(a assert.Assertion, k int) (AssertResult, error) {
+	res := AssertResult{Assertion: a}
+	st, err := m.InitState()
+	if err != nil {
+		return res, err
+	}
+	g := m.g
+	var inputsSoFar []map[string]Vec
+	for t := 0; t < k; t++ {
+		in := m.FreshInputs()
+		inputsSoFar = append(inputsSoFar, in)
+		if st, err = m.Step(st, in); err != nil {
+			return res, err
+		}
+		// The monitor samples inputs and outputs after the cycle.
+		values := func(name string) (Vec, bool) {
+			if v, ok := in[name]; ok {
+				return v, true
+			}
+			if idx, ok := m.d.SignalIndex(name); ok {
+				return st.vals[idx], true
+			}
+			return nil, false
+		}
+		holds, ok := m.blastAssertion(a, values)
+		if !ok {
+			res.Verdict = AssertSkipped
+			return res, nil
+		}
+		bad := holds.Not()
+		if c, v := g.IsConst(bad); c && !v {
+			continue
+		}
+		cnf, vars := g.Tseitin([]Lit{bad})
+		s := NewSolverCNF(cnf)
+		s.MaxConflicts = m.maxConflicts
+		sat := s.Solve()
+		res.Stats.Solves = append(res.Stats.Solves, s.Stats())
+		if s.Exhausted() {
+			return res, fmt.Errorf("%w: assertion %s at depth %d", ErrBudget, a.Name(), t)
+		}
+		res.Stats.AIGNodes = g.NumNodes()
+		if sat {
+			res.Verdict = AssertRefuted
+			res.Depth = t
+			res.Cex = extractCex(m, inputsSoFar, vars, s, nil, t)
+			res.Cex.Signal = a.Name()
+			return res, nil
+		}
+	}
+	res.Verdict = AssertProved
+	res.Depth = k
+	res.Stats.AIGNodes = g.NumNodes()
+	return res, nil
+}
+
+// blastAssertion lowers one structural assertion over the sampled values
+// into a single "holds" literal; ok=false marks unsupported forms.
+func (m *Model) blastAssertion(a assert.Assertion, values func(string) (Vec, bool)) (Lit, bool) {
+	g := m.g
+	get := func(name string) Vec {
+		if v, ok := values(name); ok {
+			return v
+		}
+		return g.ConstVec(0, 1) // unknown signals sample as zero in the monitor
+	}
+	switch v := a.(type) {
+	case assert.Bound:
+		// x <= Limit over the sampled (<= 64-bit) value; an all-ones
+		// limit folds to constant true inside UleVec.
+		return g.UleVec(g.Resize(get(v.Signal), 64), g.ConstVec(v.Limit, 64)), true
+	case assert.Mutex:
+		return g.And(g.RedOr(get(v.A)), g.RedOr(get(v.B))).Not(), true
+	case assert.OneHot:
+		x := get(v.Signal)
+		atLeastOne := g.RedOr(x)
+		atMostOne := True
+		for i := 0; i < len(x); i++ {
+			for j := i + 1; j < len(x); j++ {
+				atMostOne = g.And(atMostOne, g.And(x[i], x[j]).Not())
+			}
+		}
+		if v.AllowZero {
+			return atMostOne, true
+		}
+		return g.And(atLeastOne, atMostOne), true
+	case assert.Promoted:
+		return m.blastAssertion(v.Assertion, values)
+	default:
+		// ResetValue is vacuous under the frozen-reset protocol;
+		// Invariant/Implication carry opaque Go predicates.
+		return False, false
+	}
+}

@@ -1,0 +1,488 @@
+package formal
+
+// CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+// analysis with clause learning, VSIDS-lite decision ordering (activity
+// heap with exponential decay), phase saving and Luby restarts. Standard
+// library only, like every engine in this repository; sized for the
+// bit-blasted miters of small RTL designs (thousands of variables).
+
+// SolveStats counts solver work for the BMC depth / conflict statistics
+// reported by cmd/experiments -v.
+type SolveStats struct {
+	Vars         int
+	Clauses      int
+	Conflicts    int
+	Decisions    int
+	Propagations int
+	Restarts     int
+	Learned      int
+}
+
+// Solver is a single-use CDCL SAT solver: add clauses, call Solve once,
+// read the model with Value.
+type Solver struct {
+	// MaxConflicts, when positive, bounds the search: Solve gives up
+	// after that many conflicts and reports false with Exhausted() set.
+	// The cutoff is deterministic, so budgeted callers (the differential
+	// oracles) skip the same hard instances on every run.
+	MaxConflicts int
+	exhausted    bool
+
+	nVars   int
+	clauses []*satClause
+	watches [][]*satClause // per internal literal
+
+	assign   []int8 // per var: 0 unassigned, 1 true, -1 false
+	level    []int
+	reason   []*satClause
+	trail    []int // internal literals in assignment order
+	trailLim []int // trail length at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     []int // binary max-heap of vars by activity
+	heapPos  []int // var -> heap index, -1 when absent
+	phase    []bool
+
+	seen  []bool
+	unsat bool
+	stats SolveStats
+}
+
+// NewSolver creates a solver over variables 1..numVars.
+func NewSolver(numVars int) *Solver {
+	s := &Solver{
+		nVars:    numVars,
+		watches:  make([][]*satClause, 2*numVars+2),
+		assign:   make([]int8, numVars+1),
+		level:    make([]int, numVars+1),
+		reason:   make([]*satClause, numVars+1),
+		activity: make([]float64, numVars+1),
+		varInc:   1.0,
+		heapPos:  make([]int, numVars+1),
+		phase:    make([]bool, numVars+1),
+		seen:     make([]bool, numVars+1),
+	}
+	for v := 1; v <= numVars; v++ {
+		s.heapPos[v] = -1
+		s.heapPush(v)
+	}
+	s.stats.Vars = numVars
+	return s
+}
+
+// NewSolverCNF creates a solver preloaded with a clause set.
+func NewSolverCNF(c *CNF) *Solver {
+	s := NewSolver(c.NumVars)
+	for _, cl := range c.Clauses {
+		s.AddClause(cl...)
+	}
+	return s
+}
+
+type satClause struct {
+	lits    []int32 // internal encoding: var<<1 | sign (sign 1 = negated)
+	learned bool
+}
+
+// intLit converts a DIMACS-style literal to the internal encoding.
+func intLit(l int) int32 {
+	if l < 0 {
+		return int32(-l)<<1 | 1
+	}
+	return int32(l) << 1
+}
+
+func litVar(l int32) int   { return int(l >> 1) }
+func litNeg(l int32) int32 { return l ^ 1 }
+
+// value returns 1/-1/0 for an internal literal under the current
+// assignment.
+func (s *Solver) value(l int32) int8 {
+	v := s.assign[litVar(l)]
+	if l&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds one clause in DIMACS-style literals. Adding an empty (or
+// all-false) clause marks the instance unsatisfiable.
+func (s *Solver) AddClause(lits ...int) {
+	if s.unsat {
+		return
+	}
+	// Deduplicate and drop tautologies with a linear scan: clauses are
+	// short (Tseitin emits 2-3 literals) and this path loads every
+	// clause of every solve, so a per-clause map would be pure overhead.
+	var ls []int32
+	for _, l := range lits {
+		dup := false
+		for _, prev := range ls {
+			if prev == intLit(l) {
+				dup = true
+				break
+			}
+			if prev == litNeg(intLit(l)) {
+				return // tautology
+			}
+		}
+		if !dup {
+			ls = append(ls, intLit(l))
+		}
+	}
+	s.stats.Clauses++
+	switch len(ls) {
+	case 0:
+		s.unsat = true
+	case 1:
+		if !s.enqueue(ls[0], nil) {
+			s.unsat = true
+		}
+	default:
+		c := &satClause{lits: ls}
+		s.clauses = append(s.clauses, c)
+		s.watch(c)
+	}
+}
+
+func (s *Solver) watch(c *satClause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+// enqueue assigns a literal true (with an optional reason clause),
+// returning false on conflict with the existing assignment.
+func (s *Solver) enqueue(l int32, from *satClause) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := litVar(l)
+	if l&1 == 1 {
+		s.assign[v] = -1
+		s.phase[v] = false
+	} else {
+		s.assign[v] = 1
+		s.phase[v] = true
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, int(l))
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate runs unit propagation to fixpoint, returning a conflicting
+// clause or nil.
+func (s *Solver) propagate() *satClause {
+	for s.qhead < len(s.trail) {
+		l := int32(s.trail[s.qhead])
+		s.qhead++
+		s.stats.Propagations++
+		neg := litNeg(l) // watch lists to service: clauses watching ~l
+		ws := s.watches[neg]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == neg {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a replacement watch.
+			found := false
+			for j := 2; j < len(c.lits); j++ {
+				if s.value(c.lits[j]) != -1 {
+					c.lits[1], c.lits[j] = c.lits[j], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				copy(ws[len(kept):], ws[i+1:])
+				s.watches[neg] = ws[:len(kept)+len(ws)-i-1]
+				return c
+			}
+		}
+		s.watches[neg] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *satClause) ([]int32, int) {
+	learned := []int32{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p int32 = -1
+	idx := len(s.trail) - 1
+
+	bump := func(v int) {
+		s.activity[v] += s.varInc
+		if s.activity[v] > 1e100 {
+			for i := 1; i <= s.nVars; i++ {
+				s.activity[i] *= 1e-100
+			}
+			s.varInc *= 1e-100
+		}
+		s.heapFix(v)
+	}
+
+	for {
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := litVar(q)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			bump(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Walk the trail back to the next seen literal.
+		for {
+			p = int32(s.trail[idx])
+			idx--
+			if s.seen[litVar(p)] {
+				break
+			}
+		}
+		v := litVar(p)
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learned[0] = litNeg(p)
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Backjump level: the highest level among the non-asserting literals.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if lv := s.level[litVar(learned[i])]; lv > back {
+			back = lv
+		}
+	}
+	// Move a literal of the backjump level into the second watch slot.
+	for i := 1; i < len(learned); i++ {
+		if s.level[litVar(learned[i])] == back {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	for i := 1; i < len(learned); i++ {
+		s.seen[litVar(learned[i])] = false
+	}
+	s.varInc /= 0.95
+	return learned, back
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	lim := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := litVar(int32(s.trail[i]))
+		s.assign[v] = 0
+		s.reason[v] = nil
+		if s.heapPos[v] < 0 {
+			s.heapPush(v)
+		}
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = lim
+}
+
+// pickBranch pops the highest-activity unassigned variable.
+func (s *Solver) pickBranch() int32 {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v] == 0 {
+			if s.phase[v] {
+				return int32(v) << 1
+			}
+			return int32(v)<<1 | 1
+		}
+	}
+	return -1
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int) int {
+	// Find the finite subsequence containing i.
+	k := 1
+	for (1<<uint(k))-1 < i {
+		k++
+	}
+	for (1<<uint(k))-1 != i {
+		i -= (1 << uint(k-1)) - 1
+		k = 1
+		for (1<<uint(k))-1 < i {
+			k++
+		}
+	}
+	return 1 << uint(k-1)
+}
+
+// Solve runs the CDCL loop and reports satisfiability. It must be called
+// at most once per Solver.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	if confl := s.propagate(); confl != nil {
+		s.unsat = true
+		return false
+	}
+	restart := 1
+	budget := 64 * luby(restart)
+	conflictsHere := 0
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictsHere++
+			if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+				s.exhausted = true
+				return false
+			}
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return false
+			}
+			learned, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], nil)
+			} else {
+				c := &satClause{lits: learned, learned: true}
+				s.clauses = append(s.clauses, c)
+				s.stats.Learned++
+				s.watch(c)
+				s.enqueue(learned[0], c)
+			}
+			continue
+		}
+		if conflictsHere >= budget {
+			// Restart: keep learned clauses and phases, drop assignments.
+			s.stats.Restarts++
+			restart++
+			budget = 64 * luby(restart)
+			conflictsHere = 0
+			s.cancelUntil(0)
+			continue
+		}
+		l := s.pickBranch()
+		if l < 0 {
+			return true // all variables assigned, no conflict
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Value reports the model value of a variable after a satisfiable Solve.
+// Variables the solver never saw read false.
+func (s *Solver) Value(v int) bool {
+	if v <= 0 || v > s.nVars {
+		return false
+	}
+	return s.assign[v] == 1
+}
+
+// Stats returns the work counters of the solve.
+func (s *Solver) Stats() SolveStats { return s.stats }
+
+// Exhausted reports whether Solve gave up on the MaxConflicts budget
+// (in which case its false return is "unknown", not UNSAT).
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+// --- activity heap -----------------------------------------------------
+
+func (s *Solver) heapLess(a, b int) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapPush(v int) {
+	s.heap = append(s.heap, v)
+	s.heapPos[v] = len(s.heap) - 1
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *Solver) heapPop() int {
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heapPos[s.heap[0]] = 0
+	s.heap = s.heap[:last]
+	s.heapPos[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *Solver) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Solver) heapDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s.heap) && s.heapLess(s.heap[l], s.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(s.heap) && s.heapLess(s.heap[r], s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.heapSwap(i, smallest)
+		i = smallest
+	}
+}
+
+func (s *Solver) heapSwap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heapPos[s.heap[i]] = i
+	s.heapPos[s.heap[j]] = j
+}
+
+// heapFix restores heap order after an activity bump of v.
+func (s *Solver) heapFix(v int) {
+	if i := s.heapPos[v]; i >= 0 {
+		s.heapUp(i)
+	}
+}

@@ -1,0 +1,317 @@
+package formal
+
+// Vec is a little-endian bit vector of AIG literals: Vec[0] is bit 0. The
+// word-level operators in this file mirror the 2-state semantics of
+// internal/sim's expression evaluator bit for bit — 64-bit arithmetic with
+// masking at context-width boundaries, logical shifts, unsigned compares,
+// division-by-zero yielding zero — so a symbolic evaluation and a concrete
+// simulation of the same expression can never disagree.
+type Vec []Lit
+
+// ConstVec builds a constant vector of width w from the low bits of v.
+func (g *AIG) ConstVec(v uint64, w int) Vec {
+	out := make(Vec, w)
+	for i := 0; i < w; i++ {
+		if v>>uint(i)&1 == 1 {
+			out[i] = True
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// VarVec allocates w fresh input variables.
+func (g *AIG) VarVec(w int) Vec {
+	out := make(Vec, w)
+	for i := range out {
+		out[i] = g.NewVar()
+	}
+	return out
+}
+
+// ConstVal reports whether every bit of the vector is constant and, if
+// so, its value.
+func (g *AIG) ConstVal(x Vec) (uint64, bool) {
+	var v uint64
+	for i, l := range x {
+		c, b := g.IsConst(l)
+		if !c {
+			return 0, false
+		}
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}
+
+// Resize truncates or zero-extends x to width w (the &mask of the
+// simulator's context-width boundaries).
+func (g *AIG) Resize(x Vec, w int) Vec {
+	if len(x) == w {
+		return x
+	}
+	out := make(Vec, w)
+	for i := 0; i < w; i++ {
+		if i < len(x) {
+			out[i] = x[i]
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// NotVec complements every bit.
+func (g *AIG) NotVec(x Vec) Vec {
+	out := make(Vec, len(x))
+	for i, l := range x {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// AndVec is the bitwise AND of equal-width vectors.
+func (g *AIG) AndVec(x, y Vec) Vec {
+	out := make(Vec, len(x))
+	for i := range x {
+		out[i] = g.And(x[i], y[i])
+	}
+	return out
+}
+
+// OrVec is the bitwise OR of equal-width vectors.
+func (g *AIG) OrVec(x, y Vec) Vec {
+	out := make(Vec, len(x))
+	for i := range x {
+		out[i] = g.Or(x[i], y[i])
+	}
+	return out
+}
+
+// XorVec is the bitwise XOR of equal-width vectors.
+func (g *AIG) XorVec(x, y Vec) Vec {
+	out := make(Vec, len(x))
+	for i := range x {
+		out[i] = g.Xor(x[i], y[i])
+	}
+	return out
+}
+
+// MuxVec selects t when c is true, e otherwise (equal widths).
+func (g *AIG) MuxVec(c Lit, t, e Vec) Vec {
+	if c == True {
+		return t
+	}
+	if c == False {
+		return e
+	}
+	out := make(Vec, len(t))
+	for i := range t {
+		out[i] = g.Mux(c, t[i], e[i])
+	}
+	return out
+}
+
+// AddVec is the ripple-carry sum of equal-width vectors, carry-out
+// discarded (the simulator masks at context width).
+func (g *AIG) AddVec(x, y Vec) Vec {
+	out := make(Vec, len(x))
+	c := False
+	for i := range x {
+		s := g.Xor(x[i], y[i])
+		out[i] = g.Xor(s, c)
+		c = g.Or(g.And(x[i], y[i]), g.And(s, c))
+	}
+	return out
+}
+
+// SubVec is x - y in two's complement at the vectors' width.
+func (g *AIG) SubVec(x, y Vec) Vec {
+	out := make(Vec, len(x))
+	c := True // plus one: x + ~y + 1
+	for i := range x {
+		yi := y[i].Not()
+		s := g.Xor(x[i], yi)
+		out[i] = g.Xor(s, c)
+		c = g.Or(g.And(x[i], yi), g.And(s, c))
+	}
+	return out
+}
+
+// NegVec is two's-complement negation.
+func (g *AIG) NegVec(x Vec) Vec {
+	return g.SubVec(g.ConstVec(0, len(x)), x)
+}
+
+// MulVec is the shift-and-add product at the vectors' width (high half
+// discarded, matching the masked 64-bit multiply of the simulator).
+func (g *AIG) MulVec(x, y Vec) Vec {
+	w := len(x)
+	acc := g.ConstVec(0, w)
+	for i := 0; i < w; i++ {
+		// Partial product: (x << i) gated by y[i], added into acc.
+		if y[i] == False {
+			continue
+		}
+		pp := make(Vec, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				pp[j] = False
+			} else {
+				pp[j] = g.And(x[j-i], y[i])
+			}
+		}
+		acc = g.AddVec(acc, pp)
+	}
+	return acc
+}
+
+// DivModVec builds a restoring divider returning (x / y, x % y) at the
+// vectors' width, with the Verilog-2-state convention that division or
+// modulo by zero yields zero.
+func (g *AIG) DivModVec(x, y Vec) (quo, rem Vec) {
+	w := len(x)
+	q := make(Vec, w)
+	r := g.ConstVec(0, w)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		shifted := make(Vec, w)
+		shifted[0] = x[i]
+		for j := 1; j < w; j++ {
+			shifted[j] = r[j-1]
+		}
+		// The shift-out bit of r makes the partial remainder w+1 bits
+		// wide; if it is set the subtraction always fits.
+		hi := r[w-1]
+		diff := g.SubVec(shifted, y)
+		ge := g.Or(hi, g.UleVec(y, shifted))
+		q[i] = ge
+		r = g.MuxVec(ge, diff, shifted)
+	}
+	zero := g.EqVec(y, g.ConstVec(0, w))
+	quo = g.MuxVec(zero, g.ConstVec(0, w), q)
+	rem = g.MuxVec(zero, g.ConstVec(0, w), r)
+	return quo, rem
+}
+
+// EqVec is the 1-bit equality of equal-width vectors.
+func (g *AIG) EqVec(x, y Vec) Lit {
+	out := True
+	for i := range x {
+		out = g.And(out, g.Xor(x[i], y[i]).Not())
+	}
+	return out
+}
+
+// EqConst compares a vector against a constant.
+func (g *AIG) EqConst(x Vec, v uint64) Lit {
+	out := True
+	for i := range x {
+		if v>>uint(i)&1 == 1 {
+			out = g.And(out, x[i])
+		} else {
+			out = g.And(out, x[i].Not())
+		}
+	}
+	if v>>uint(len(x)) != 0 {
+		return False // constant does not fit in the vector's width
+	}
+	return out
+}
+
+// UltVec is the 1-bit unsigned x < y over equal-width vectors.
+func (g *AIG) UltVec(x, y Vec) Lit {
+	lt := False
+	for i := 0; i < len(x); i++ {
+		bitLT := g.And(x[i].Not(), y[i])
+		bitEQ := g.Xor(x[i], y[i]).Not()
+		lt = g.Or(bitLT, g.And(bitEQ, lt))
+	}
+	return lt
+}
+
+// UleVec is the 1-bit unsigned x <= y over equal-width vectors.
+func (g *AIG) UleVec(x, y Vec) Lit { return g.UltVec(y, x).Not() }
+
+// RedOr is the reduction OR (the simulator's "value != 0" test).
+func (g *AIG) RedOr(x Vec) Lit {
+	out := False
+	for _, l := range x {
+		out = g.Or(out, l)
+	}
+	return out
+}
+
+// RedAnd is the reduction AND.
+func (g *AIG) RedAnd(x Vec) Lit {
+	out := True
+	for _, l := range x {
+		out = g.And(out, l)
+	}
+	return out
+}
+
+// RedXor is the reduction XOR (parity).
+func (g *AIG) RedXor(x Vec) Lit {
+	out := False
+	for _, l := range x {
+		out = g.Xor(out, l)
+	}
+	return out
+}
+
+// ShlVec is the logical left shift of x by the (self-determined-width)
+// amount n, a barrel shifter over n's bits. Amounts at or above 64 yield
+// zero, mirroring the simulator's uint64 arithmetic; amounts at or above
+// len(x) zero the vector naturally.
+func (g *AIG) ShlVec(x Vec, n Vec) Vec {
+	out := x
+	overflow := False
+	for i, nl := range n {
+		if i >= 6 {
+			// Bit weights >= 64: any set bit forces the zero result.
+			overflow = g.Or(overflow, nl)
+			continue
+		}
+		sh := 1 << uint(i)
+		shifted := make(Vec, len(x))
+		for j := range shifted {
+			if j >= sh {
+				shifted[j] = out[j-sh]
+			} else {
+				shifted[j] = False
+			}
+		}
+		out = g.MuxVec(nl, shifted, out)
+	}
+	return g.MuxVec(overflow, g.ConstVec(0, len(x)), out)
+}
+
+// ShrVec is the logical right shift of x by amount n, with the same
+// overflow convention as ShlVec.
+func (g *AIG) ShrVec(x Vec, n Vec) Vec {
+	out := x
+	overflow := False
+	for i, nl := range n {
+		if i >= 6 {
+			overflow = g.Or(overflow, nl)
+			continue
+		}
+		sh := 1 << uint(i)
+		shifted := make(Vec, len(x))
+		for j := range shifted {
+			if j+sh < len(x) {
+				shifted[j] = out[j+sh]
+			} else {
+				shifted[j] = False
+			}
+		}
+		out = g.MuxVec(nl, shifted, out)
+	}
+	return g.MuxVec(overflow, g.ConstVec(0, len(x)), out)
+}
+
+// BitLit turns a boolean literal into a 1-bit vector.
+func (g *AIG) BitLit(l Lit) Vec { return Vec{l} }

@@ -6,7 +6,11 @@
 // rather than absolute seconds.
 package metrics
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // CostModel converts counted work into modeled seconds.
 type CostModel struct {
@@ -119,4 +123,96 @@ func Median(xs []float64) float64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile of xs (p in [0, 100]) with
+// linear interpolation between closest ranks, the convention numpy calls
+// "linear". Empty input returns 0; p is clamped to [0, 100]. The input
+// slice is not modified. The formal engine's solver statistics
+// (conflicts per BMC depth) report p50/p90/p99 through this.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Histogram is a fixed-range, equal-width bucket count of sample values,
+// the ASCII companion to Percentile for -v solver statistics.
+type Histogram struct {
+	Lo, Hi  float64 // value range covered by the buckets
+	Counts  []int   // per-bucket counts
+	Under   int     // samples below Lo
+	Over    int     // samples at or above Hi
+	Samples int     // total Add calls
+}
+
+// NewHistogram builds an empty histogram of `buckets` equal-width bins
+// over [lo, hi). Degenerate ranges or bucket counts collapse to one bin.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Samples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Format renders the histogram as one line per bucket with a bar scaled
+// to barWidth characters (bars scale to the fullest bucket).
+func (h *Histogram) Format(barWidth int) string {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*barWidth/max)
+		fmt.Fprintf(&b, "  [%8.1f, %8.1f) %6d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "  below %.1f: %d\n", h.Lo, h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "  at or above %.1f: %d\n", h.Hi, h.Over)
+	}
+	return b.String()
 }

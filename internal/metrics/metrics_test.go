@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -125,5 +126,66 @@ func TestMedian(t *testing.T) {
 	Median(in)
 	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
 		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty input must return 0")
+	}
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {-5, 1}, {150, 4},
+		{50, 2.5},  // halfway between 2 and 3
+		{25, 1.75}, // rank 0.75
+		{75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Fatal("Percentile modified its input")
+	}
+	// Median and the 50th percentile agree on both parities.
+	for _, n := range []int{5, 6} {
+		var ys []float64
+		for i := n; i > 0; i-- {
+			ys = append(ys, float64(i))
+		}
+		if m, p := Median(ys), Percentile(ys, 50); math.Abs(m-p) > 1e-12 {
+			t.Fatalf("n=%d: median %v != p50 %v", n, m, p)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Samples != 7 || h.Under != 1 || h.Over != 2 {
+		t.Fatalf("counters: %+v", h)
+	}
+	want := []int{2, 1, 0, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, c, want[i], h)
+		}
+	}
+	out := h.Format(20)
+	if out == "" || !strings.Contains(out, "#") {
+		t.Fatalf("Format produced no bars:\n%s", out)
+	}
+	if !strings.Contains(out, "below") || !strings.Contains(out, "at or above") {
+		t.Fatalf("Format must report out-of-range samples:\n%s", out)
+	}
+	// Degenerate construction collapses safely.
+	d := NewHistogram(3, 3, 0)
+	d.Add(3)
+	if len(d.Counts) != 1 || d.Counts[0] != 1 {
+		t.Fatalf("degenerate histogram: %+v", d)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"uvllm/internal/faultgen"
+	"uvllm/internal/formal"
 	"uvllm/internal/sim"
 	"uvllm/internal/uvm"
 	"uvllm/internal/verilog"
@@ -213,18 +214,27 @@ func DiffMutants(d *Design, cycles int, maxPerClass int) (MutantStats, error) {
 // differs. A mutant that fails to elaborate or dies mid-run while the
 // golden does not is observably divergent.
 func tracesDiverge(golden, mutant, top, clock string, cycles int, seed int64) (bool, error) {
-	sG, errG := newSim(golden, top, sim.BackendEventDriven)
+	div, _, err := tracesDivergeOn(golden, mutant, top, clock, cycles, seed, sim.BackendEventDriven, nil)
+	return div, err
+}
+
+// tracesDivergeOn is the shared divergence oracle: golden and mutant on
+// one backend under identical seeded random stimulus, with any inputs
+// named in frozen pinned to the given constant value each cycle. It
+// reports whether any observable differed and at which cycle.
+func tracesDivergeOn(golden, mutant, top, clock string, cycles int, seed int64, backend sim.Backend, frozen map[string]uint64) (bool, int, error) {
+	sG, errG := newSim(golden, top, backend)
 	if errG != nil {
-		return false, fmt.Errorf("golden failed to elaborate: %v", errG)
+		return false, 0, fmt.Errorf("golden failed to elaborate: %v", errG)
 	}
-	sM, errM := newSim(mutant, top, sim.BackendEventDriven)
+	sM, errM := newSim(mutant, top, backend)
 	if errM != nil {
-		return true, nil
+		return true, 0, nil
 	}
 	hG := sim.NewHarness(sG, clock)
 	hM := sim.NewHarness(sM, clock)
 	if errEqual(hG.ApplyReset(2), hM.ApplyReset(2)) == false {
-		return true, nil
+		return true, 0, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	inputs := sG.Design().Inputs()
@@ -234,23 +244,161 @@ func tracesDiverge(golden, mutant, top, clock string, cycles int, seed int64) (b
 			if p.Name == clock {
 				continue
 			}
+			if v, ok := frozen[p.Name]; ok {
+				in[p.Name] = v
+				continue
+			}
 			in[p.Name] = rng.Uint64() & maskW(p.Width)
 		}
 		outG, cerrG := hG.Cycle(in)
 		outM, cerrM := hM.Cycle(copyIn(in, sM))
 		if !errEqual(cerrG, cerrM) {
-			return true, nil
+			return true, cyc, nil
 		}
 		if cerrG != nil {
-			return false, nil // both died identically
+			return false, 0, nil // both died identically
 		}
 		for sigName, v := range outG {
 			if outM[sigName] != v {
-				return true, nil
+				return true, cyc, nil
 			}
 		}
 	}
-	return false, nil
+	return false, 0, nil
+}
+
+// FormalReport summarizes the fourth oracle on one design: the formal
+// engine's bounded-equivalence verdicts checked for agreement with
+// simulation.
+type FormalReport struct {
+	Supported   bool   // the design is inside the bit-blastable subset
+	Reason      string // why not, when it is not
+	Mutants     int    // functional mutants formally checked
+	Refuted     int    // SAT verdicts (each replayed in simulation)
+	KEquivalent int    // UNSAT-to-depth-k verdicts (each probed by random simulation)
+}
+
+// formalBudget bounds each SAT solve of the fourth oracle: generated
+// designs occasionally wrap a multiplier or divider into the checksum
+// cone, and those miters' UNSAT proofs can cost seconds each. The
+// deterministic conflict cutoff keeps the sweep's formal pass bounded
+// while still exercising the engine on the overwhelming majority of
+// levelized designs.
+var formalBudget = formal.Options{MaxConflicts: 500}
+
+// DiffFormal is the fourth differential oracle: on bit-blastable designs
+// the formal engine's verdicts must agree with simulation in both
+// directions. The golden design must be provably equivalent to itself;
+// for each functional mutant, a SAT verdict must come with a
+// counterexample that concrete simulation reproduces at the predicted
+// cycle, and an UNSAT-to-depth-k verdict must survive random simulation
+// probes of the same depth under the same stimulus protocol (reset held
+// deasserted after the preamble). A non-nil error is a genuine
+// formal-vs-simulation disagreement — a bug in one of the engines.
+func DiffFormal(d *Design, k, maxPerClass int) (FormalReport, error) {
+	var rep FormalReport
+	golden, err := diffCache.Compile(d.Source, d.Top, sim.BackendCompiled)
+	if err != nil {
+		return rep, nil // not elaborable: DiffBackends owns this case
+	}
+	res, err := formal.BMCEquivOpts(golden, golden, d.Clock, k, formalBudget)
+	if err != nil {
+		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
+			rep.Reason = err.Error()
+			return rep, nil
+		}
+		return rep, fmt.Errorf("golden blast: %w", err)
+	}
+	rep.Supported = true
+	if !res.Equivalent {
+		return rep, fmt.Errorf("golden design refuted against itself at depth %d", res.Depth)
+	}
+	for _, class := range faultgen.FunctionalClasses() {
+		muts := faultgen.MutateSource(d.Source, class)
+		if len(muts) > maxPerClass {
+			muts = muts[:maxPerClass]
+		}
+		for _, mu := range muts {
+			checked, refuted, err := formalAgreeMutant(d, mu.Source, k)
+			if err != nil {
+				return rep, fmt.Errorf("%s mutant (%s): %w", class, mu.Descr, err)
+			}
+			if !checked {
+				continue
+			}
+			rep.Mutants++
+			if refuted {
+				rep.Refuted++
+			} else {
+				rep.KEquivalent++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// formalAgreeMutant checks one (golden, mutant) pair for agreement
+// between the formal verdict and simulation. checked=false means the
+// mutant fell outside the comparable set (does not parse/elaborate, or
+// left the blastable subset). A SAT verdict must replay; an UNSAT
+// verdict must survive seeded random probes.
+func formalAgreeMutant(d *Design, mutantSrc string, k int) (checked, refuted bool, err error) {
+	if _, errs := verilog.Parse(mutantSrc); len(errs) > 0 {
+		return false, false, nil
+	}
+	golden, err := diffCache.Compile(d.Source, d.Top, sim.BackendCompiled)
+	if err != nil {
+		return false, false, nil
+	}
+	mutant, err := diffCache.Compile(mutantSrc, d.Top, sim.BackendCompiled)
+	if err != nil {
+		return false, false, nil // elaboration-failing mutants are the sim oracle's case
+	}
+	res, err := formal.BMCEquivOpts(golden, mutant, d.Clock, k, formalBudget)
+	if err != nil {
+		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
+			return false, false, nil // non-blastable construct, or a miter out of budget
+		}
+		return false, false, err
+	}
+	if res.Cex != nil {
+		div, cyc, err := formal.ReplayCex(d.Source, mutantSrc, d.Top, d.Clock, res.Cex, sim.BackendCompiled)
+		if err != nil {
+			return true, true, fmt.Errorf("cex replay: %w", err)
+		}
+		if !div {
+			return true, true, fmt.Errorf("formal refuted at depth %d but simulation does not reproduce the divergence", res.Depth)
+		}
+		if cyc != res.Cex.Cycle {
+			return true, true, fmt.Errorf("cex diverged at cycle %d, formal predicted %d", cyc, res.Cex.Cycle)
+		}
+		return true, true, nil
+	}
+	// UNSAT to depth k: no k-cycle stimulus under the frozen-reset
+	// protocol may distinguish the designs in simulation either.
+	for probe := int64(0); probe < 3; probe++ {
+		div, cyc, err := tracesDivergeFrozen(d.Source, mutantSrc, d.Top, d.Clock, k, d.Seed+probe)
+		if err != nil {
+			return true, false, err
+		}
+		if div {
+			return true, false, fmt.Errorf("formal proved %d-cycle equivalence but random simulation diverged at cycle %d (probe %d)", k, cyc, probe)
+		}
+	}
+	return true, false, nil
+}
+
+// tracesDivergeFrozen is tracesDiverge under the formal stimulus
+// protocol: compiled backend, reset preamble, then random data inputs
+// with the reset input held at its deasserted value.
+func tracesDivergeFrozen(golden, mutant, top, clock string, cycles int, seed int64) (bool, int, error) {
+	frozen := map[string]uint64{}
+	if prog, err := diffCache.Compile(golden, top, sim.BackendCompiled); err == nil {
+		if rstName, v := sim.FindResetDeassert(prog.Design()); rstName != "" {
+			frozen[rstName] = v
+		}
+	}
+	return tracesDivergeOn(golden, mutant, top, clock, cycles, seed, sim.BackendCompiled, frozen)
 }
 
 // copyIn filters a stimulus map down to inputs the (possibly mutated)

@@ -11,12 +11,21 @@ import (
 // subsystem: it sweeps a deterministic band of seeds and requires that (a)
 // at least 300 distinct designs elaborate and diff clean across backends,
 // (b) every design lands on exactly the scheduling path its flavor was
-// constructed for, and (c) at least 25% of designs exercise the
-// event-fallback path, so the fuzzer keeps covering both engines.
+// constructed for, (c) at least 25% of designs exercise the
+// event-fallback path, so the fuzzer keeps covering both engines, and (d)
+// on a strided subset of the small levelized designs the formal engine's
+// bounded-equivalence verdicts agree with simulation (the fourth oracle:
+// golden provably self-equivalent, mutant refutations replayable, bounded
+// proofs unrefuted by random probes).
 func TestSweep(t *testing.T) {
-	const seeds = 330
+	const (
+		seeds        = 330
+		formalStride = formalSweepStride // sparser under -race, see stride_off_test.go
+		formalDepth  = 4
+	)
 	distinct := map[string]bool{}
 	total, fallback := 0, 0
+	formalChecked, formalMutants, formalRefuted := 0, 0, 0
 	for seed := int64(1); seed <= seeds; seed++ {
 		d := Generate(seed)
 		rep, err := DiffBackends(d.Source, d.Top, d.Clock, 40, seed)
@@ -34,6 +43,17 @@ func TestSweep(t *testing.T) {
 		if !rep.Levelized {
 			fallback++
 		}
+		if rep.Levelized && seed%formalStride == 1 {
+			frep, err := DiffFormal(d, formalDepth, 1)
+			if err != nil {
+				t.Fatalf("seed %d: formal oracle disagreed with simulation: %v\n%s", seed, err, d.Source)
+			}
+			if frep.Supported {
+				formalChecked++
+				formalMutants += frep.Mutants
+				formalRefuted += frep.Refuted
+			}
+		}
 		// Distinctness is judged on the body: the module name embeds the
 		// seed and would make every source trivially unique.
 		distinct[bodyOf(d.Source)] = true
@@ -44,8 +64,15 @@ func TestSweep(t *testing.T) {
 	if frac := float64(fallback) / float64(total); frac < 0.25 {
 		t.Fatalf("only %.1f%% of designs exercised the event-fallback path (want >= 25%%)", frac*100)
 	}
-	t.Logf("swept %d designs (%d distinct, %d event-fallback = %.1f%%)",
-		total, len(distinct), fallback, 100*float64(fallback)/float64(total))
+	if min := 60 / formalStride; formalChecked < min {
+		t.Fatalf("formal oracle covered only %d levelized designs (want >= %d)", formalChecked, min)
+	}
+	if formalRefuted == 0 {
+		t.Fatal("formal oracle refuted no mutants: the SAT/replay path went unexercised")
+	}
+	t.Logf("swept %d designs (%d distinct, %d event-fallback = %.1f%%); formal agreed on %d designs / %d mutants (%d refuted)",
+		total, len(distinct), fallback, 100*float64(fallback)/float64(total),
+		formalChecked, formalMutants, formalRefuted)
 }
 
 func bodyOf(src string) string {

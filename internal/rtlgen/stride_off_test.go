@@ -1,0 +1,10 @@
+//go:build !race
+
+package rtlgen
+
+// formalSweepStride selects which levelized TestSweep seeds get the
+// formal fourth-oracle check: every Nth. Race-enabled builds use a
+// sparser stride (stride_on_test.go) — the solver is single-threaded
+// and deterministic, so the detector finds nothing there and would only
+// multiply the sweep's wall time.
+const formalSweepStride = 7

@@ -1,0 +1,7 @@
+//go:build race
+
+package rtlgen
+
+// formalSweepStride under the race detector: sparser, see
+// stride_off_test.go.
+const formalSweepStride = 21

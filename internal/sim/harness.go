@@ -259,6 +259,21 @@ func FindClock(d *Design) string {
 	return ""
 }
 
+// FindResetDeassert returns the conventional reset input together with
+// the value that deasserts it, or "" when the design has none. This is
+// the single definition of the frozen-reset protocol value shared by
+// the formal engine and its simulation agreement probes.
+func FindResetDeassert(d *Design) (string, uint64) {
+	name, activeLow := FindReset(d)
+	if name == "" {
+		return "", 0
+	}
+	if activeLow {
+		return name, 1
+	}
+	return name, 0
+}
+
 // FindReset returns the reset input name and whether it is active low,
 // guessed by conventional names.
 func FindReset(d *Design) (string, bool) {

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"uvllm/internal/verilog"
+)
+
+const viewSrc = `module leaf(
+    input [3:0] a,
+    output [3:0] y
+);
+    parameter INC = 1;
+    assign y = a + INC;
+endmodule
+module top(
+    input clk,
+    input [3:0] x,
+    output reg [3:0] q,
+    output [3:0] w
+);
+    leaf #(.INC(2)) u1(.a(x), .y(w));
+    always @(posedge clk) begin
+        q <= w;
+    end
+endmodule
+`
+
+// TestDesignView pins the elaborated-view contract the formal engine
+// depends on: signals resolve by hierarchical name, scopes resolve both
+// signals and overridden parameters, process kinds and edges are visible,
+// and the levelized comb order covers every combinational process.
+func TestDesignView(t *testing.T) {
+	p, err := CompileSource(viewSrc, "top", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Design()
+	if !p.Levelized() {
+		t.Fatalf("view fixture should be cleanly levelizable (reason %q)", p.FallbackReason())
+	}
+	if d.NumSignals() == 0 || d.NumProcs() == 0 {
+		t.Fatal("empty view")
+	}
+	idx, ok := d.SignalIndex("u1.y")
+	if !ok {
+		t.Fatal("hierarchical signal u1.y not found")
+	}
+	sv := d.Signal(idx)
+	if sv.Width != 4 || sv.IsMem || sv.Name != "u1.y" {
+		t.Fatalf("unexpected signal view %+v", sv)
+	}
+
+	var seq, comb, withParam int
+	for i := 0; i < d.NumProcs(); i++ {
+		pv := d.Proc(i)
+		switch pv.Kind {
+		case ProcSeq:
+			seq++
+			if len(pv.Edges) != 1 || !pv.Edges[0].Pos {
+				t.Fatalf("seq proc edges = %+v", pv.Edges)
+			}
+			if got := d.EdgeProcsOf(pv.Edges[0].Sig, true); len(got) != 1 || got[0] != pv.Index {
+				t.Fatalf("EdgeProcsOf = %v, want [%d]", got, pv.Index)
+			}
+		case ProcComb:
+			comb++
+			sc := pv.Scope
+			if pv.ConnRHS != nil {
+				sc = pv.ConnRHSScope
+			}
+			if v, ok := sc.Param("INC"); ok {
+				withParam++
+				if v != 2 {
+					t.Fatalf("parameter override not visible: INC = %d", v)
+				}
+				if ev, err := verilog.EvalConst(&verilog.Ident{Name: "INC"}, sc.Params()); err != nil || ev != 2 {
+					t.Fatalf("EvalConst over Params() = %d, %v", ev, err)
+				}
+			}
+		}
+	}
+	if seq != 1 {
+		t.Fatalf("want 1 sequential proc, got %d", seq)
+	}
+	order := p.CombOrder()
+	if len(order) != comb {
+		t.Fatalf("CombOrder has %d entries, %d comb procs", len(order), comb)
+	}
+	if withParam == 0 {
+		t.Fatal("no scope exposed the overridden leaf parameter")
+	}
+
+	// Event-driven programs expose no comb order.
+	pe, err := CompileSource(viewSrc, "top", BackendEventDriven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.CombOrder() != nil {
+		t.Fatal("event-driven program should have nil CombOrder")
+	}
+}
