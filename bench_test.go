@@ -273,6 +273,127 @@ func BenchmarkSimEventDriven(b *testing.B) { benchSimBackend(b, sim.BackendEvent
 // loop; the CI smoke run and DESIGN.md track the >=2x speedup.
 func BenchmarkSimCompiled(b *testing.B) { benchSimBackend(b, sim.BackendCompiled) }
 
+// batchBenchLanes is K for the batch-vs-sequential benchmark pair; the
+// acceptance bar (guarded by cmd/benchguard) is a per-lane cost at least
+// 1.5x cheaper batched than K standalone instances.
+const batchBenchLanes = 8
+
+// benchBatchPrograms compiles the hot-loop module mix once.
+func benchBatchPrograms(b *testing.B) []struct {
+	m *dataset.Module
+	p *sim.Program
+} {
+	b.Helper()
+	var out []struct {
+		m *dataset.Module
+		p *sim.Program
+	}
+	for _, name := range simHotLoopModules {
+		m := dataset.ByName(name)
+		p, err := sim.CompileSource(m.Source, m.Top, sim.BackendCompiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, struct {
+			m *dataset.Module
+			p *sim.Program
+		}{m, p})
+	}
+	return out
+}
+
+// BenchmarkBatchLanes drives the per-cycle hot loop as one 8-lane
+// sim.Batch per module (row stimulus API, fused levelized sweeps,
+// pooled arena) — the batched side of the pair. One iteration = 8 lanes
+// x 500 cycles over the module mix, including batch construction.
+func BenchmarkBatchLanes(b *testing.B) {
+	progs := benchBatchPrograms(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pm := range progs {
+			bt, err := sim.NewBatch(pm.p, batchBenchLanes, pm.m.Clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := bt.ApplyReset(2); err != nil {
+				b.Fatal(err)
+			}
+			ports := bt.Ports()
+			rstIdx := -1
+			for pi, pt := range ports {
+				if pm.m.HasReset && pt.Name == "rst_n" {
+					rstIdx = pi
+				}
+			}
+			rows := make([][]uint64, batchBenchLanes)
+			for k := range rows {
+				rows[k] = make([]uint64, len(ports))
+			}
+			for c := 0; c < 500; c++ {
+				for k := range rows {
+					for pi, pt := range ports {
+						rows[k][pi] = uint64(c*31+k*7+i+len(pt.Name)) & maskBits(pt.Width)
+					}
+					if rstIdx >= 0 {
+						rows[k][rstIdx] = 1
+					}
+				}
+				if err := bt.Cycle(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for k := 0; k < batchBenchLanes; k++ {
+				if err := bt.Err(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBatchVsSequential is the sequential side of the pair: the
+// identical total work — 8 lanes x 500 cycles per module, same per-lane
+// stimulus — run as 8 standalone instances the way every consumer did
+// before sim.Batch (fresh Instance + Harness + map stimulus per lane).
+// benchguard requires BenchmarkBatchLanes to stay at least 1.5x below
+// this number.
+func BenchmarkBatchVsSequential(b *testing.B) {
+	progs := benchBatchPrograms(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pm := range progs {
+			for k := 0; k < batchBenchLanes; k++ {
+				inst, err := pm.p.NewInstance()
+				if err != nil {
+					b.Fatal(err)
+				}
+				h := sim.NewHarness(inst, pm.m.Clock)
+				if err := h.ApplyReset(2); err != nil {
+					b.Fatal(err)
+				}
+				in := map[string]uint64{}
+				ins := pm.p.Design().Inputs()
+				for c := 0; c < 500; c++ {
+					for _, pt := range ins {
+						if pt.Name == pm.m.Clock {
+							continue
+						}
+						in[pt.Name] = uint64(c*31+k*7+i+len(pt.Name)) & maskBits(pt.Width)
+					}
+					if pm.m.HasReset {
+						in["rst_n"] = 1
+					}
+					if _, err := h.Cycle(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkPipelineVerify measures one end-to-end core.Verify on a
 // representative functional fault the way the evaluation harness runs it:
 // every simulation routed through one shared compile cache and

@@ -5,7 +5,7 @@
 // (minimum ns/op) run across -count repetitions, and compares against
 // the committed BENCH_baseline.json:
 //
-//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv)$' -count=5 . | tee bench.txt
+//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv|Batch(Lanes|VsSequential))$' -count=5 . | tee bench.txt
 //	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
 //
 // Raw ns/op is machine-dependent, so every guarded quantity is a ratio
@@ -41,7 +41,16 @@ type Baseline struct {
 const (
 	benchEvent    = "BenchmarkSimEventDriven"
 	benchCompiled = "BenchmarkSimCompiled"
+	benchBatch    = "BenchmarkBatchLanes"
+	benchBatchSeq = "BenchmarkBatchVsSequential"
 )
+
+// batchMinSpeedup is the acceptance bar for the batch scheduler: the
+// same K-lane hot-loop work must be at least this factor cheaper inside
+// one sim.Batch than as K standalone instances. The two benchmarks do
+// identical total work, so their within-run ns/op ratio is the per-lane
+// amortization factor directly.
+const batchMinSpeedup = 1.5
 
 func main() {
 	var (
@@ -115,6 +124,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s regressed: ratio %.3f vs baseline %.3f (>%.0f%% slower relative to the event backend)\n",
 				name, ratio, baseRatio, tol*100)
 			failed = true
+		}
+	}
+	// Pair rule: whenever both batch benchmarks are in the run, the
+	// per-lane speedup of the fused batch over K standalone instances
+	// must hold the acceptance bar, regardless of the baseline's ratios.
+	if bl, ok := best[benchBatch]; ok {
+		if sq, ok := best[benchBatchSeq]; ok {
+			speedup := sq / bl
+			fmt.Printf("benchguard: batch per-lane speedup %.2fx (%s %.0f ns/op vs %s %.0f ns/op, floor %.1fx)\n",
+				speedup, benchBatch, bl, benchBatchSeq, sq, batchMinSpeedup)
+			if speedup < batchMinSpeedup {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL: batch per-lane speedup %.2fx fell below the %.1fx floor\n",
+					speedup, batchMinSpeedup)
+				failed = true
+			}
 		}
 	}
 	if failed {

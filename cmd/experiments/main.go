@@ -39,17 +39,19 @@ func main() {
 		passk    = flag.Bool("passk", false, "print the pass@k multi-seed study")
 		cov      = flag.Bool("cover", false, "print the random-vs-directed structural coverage study")
 		form     = flag.Bool("formal", false, "print the bounded-equivalence study (formal engine over the 27 modules)")
+		batch    = flag.Bool("batch", false, "print the batch-vs-sequential per-lane amortization study")
+		lanes    = flag.Int("lanes", 0, "batch lanes for the -batch study (0 = default 8)")
 		all      = flag.Bool("all", false, "print everything")
 	)
 	flag.Parse()
-	b, err := sim.ParseBackend(*backend)
-	if err != nil {
+	if err := validateFlags(*workers, *lanes, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
+	b, _ := sim.ParseBackend(*backend) // validated above
 	sess := exp.SharedSession(b)
 	sess.Workers = *workers
-	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov && !*form {
+	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov && !*form && !*batch {
 		*all = true
 	}
 
@@ -57,6 +59,7 @@ func main() {
 		fmt.Print(sess.FullReport())
 		printAblations(sess)
 		printCoverage(sess)
+		printBatch(sess, *lanes)
 		printFormal(sess, *verbose)
 		printStats(sess, *verbose)
 		return
@@ -88,10 +91,39 @@ func main() {
 	if *cov {
 		printCoverage(sess)
 	}
+	if *batch {
+		printBatch(sess, *lanes)
+	}
 	if *form {
 		printFormal(sess, *verbose)
 	}
 	printStats(sess, *verbose)
+}
+
+// validateFlags rejects nonsense flag values up front with exit code 2:
+// a negative worker count would be handed to the pool silently, and the
+// backend string should fail before any study begins.
+func validateFlags(workers, lanes int, backend string) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	if lanes < 0 {
+		return fmt.Errorf("-lanes must be >= 0, got %d", lanes)
+	}
+	if _, err := sim.ParseBackend(backend); err != nil {
+		return err
+	}
+	return nil
+}
+
+func printBatch(sess *exp.Session, lanes int) {
+	fmt.Println()
+	rows, err := sess.BatchAmortizationStudy(lanes, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: batch study:", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.FormatBatchAmortization(rows))
 }
 
 func printFormal(sess *exp.Session, verbose bool) {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags is the table test for the experiments CLI's up-front
+// flag validation.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		lanes   int
+		backend string
+		wantErr string // "" = valid
+	}{
+		{"defaults", 0, 0, "compiled", ""},
+		{"explicit workers and lanes", 4, 8, "event", ""},
+		{"negative workers", -2, 0, "compiled", "-workers"},
+		{"negative lanes", 0, -1, "compiled", "-lanes"},
+		{"unknown backend", 0, 0, "verilator", "backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.workers, tc.lanes, tc.backend)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -29,11 +29,21 @@ func main() {
 		check  = flag.Bool("check", false, "run the differential oracles on each design")
 		cov    = flag.Bool("cover", false, "coverage-directed sweep: compare random vs directed stimulus, keep coverage-raising designs")
 		cycles = flag.Int("cycles", 60, "stimulus cycles per design in -check and -cover modes")
+		lanes  = flag.Int("lanes", 0, "batch lanes: in -check, additionally diff sim.Batch against standalone runs; in -cover, score directed candidates lane-parallel (0 or 1 = off)")
 	)
 	flag.Parse()
+	if *n < 1 {
+		fatal(fmt.Errorf("-n must be >= 1, got %d", *n))
+	}
+	if *cycles < 1 {
+		fatal(fmt.Errorf("-cycles must be >= 1, got %d", *cycles))
+	}
+	if *lanes < 0 {
+		fatal(fmt.Errorf("-lanes must be >= 0, got %d", *lanes))
+	}
 
 	if *cov {
-		runs, cum, err := rtlgen.CoverSweep(*seed, *n, *cycles)
+		runs, cum, err := rtlgen.CoverSweepLanes(*seed, *n, *cycles, *lanes)
 		if err != nil {
 			fatal(err)
 		}
@@ -63,6 +73,13 @@ func main() {
 			if err := rtlgen.RoundTrip(d.Source); err != nil {
 				fmt.Fprintf(os.Stderr, "rtlgen: seed %d: %v\n", d.Seed, err)
 				os.Exit(1)
+			}
+			if *lanes > 1 {
+				if err := rtlgen.DiffBatchLanes(d.Source, d.Top, d.Clock, *lanes, *cycles, d.Seed); err != nil {
+					fmt.Fprintf(os.Stderr, "rtlgen: seed %d (%s): batch diverged: %v\n%s\n",
+						d.Seed, d.Flavor, err, d.Source)
+					os.Exit(1)
+				}
 			}
 			if rep.Levelized {
 				levelized++

@@ -51,6 +51,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print the pipeline log")
 	)
 	flag.Parse()
+	if err := validateFlags(*variant, *formDep, *mode, *backend); err != nil {
+		fatalf("%v", err)
+	}
 
 	if *list {
 		for _, m := range dataset.All() {
@@ -116,10 +119,7 @@ func main() {
 	if *mode == "complete" {
 		genMode = llm.ModeComplete
 	}
-	simBackend, err := sim.ParseBackend(*backend)
-	if err != nil {
-		fatalf("%v", err)
-	}
+	simBackend, _ := sim.ParseBackend(*backend) // validated up front
 	var coverOpts sim.CoverOptions
 	if *cov {
 		coverOpts = sim.CoverAll()
@@ -202,6 +202,27 @@ func runFormal(final, golden string, m *dataset.Module, depth int) bool {
 		res.Cex.Cycle, res.Cex.Signal, div, cyc, rerr)
 	fmt.Printf("formal: counterexample stimulus: %v\n", res.Cex.Inputs)
 	return false
+}
+
+// validateFlags rejects nonsense flag values before any pipeline work
+// runs: a negative variant index would panic inside the fault lookup, a
+// negative formal depth would silently become the default, an unknown
+// repair mode would silently become "pair", and an unknown backend used
+// to surface only after lint/synth work had already run.
+func validateFlags(variant, formalDepth int, mode, backend string) error {
+	if variant < 0 {
+		return fmt.Errorf("-variant must be >= 0, got %d", variant)
+	}
+	if formalDepth < 0 {
+		return fmt.Errorf("-formal-depth must be >= 0, got %d", formalDepth)
+	}
+	if mode != "pair" && mode != "complete" {
+		return fmt.Errorf("-mode must be %q or %q, got %q", "pair", "complete", mode)
+	}
+	if _, err := sim.ParseBackend(backend); err != nil {
+		return err
+	}
+	return nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags is the table test for the up-front flag validation:
+// nonsense values must be rejected with a clear message before any
+// pipeline stage runs.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name        string
+		variant     int
+		formalDepth int
+		mode        string
+		backend     string
+		wantErr     string // "" = valid
+	}{
+		{"defaults", 0, 0, "pair", "compiled", ""},
+		{"complete mode", 3, 40, "complete", "event", ""},
+		{"negative variant", -1, 0, "pair", "compiled", "-variant"},
+		{"negative formal depth", 0, -5, "pair", "compiled", "-formal-depth"},
+		{"unknown mode", 0, 0, "partial", "compiled", "-mode"},
+		{"unknown backend", 0, 0, "pair", "quantum", "backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.variant, tc.formalDepth, tc.mode, tc.backend)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"uvllm/internal/sim"
+)
+
+// TestBatchAmortizationStudyShape validates the study's structure (not
+// its timings, which are machine-dependent): every hot-loop module gets
+// a row with positive per-lane-cycle costs and a computed factor, and
+// the formatter renders one line per row plus the mean.
+func TestBatchAmortizationStudyShape(t *testing.T) {
+	s := SharedSession(sim.BackendCompiled)
+	rows, err := s.BatchAmortizationStudy(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(batchAmortModules) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(batchAmortModules))
+	}
+	for _, r := range rows {
+		if r.Lanes != 4 || r.Cycles != 100 {
+			t.Fatalf("%s: lanes/cycles not threaded: %+v", r.Module, r)
+		}
+		if r.SeqNsPerLC <= 0 || r.BatchNsPerLC <= 0 || r.PerLaneFactor <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", r.Module, r)
+		}
+	}
+	out := FormatBatchAmortization(rows)
+	if strings.Count(out, "\n") != len(rows)+3 {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	for _, r := range rows {
+		if !strings.Contains(out, r.Module) {
+			t.Fatalf("table missing %s:\n%s", r.Module, out)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package faultgen
+
+import (
+	"testing"
+
+	"uvllm/internal/dataset"
+)
+
+// functionalFault returns a functional mutant with sequential-observable
+// behavior for the batch-observation tests.
+func functionalFault(t *testing.T) *Fault {
+	t.Helper()
+	for _, m := range dataset.All() {
+		for _, c := range Classes() {
+			if c.IsSyntax() {
+				continue
+			}
+			for _, f := range Generate(m, c) {
+				if rate, err := observe(f); err == nil && rate < 1.0 {
+					return f
+				}
+			}
+		}
+	}
+	t.Fatal("no simulation-observable functional fault in the dataset")
+	return nil
+}
+
+// TestObserveLanesMatchesSequential pins lane 0 of the batched observer
+// to the sequential observe() pass rate: same seed, same stimulus
+// protocol, same golden trace, same score.
+func TestObserveLanesMatchesSequential(t *testing.T) {
+	f := functionalFault(t)
+	want, err := observe(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := ObserveLanes(f, []int64{1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] != want {
+		t.Fatalf("%s: batched rate %.4f != sequential rate %.4f", f.ID, rates[0], want)
+	}
+}
+
+// TestObserveLanesMultiSeed checks the multi-seed sweep: the golden
+// source passes every seed perfectly, a mutant stays below 1.0 on at
+// least the seed that classified it, and per-seed rates are independent.
+func TestObserveLanesMultiSeed(t *testing.T) {
+	f := functionalFault(t)
+	seeds := []int64{1, 2, 3, 4}
+	golden := &Fault{ID: f.ID + "/golden", Module: f.Module, Class: f.Class,
+		Source: f.Golden, Golden: f.Golden}
+	gr, err := ObserveLanes(golden, seeds, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range gr {
+		if r != 1.0 {
+			t.Fatalf("golden %s seed %d scored %.4f, want 1.0", f.Module, seeds[k], r)
+		}
+	}
+	mr, err := ObserveLanes(f, seeds, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr[0] >= 1.0 {
+		t.Fatalf("%s: classifying seed no longer observes the fault (%.4f)", f.ID, mr[0])
+	}
+	// Re-running must be deterministic.
+	mr2, err := ObserveLanes(f, seeds, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range mr {
+		if mr[k] != mr2[k] {
+			t.Fatalf("seed %d rate not deterministic: %.4f vs %.4f", seeds[k], mr[k], mr2[k])
+		}
+	}
+}

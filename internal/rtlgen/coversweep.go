@@ -37,18 +37,26 @@ type CoverRun struct {
 // the retained set grows only while the design space still yields new
 // structure. The cumulative map is returned alongside the runs.
 func CoverSweep(seed int64, n, cycles int) ([]CoverRun, *cover.Map, error) {
+	return CoverSweepLanes(seed, n, cycles, 0)
+}
+
+// CoverSweepLanes is CoverSweep with the directed stimulus run through
+// the lane-parallel batch scorer (uvm.CoverageDirectedBatch) when lanes
+// > 1; lanes <= 1 keeps the sequential directed loop. The retention rule
+// and the cycle budget accounting are unchanged.
+func CoverSweepLanes(seed int64, n, cycles, lanes int) ([]CoverRun, *cover.Map, error) {
 	cum := cover.New()
-	runs, err := coverSweepInto(cum, seed, n, cycles)
+	runs, err := coverSweepInto(cum, seed, n, cycles, lanes)
 	return runs, cum, err
 }
 
 // coverSweepInto runs the sweep against an existing cumulative map, so
 // repeated shapes stop being kept once the map has absorbed them.
-func coverSweepInto(cum *cover.Map, seed int64, n, cycles int) ([]CoverRun, error) {
+func coverSweepInto(cum *cover.Map, seed int64, n, cycles, lanes int) ([]CoverRun, error) {
 	runs := make([]CoverRun, 0, n)
 	for i := 0; i < n; i++ {
 		d := Generate(seed + int64(i))
-		run, err := coverOne(d, cycles)
+		run, err := coverOne(d, cycles, lanes)
 		if err != nil {
 			return runs, fmt.Errorf("seed %d: %w", d.Seed, err)
 		}
@@ -68,14 +76,14 @@ type coverOneResult struct {
 	dirMap *cover.Map
 }
 
-func coverOne(d *Design, cycles int) (coverOneResult, error) {
+func coverOne(d *Design, cycles, lanes int) (coverOneResult, error) {
 	var out coverOneResult
 	out.Design = d
 	p, err := sim.CompileSource(d.Source, d.Top, sim.BackendCompiled)
 	if err != nil {
 		return out, err
 	}
-	cfg := uvm.StimConfig{Clock: d.Clock, Cycles: cycles, Seed: d.Seed}
+	cfg := uvm.StimConfig{Clock: d.Clock, Cycles: cycles, Seed: d.Seed, Lanes: lanes}
 	mr, err := uvm.CoverageRandom(p, cfg)
 	if err != nil {
 		return out, err

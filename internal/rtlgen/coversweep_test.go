@@ -55,7 +55,7 @@ func TestDirectedBeatsRandomMedian(t *testing.T) {
 // the already-merged map keeps nothing.
 func TestCoverSweepKeepLogic(t *testing.T) {
 	cum := cover.New()
-	first, err := coverSweepInto(cum, 1, 4, 24)
+	first, err := coverSweepInto(cum, 1, 4, 24, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestCoverSweepKeepLogic(t *testing.T) {
 	if !first[0].Kept {
 		t.Fatal("the first design against an empty map must be kept")
 	}
-	replay, err := coverSweepInto(cum, 1, 4, 24)
+	replay, err := coverSweepInto(cum, 1, 4, 24, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

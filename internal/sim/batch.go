@@ -1,0 +1,592 @@
+package sim
+
+// Multi-lane batch simulation. A Batch runs K Instances of one Program
+// through the harness cycle protocol in lockstep, amortizing everything
+// per-cycle work shares across lanes: the schedule decode (port and
+// waveform arena indices are resolved once, not once per lane), the
+// levelized combinational sweep (one walk of the topological order runs
+// every dirty lane's closure at each position, so the order array and the
+// closure code stay hot in cache), and the signal arenas (one contiguous
+// pooled slab, sliced per lane). Stimulus enters as flat rows aligned
+// with the non-clock input declaration order — no per-cycle map
+// allocation or name hashing — or as per-lane maps with exactly the
+// standalone Harness application semantics.
+//
+// Byte-identity is the design constraint, not an aspiration: lane k of a
+// Batch must produce the same trace, VCD rendering, coverage map and
+// error (at the same cycle, with the same message) as a standalone
+// Harness driving a fresh Instance with the same stimulus. The fused
+// sweep preserves the per-lane state machine of settleLevelized exactly —
+// same phase order, same per-lane delta accounting, same self-trigger
+// guard — and the rtlgen differential gate (DiffBatchLanes) enforces the
+// equivalence over generated designs.
+
+import (
+	"fmt"
+	"sync"
+
+	"uvllm/internal/cover"
+)
+
+// Batch drives K lanes — K Instances of one Program — through the cycle
+// protocol in lockstep. Lanes are independent simulations: they share the
+// immutable Program, the decoded schedule and one pooled signal arena,
+// but never observe each other's state. A lane that errors (oscillation,
+// unknown stimulus signal) goes inert at that cycle — exactly where the
+// standalone harness run would have stopped — and the remaining lanes
+// continue; Err reports per-lane outcomes.
+//
+// A Batch is not safe for concurrent use by multiple goroutines; lane
+// parallelism inside one Batch is opted into with Workers.
+type Batch struct {
+	prog  *Program
+	d     *Design
+	clock string
+
+	lanes []*Instance
+	waves []*Waveform
+	errs  []error
+
+	// Workers, when >= 2, distributes per-lane cycle work across that many
+	// goroutines instead of running the single-threaded fused sweep. The
+	// results are byte-identical (lanes are independent); the fused path is
+	// usually faster for small designs, the parallel path for large K on
+	// expensive designs. Mutate only between Cycle calls.
+	Workers int
+
+	inPorts  []portRef // non-clock inputs, declaration order — the row layout
+	outPorts []portRef
+	recIdx   []int // arena index per recorded name, in Waveform Names() order
+	inputSet map[string]bool
+	cycle    int
+
+	recRow     []uint64 // scratch row shared by all lanes (single-threaded path)
+	sweepLanes []int    // scratch: lanes participating in the current fused sweep
+	steps      []int    // scratch: per-lane delta counter of the current settle
+	skip       []bool   // scratch: lanes masked out of the current cycle
+}
+
+// NewBatch allocates a batch of `lanes` fresh Instances of p, pooled in
+// one contiguous signal arena, with the given clock input ("" for
+// combinational designs). Each lane is reset and settled exactly like
+// Program.NewInstance.
+func NewBatch(p *Program, lanes int, clock string) (*Batch, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("sim: batch needs at least 1 lane, got %d", lanes)
+	}
+	b := &Batch{prog: p, d: p.Design(), clock: clock, inputSet: map[string]bool{}}
+	n := len(b.d.sigs)
+	slab := make([]uint64, lanes*n)
+	var names []string
+	for _, pt := range b.d.Inputs() {
+		names = append(names, pt.Name)
+		b.inputSet[pt.Name] = true
+		if pt.Name == clock {
+			continue
+		}
+		if idx, ok := b.d.byName[pt.Name]; ok {
+			b.inPorts = append(b.inPorts, portRef{name: pt.Name, idx: idx})
+		}
+	}
+	for _, pt := range b.d.Outputs() {
+		names = append(names, pt.Name)
+		if idx, ok := b.d.byName[pt.Name]; ok {
+			b.outPorts = append(b.outPorts, portRef{name: pt.Name, idx: idx})
+		}
+	}
+	for k := 0; k < lanes; k++ {
+		inst, err := p.newInstanceArena(slab[k*n : (k+1)*n : (k+1)*n])
+		if err != nil {
+			return nil, err
+		}
+		b.lanes = append(b.lanes, inst)
+		w := NewWaveform(names)
+		b.waves = append(b.waves, w)
+		if b.recIdx == nil {
+			for _, rn := range w.Names() {
+				idx := -1
+				if i, ok := b.d.byName[rn]; ok {
+					idx = i
+				}
+				b.recIdx = append(b.recIdx, idx)
+			}
+		}
+	}
+	b.errs = make([]error, lanes)
+	b.recRow = make([]uint64, len(b.recIdx))
+	b.steps = make([]int, lanes)
+	b.skip = make([]bool, lanes)
+	return b, nil
+}
+
+// Lanes returns the number of lanes.
+func (b *Batch) Lanes() int { return len(b.lanes) }
+
+// Lane returns lane k's Instance — a real Instance of the shared Program,
+// so Snapshot, Restore, Get, GetMem and EnableCover all work per lane.
+func (b *Batch) Lane(k int) *Instance { return b.lanes[k] }
+
+// Wave returns lane k's recorded waveform (same names and layout as a
+// standalone Harness waveform).
+func (b *Batch) Wave(k int) *Waveform { return b.waves[k] }
+
+// Err returns the error that made lane k inert, or nil while it is live.
+func (b *Batch) Err(k int) error { return b.errs[k] }
+
+// CycleCount returns the number of batch cycles driven so far.
+func (b *Batch) CycleCount() int { return b.cycle }
+
+// Ports returns the row stimulus layout: the non-clock inputs in
+// declaration order. Cycle rows must align with this slice.
+func (b *Batch) Ports() []PortInfo {
+	out := make([]PortInfo, 0, len(b.inPorts))
+	for _, pr := range b.inPorts {
+		out = append(out, PortInfo{Name: pr.name, Width: b.d.sigs[pr.idx].width})
+	}
+	return out
+}
+
+// EnableCover enables structural coverage on every lane, excluding the
+// batch clock from the toggle universe exactly like Harness.EnableCover.
+func (b *Batch) EnableCover(opts CoverOptions) error {
+	for k := range b.lanes {
+		if err := b.EnableCoverLane(k, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableCoverLane enables (or, with a zero CoverOptions, disables)
+// structural coverage on one lane, excluding the batch clock like
+// Harness.EnableCover. The directed-stimulus scorer uses this to give
+// each speculative lane a fresh per-round map.
+func (b *Batch) EnableCoverLane(k int, opts CoverOptions) error {
+	if opts.Any() && b.clock != "" {
+		opts.ExcludeSignals = append(append([]string(nil), opts.ExcludeSignals...), b.clock)
+	}
+	return b.lanes[k].EnableCover(opts)
+}
+
+// Coverage returns lane k's accumulated coverage map, or nil when
+// coverage is off.
+func (b *Batch) Coverage(k int) *cover.Map { return b.lanes[k].Coverage() }
+
+// Outputs samples lane k's top-level outputs without advancing time.
+func (b *Batch) Outputs(k int) map[string]uint64 {
+	s := b.lanes[k]
+	outs := make(map[string]uint64, len(b.outPorts))
+	for _, pr := range b.outPorts {
+		outs[pr.name] = s.vals[pr.idx]
+	}
+	return outs
+}
+
+// OutputRow samples lane k's outputs into buf (grown as needed) in the
+// output declaration order — the allocation-free counterpart of Outputs.
+func (b *Batch) OutputRow(k int, buf []uint64) []uint64 {
+	s := b.lanes[k]
+	buf = buf[:0]
+	for _, pr := range b.outPorts {
+		buf = append(buf, s.vals[pr.idx])
+	}
+	return buf
+}
+
+// Cycle drives one cycle on every live lane: rows[k] holds lane k's
+// stimulus aligned with Ports() (every non-clock input is applied). A nil
+// rows[k] masks lane k out of this cycle entirely — it neither advances
+// nor records. The protocol per lane is exactly Harness.Cycle: apply
+// inputs, settle, sample exec coverage, pulse the clock with settles,
+// sample state coverage, record the waveform row. Per-lane simulation
+// errors do not fail the call; they park in Err(k).
+func (b *Batch) Cycle(rows [][]uint64) error {
+	if len(rows) != len(b.lanes) {
+		return fmt.Errorf("sim: batch cycle: %d rows for %d lanes", len(rows), len(b.lanes))
+	}
+	for k, row := range rows {
+		b.skip[k] = row == nil
+		if row != nil && len(row) != len(b.inPorts) {
+			return fmt.Errorf("sim: batch cycle: lane %d row has %d values, want %d", k, len(row), len(b.inPorts))
+		}
+	}
+	if b.Workers >= 2 {
+		return b.cycleParallel(rows, nil)
+	}
+	for k, s := range b.lanes {
+		if b.errs[k] != nil || b.skip[k] {
+			continue
+		}
+		row := rows[k]
+		for i, pr := range b.inPorts {
+			s.set(pr.idx, row[i])
+		}
+	}
+	return b.finishCycle()
+}
+
+// CycleMaps drives one cycle with per-lane map stimulus under exactly the
+// standalone Harness.Cycle application semantics: declared inputs present
+// in the map are applied in declaration order, leftover keys in sorted
+// order, absent inputs keep their values. A nil ins[k] masks lane k out
+// of this cycle. Per-lane errors park in Err(k).
+func (b *Batch) CycleMaps(ins []map[string]uint64) error {
+	if len(ins) != len(b.lanes) {
+		return fmt.Errorf("sim: batch cycle: %d stimulus maps for %d lanes", len(ins), len(b.lanes))
+	}
+	for k, in := range ins {
+		b.skip[k] = in == nil
+	}
+	if b.Workers >= 2 {
+		return b.cycleParallel(nil, ins)
+	}
+	for k := range b.lanes {
+		if b.errs[k] != nil || b.skip[k] {
+			continue
+		}
+		if err := b.applyMap(k, ins[k]); err != nil {
+			b.errs[k] = err
+		}
+	}
+	return b.finishCycle()
+}
+
+// applyMap replicates Harness.Cycle's stimulus application for one lane.
+func (b *Batch) applyMap(k int, in map[string]uint64) error {
+	s := b.lanes[k]
+	applied := 0
+	for _, p := range b.d.Inputs() {
+		v, ok := in[p.Name]
+		if !ok || p.Name == b.clock {
+			continue
+		}
+		applied++
+		if err := s.Set(p.Name, v); err != nil {
+			return err
+		}
+	}
+	expect := len(in)
+	if b.clock != "" {
+		if _, ok := in[b.clock]; ok {
+			expect--
+		}
+	}
+	if applied != expect {
+		for _, name := range sortedExtraKeys(in, b.inputSet, b.clock) {
+			if err := s.Set(name, in[name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finishCycle runs the shared post-apply protocol on the single-threaded
+// fused path: settle, exec-coverage sample, clock pulse, state-coverage
+// sample, waveform row.
+func (b *Batch) finishCycle() error {
+	b.settleAll()
+	for k, s := range b.lanes {
+		if b.errs[k] == nil && !b.skip[k] && s.cov != nil {
+			s.coverSampleExec()
+		}
+	}
+	if b.clock != "" {
+		clockIdx, haveClock := b.d.byName[b.clock]
+		if haveClock {
+			for k, s := range b.lanes {
+				if b.errs[k] == nil && !b.skip[k] {
+					s.set(clockIdx, 1)
+				}
+			}
+			b.settleAll()
+			for k, s := range b.lanes {
+				if b.errs[k] == nil && !b.skip[k] {
+					s.set(clockIdx, 0)
+				}
+			}
+			b.settleAll()
+		} else {
+			// Unknown clock name: fail each live lane with the Harness's
+			// error surface for the same stimulus.
+			for k := range b.lanes {
+				if b.errs[k] == nil && !b.skip[k] {
+					b.errs[k] = fmt.Errorf("sim: unknown signal %q", b.clock)
+				}
+			}
+		}
+	}
+	for k, s := range b.lanes {
+		if b.errs[k] != nil || b.skip[k] {
+			continue
+		}
+		if s.cov != nil {
+			s.coverSampleState()
+		}
+		for i, idx := range b.recIdx {
+			if idx >= 0 {
+				b.recRow[i] = s.vals[idx]
+			} else {
+				b.recRow[i] = 0
+			}
+		}
+		b.waves[k].recordRow(b.recRow)
+	}
+	b.cycle++
+	return nil
+}
+
+// settleAll settles every live, unmasked lane. On levelized programs the
+// combinational phase is fused: one walk of the shared topological order
+// per delta round runs every sweeping lane's closure at each position.
+// The per-lane state machine — sweep if needed, then NBA commits, then
+// sequential processes, loop until quiet, per-lane delta accounting
+// against DeltaLimit — is exactly settleLevelized's; lanes that go quiet
+// simply sit out later rounds. Non-levelized programs settle lane by
+// lane (nothing to fuse in an event-queue walk).
+func (b *Batch) settleAll() {
+	if !b.prog.levelized {
+		for k, s := range b.lanes {
+			if b.errs[k] != nil || b.skip[k] {
+				continue
+			}
+			if err := s.Settle(); err != nil {
+				b.errs[k] = err
+			}
+		}
+		return
+	}
+	code := b.prog.code
+	for k := range b.steps {
+		b.steps[k] = 0
+	}
+	for {
+		// Combinational phase, fused across lanes.
+		b.sweepLanes = b.sweepLanes[:0]
+		for k, s := range b.lanes {
+			if b.errs[k] != nil || b.skip[k] || !s.needSweep {
+				continue
+			}
+			b.steps[k]++
+			if b.steps[k] > s.DeltaLimit {
+				b.errs[k] = fmt.Errorf("sim: combinational logic did not converge after %d deltas (oscillation)", s.DeltaLimit)
+				continue
+			}
+			s.needSweep = false
+			s.inSweep = true
+			b.sweepLanes = append(b.sweepLanes, k)
+		}
+		if len(b.sweepLanes) > 0 {
+			for i, pi := range code.order {
+				fn := code.orderFns[i]
+				for _, k := range b.sweepLanes {
+					s := b.lanes[k]
+					if b.errs[k] != nil || !s.dirty[pi] {
+						continue
+					}
+					s.dirty[pi] = false
+					s.running = pi
+					err := fn(s)
+					s.running = -1
+					if err != nil {
+						s.inSweep = false
+						b.errs[k] = err
+					}
+				}
+			}
+			for _, k := range b.sweepLanes {
+				s := b.lanes[k]
+				if b.errs[k] != nil {
+					continue
+				}
+				s.inSweep = false
+				// Same defense in depth as settleLevelized: a re-dirtied
+				// process means another sweep (and ultimately the delta
+				// limit) instead of silent divergence.
+				for _, pi := range code.order {
+					if s.dirty[pi] {
+						s.needSweep = true
+						break
+					}
+				}
+			}
+		}
+		// NBA / sequential phase, per lane (NBA commits take priority and
+		// send the lane back through the sweep check, exactly like the
+		// standalone loop's continue).
+		work := false
+		for k, s := range b.lanes {
+			if b.errs[k] != nil || b.skip[k] {
+				continue
+			}
+			if len(s.nba) > 0 {
+				writes := s.nba
+				s.nba = nil
+				for _, w := range writes {
+					s.commitNBA(w)
+				}
+				work = true
+				continue
+			}
+			if len(s.seqQueue) > 0 {
+				procs := s.seqQueue
+				s.seqQueue = nil
+				for _, pi := range procs {
+					s.inSeq[pi] = false
+					if err := s.runProc(s.d.procs[pi]); err != nil {
+						b.errs[k] = err
+						break
+					}
+				}
+				work = true
+				continue
+			}
+			if s.needSweep {
+				work = true
+			}
+		}
+		if !work {
+			return
+		}
+	}
+}
+
+// cycleParallel is the Workers>=2 path: each goroutine runs complete,
+// independent lanes through the standalone per-lane protocol (apply,
+// Settle, coverage samples, clock pulse, record). Lanes never share
+// mutable state, so the only coordination is the WaitGroup; results are
+// byte-identical to the fused path.
+func (b *Batch) cycleParallel(rows [][]uint64, ins []map[string]uint64) error {
+	workers := b.Workers
+	if workers > len(b.lanes) {
+		workers = len(b.lanes)
+	}
+	clockIdx, haveClock := -1, false
+	if b.clock != "" {
+		clockIdx, haveClock = b.d.byName[b.clock]
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]uint64, len(b.recIdx))
+			for k := range next {
+				b.laneCycle(k, rows, ins, clockIdx, haveClock, row)
+			}
+		}()
+	}
+	for k := range b.lanes {
+		if b.errs[k] == nil && !b.skip[k] {
+			next <- k
+		}
+	}
+	close(next)
+	wg.Wait()
+	b.cycle++
+	return nil
+}
+
+// laneCycle runs one lane's full cycle (parallel path). recRow is the
+// calling worker's private scratch.
+func (b *Batch) laneCycle(k int, rows [][]uint64, ins []map[string]uint64, clockIdx int, haveClock bool, recRow []uint64) {
+	s := b.lanes[k]
+	if rows != nil {
+		for i, pr := range b.inPorts {
+			s.set(pr.idx, rows[k][i])
+		}
+	} else if err := b.applyMap(k, ins[k]); err != nil {
+		b.errs[k] = err
+		return
+	}
+	if err := s.Settle(); err != nil {
+		b.errs[k] = err
+		return
+	}
+	if s.cov != nil {
+		s.coverSampleExec()
+	}
+	if b.clock != "" {
+		if !haveClock {
+			b.errs[k] = fmt.Errorf("sim: unknown signal %q", b.clock)
+			return
+		}
+		s.set(clockIdx, 1)
+		if err := s.Settle(); err != nil {
+			b.errs[k] = err
+			return
+		}
+		s.set(clockIdx, 0)
+		if err := s.Settle(); err != nil {
+			b.errs[k] = err
+			return
+		}
+	}
+	if s.cov != nil {
+		s.coverSampleState()
+	}
+	for i, idx := range b.recIdx {
+		if idx >= 0 {
+			recRow[i] = s.vals[idx]
+		} else {
+			recRow[i] = 0
+		}
+	}
+	b.waves[k].recordRow(recRow)
+}
+
+// ApplyReset drives the conventional reset sequence on every lane —
+// assert for `cycles` clock edges, then deassert and settle — mirroring
+// Harness.ApplyReset (including its "sim: reset:" error wrapping for
+// failures inside the reset cycles). Designs without a recognized reset
+// input are untouched.
+func (b *Batch) ApplyReset(cycles int) error {
+	name, activeLow := FindReset(b.d)
+	if name == "" {
+		return nil
+	}
+	assert, deassert := uint64(1), uint64(0)
+	if activeLow {
+		assert, deassert = 0, 1
+	}
+	before := make([]bool, len(b.lanes))
+	for k := range b.lanes {
+		before[k] = b.errs[k] != nil
+	}
+	in := map[string]uint64{name: assert}
+	ins := make([]map[string]uint64, len(b.lanes))
+	for k := range ins {
+		ins[k] = in
+	}
+	for i := 0; i < cycles; i++ {
+		if err := b.CycleMaps(ins); err != nil {
+			return err
+		}
+	}
+	for k := range b.lanes {
+		if !before[k] && b.errs[k] != nil {
+			b.errs[k] = fmt.Errorf("sim: reset: %w", b.errs[k])
+		}
+	}
+	for k, s := range b.lanes {
+		if b.errs[k] != nil {
+			continue
+		}
+		if err := s.Set(name, deassert); err != nil {
+			b.errs[k] = err
+			continue
+		}
+	}
+	b.settleAllPostReset()
+	return nil
+}
+
+// settleAllPostReset settles the deassert edge without the cycle masking
+// scratch state (ApplyReset runs outside a cycle).
+func (b *Batch) settleAllPostReset() {
+	for k := range b.skip {
+		b.skip[k] = false
+	}
+	b.settleAll()
+}

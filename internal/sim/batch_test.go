@@ -1,0 +1,528 @@
+package sim
+
+// Batch tests: per-lane byte-identity against the standalone Harness
+// (traces, VCD bytes, encoded coverage, final state, errors), per-lane
+// snapshot/restore, lane masking, error isolation, and — under -race —
+// the Workers path plus concurrent Batches of one shared Program.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// batchStim builds deterministic per-lane stimulus for memDUT.
+func batchStim(lane, cycle int) map[string]uint64 {
+	return map[string]uint64{
+		"rst_n": 1,
+		"we":    uint64((cycle + lane) % 2),
+		"addr":  uint64((cycle*7 + lane*3) % 16),
+		"din":   uint64(lane*41+cycle*13) & 0xff,
+	}
+}
+
+// harnessRef runs one standalone harness lane of memDUT and returns the
+// harness (for wave/coverage/final-state inspection) and per-cycle
+// outputs.
+func harnessRef(t *testing.T, p *Program, lane, cycles int, withCover bool) (*Harness, []map[string]uint64) {
+	t.Helper()
+	inst, err := p.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarness(inst, "clk")
+	if withCover {
+		if err := h.EnableCover(CoverAll()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.ApplyReset(2); err != nil {
+		t.Fatal(err)
+	}
+	var outs []map[string]uint64
+	for c := 0; c < cycles; c++ {
+		o, err := h.Cycle(batchStim(lane, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, o)
+	}
+	return h, outs
+}
+
+// wavesEqual compares two waveforms cell by cell.
+func wavesEqual(a, b *Waveform) error {
+	if a.Cycles() != b.Cycles() {
+		return fmt.Errorf("cycles %d vs %d", a.Cycles(), b.Cycles())
+	}
+	for _, n := range a.Names() {
+		for c := 0; c < a.Cycles(); c++ {
+			if a.At(n, c) != b.At(n, c) {
+				return fmt.Errorf("%s@%d: 0x%x vs 0x%x", n, c, a.At(n, c), b.At(n, c))
+			}
+		}
+	}
+	return nil
+}
+
+// checkLaneIdentity asserts lane k of the batch matches its standalone
+// harness reference on every observable.
+func checkLaneIdentity(t *testing.T, b *Batch, k int, h *Harness, refOuts []map[string]uint64, gotOuts []map[string]uint64, top string) {
+	t.Helper()
+	if err := b.Err(k); err != nil {
+		t.Fatalf("lane %d errored: %v", k, err)
+	}
+	for c, want := range refOuts {
+		for n, v := range want {
+			if gotOuts[c][n] != v {
+				t.Fatalf("lane %d cycle %d %s: batch=0x%x harness=0x%x", k, c, n, gotOuts[c][n], v)
+			}
+		}
+	}
+	if err := wavesEqual(h.Wave, b.Wave(k)); err != nil {
+		t.Fatalf("lane %d waveform: %v", k, err)
+	}
+	var vb, vh bytes.Buffer
+	if err := WriteVCD(&vb, b.Wave(k), b.Lane(k).Design(), top); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVCD(&vh, h.Wave, h.Sim.Design(), top); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vb.Bytes(), vh.Bytes()) {
+		t.Fatalf("lane %d VCD bytes differ", k)
+	}
+	if hc, bc := h.Coverage(), b.Coverage(k); (hc == nil) != (bc == nil) {
+		t.Fatalf("lane %d coverage enabled mismatch", k)
+	} else if hc != nil && !bytes.Equal(hc.Encode(), bc.Encode()) {
+		t.Fatalf("lane %d coverage maps differ:\n--- batch ---\n%s--- harness ---\n%s", k, bc.Encode(), hc.Encode())
+	}
+	for _, n := range h.Sim.Design().SignalNames() {
+		if h.Sim.Get(n) != b.Lane(k).Get(n) {
+			t.Fatalf("lane %d final %s: batch=0x%x harness=0x%x", k, n, b.Lane(k).Get(n), h.Sim.Get(n))
+		}
+	}
+}
+
+// runBatch drives a batch over the shared stimulus via the row API and
+// returns per-lane per-cycle outputs.
+func runBatch(t *testing.T, b *Batch, cycles int) [][]map[string]uint64 {
+	t.Helper()
+	ports := b.Ports()
+	if err := b.ApplyReset(2); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]map[string]uint64, b.Lanes())
+	rows := make([][]uint64, b.Lanes())
+	for k := range rows {
+		rows[k] = make([]uint64, len(ports))
+	}
+	for c := 0; c < cycles; c++ {
+		for k := range rows {
+			in := batchStim(k, c)
+			for i, pt := range ports {
+				rows[k][i] = in[pt.Name]
+			}
+		}
+		if err := b.Cycle(rows); err != nil {
+			t.Fatal(err)
+		}
+		for k := range rows {
+			outs[k] = append(outs[k], b.Outputs(k))
+		}
+	}
+	return outs
+}
+
+// TestBatchMatchesHarness is the core byte-identity gate: 8 lanes of a
+// memory-bearing sequential design in one Batch (row stimulus, coverage
+// on) against 8 standalone Harness runs, on both backends.
+func TestBatchMatchesHarness(t *testing.T) {
+	const lanes, cycles = 8, 40
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			p, err := CompileSource(memDUT, "memdut", be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewBatch(p, lanes, "clk")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.EnableCover(CoverAll()); err != nil {
+				t.Fatal(err)
+			}
+			outs := runBatch(t, b, cycles)
+			for k := 0; k < lanes; k++ {
+				h, refOuts := harnessRef(t, p, k, cycles, true)
+				checkLaneIdentity(t, b, k, h, refOuts, outs[k], "memdut")
+			}
+		})
+	}
+}
+
+// TestBatchCycleMapsMatchesHarness drives the map API with partial maps
+// (absent ports keep their values — the Harness semantics ApplyReset and
+// the UVM layer rely on).
+func TestBatchCycleMapsMatchesHarness(t *testing.T) {
+	const lanes, cycles = 4, 24
+	p, err := CompileSource(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatch(p, lanes, "clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplyReset(2); err != nil {
+		t.Fatal(err)
+	}
+	stim := func(lane, c int) map[string]uint64 {
+		in := map[string]uint64{"rst_n": 1, "din": uint64(lane*17 + c)}
+		if c%3 == 0 {
+			in["we"] = uint64(c % 2)
+			in["addr"] = uint64((lane + c) % 16)
+		}
+		return in
+	}
+	ins := make([]map[string]uint64, lanes)
+	for c := 0; c < cycles; c++ {
+		for k := range ins {
+			ins[k] = stim(k, c)
+		}
+		if err := b.CycleMaps(ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < lanes; k++ {
+		inst, err := p.NewInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := NewHarness(inst, "clk")
+		if err := h.ApplyReset(2); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < cycles; c++ {
+			if _, err := h.Cycle(stim(k, c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wavesEqual(h.Wave, b.Wave(k)); err != nil {
+			t.Fatalf("lane %d: %v", k, err)
+		}
+	}
+}
+
+// TestBatchLaneMasking checks a nil row freezes a lane — no state
+// advance, no waveform row — while the other lanes proceed.
+func TestBatchLaneMasking(t *testing.T) {
+	p, err := CompileSource(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatch(p, 2, "clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplyReset(2); err != nil {
+		t.Fatal(err)
+	}
+	ports := b.Ports()
+	row := make([]uint64, len(ports))
+	in := batchStim(0, 5)
+	for i, pt := range ports {
+		row[i] = in[pt.Name]
+	}
+	before := b.Lane(1).Get("acc")
+	if err := b.Cycle([][]uint64{row, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Wave(1).Cycles(); got != 2 {
+		t.Fatalf("masked lane recorded %d cycles, want 2 (reset only)", got)
+	}
+	if b.Wave(0).Cycles() != 3 {
+		t.Fatal("live lane did not record")
+	}
+	if b.Lane(1).Get("acc") != before {
+		t.Fatal("masked lane advanced")
+	}
+}
+
+// oscDUT oscillates combinationally whenever en is high; cnt keeps the
+// sequential side alive for the surviving lanes.
+const oscDUT = `module osc(input clk, input en, output w, output reg [3:0] cnt);
+  assign w = en ? ~w : 1'b0;
+  always @(posedge clk) cnt <= cnt + 1;
+endmodule`
+
+// TestBatchLaneErrorIsolation drives one lane into combinational
+// oscillation: it must die with exactly the standalone harness's error
+// while the other lanes keep cycling and recording.
+func TestBatchLaneErrorIsolation(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			p, err := CompileSource(oscDUT, "osc", be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewBatch(p, 3, "clk")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ports := b.Ports()
+			mkRow := func(en uint64) []uint64 {
+				row := make([]uint64, len(ports))
+				for i, pt := range ports {
+					if pt.Name == "en" {
+						row[i] = en
+					}
+				}
+				return row
+			}
+			const badLane, badCycle, cycles = 1, 3, 8
+			for c := 0; c < cycles; c++ {
+				rows := [][]uint64{mkRow(0), mkRow(0), mkRow(0)}
+				if c == badCycle {
+					rows[badLane] = mkRow(1)
+				}
+				if err := b.Cycle(rows); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if b.Err(0) != nil || b.Err(2) != nil {
+				t.Fatalf("healthy lanes errored: %v / %v", b.Err(0), b.Err(2))
+			}
+			if b.Err(badLane) == nil {
+				t.Fatal("oscillating lane did not error")
+			}
+			if got := b.Wave(badLane).Cycles(); got != badCycle {
+				t.Fatalf("dead lane recorded %d cycles, want %d", got, badCycle)
+			}
+			if got := b.Wave(0).Cycles(); got != cycles {
+				t.Fatalf("live lane recorded %d cycles, want %d", got, cycles)
+			}
+			if got := b.Lane(0).Get("cnt"); got != cycles {
+				t.Fatalf("live lane cnt=%d, want %d", got, cycles)
+			}
+			// Standalone reference: same stimulus, same error, same cycle.
+			inst, err := p.NewInstance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHarness(inst, "clk")
+			var refErr error
+			for c := 0; c <= badCycle; c++ {
+				en := uint64(0)
+				if c == badCycle {
+					en = 1
+				}
+				if _, refErr = h.Cycle(map[string]uint64{"en": en}); refErr != nil {
+					break
+				}
+			}
+			if refErr == nil {
+				t.Fatal("standalone reference did not oscillate")
+			}
+			if b.Err(badLane).Error() != refErr.Error() {
+				t.Fatalf("error mismatch:\n batch:    %v\n harness:  %v", b.Err(badLane), refErr)
+			}
+		})
+	}
+}
+
+// TestBatchPerLaneSnapshotRestore rewinds one lane mid-batch and checks
+// the replayed trajectory matches, while the untouched lanes' histories
+// are unaffected.
+func TestBatchPerLaneSnapshotRestore(t *testing.T) {
+	const lanes, half = 4, 10
+	p, err := CompileSource(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatch(p, lanes, "clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBatch(t, b, half)
+	sn := b.Lane(2).Snapshot()
+	mid := stateFingerprint(b.Lane(2))
+
+	ports := b.Ports()
+	rows := make([][]uint64, lanes)
+	for k := range rows {
+		rows[k] = make([]uint64, len(ports))
+	}
+	drive := func(c int) {
+		for k := range rows {
+			in := batchStim(k, c)
+			for i, pt := range ports {
+				rows[k][i] = in[pt.Name]
+			}
+		}
+		if err := b.Cycle(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var firstRun []string
+	for c := half; c < 2*half; c++ {
+		drive(c)
+		firstRun = append(firstRun, stateFingerprint(b.Lane(2)))
+	}
+	if err := b.Lane(2).Restore(sn); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateFingerprint(b.Lane(2)); got != mid {
+		t.Fatal("restore did not rewind the lane")
+	}
+	other := stateFingerprint(b.Lane(0))
+	for c := half; c < 2*half; c++ {
+		drive(c)
+		if got := stateFingerprint(b.Lane(2)); got != firstRun[c-half] {
+			t.Fatalf("cycle %d diverged after in-batch restore", c)
+		}
+	}
+	if stateFingerprint(b.Lane(0)) == other {
+		t.Fatal("lane 0 did not advance during the replay")
+	}
+}
+
+// TestBatchWorkersByteIdentical is the -race gate for in-batch lane
+// parallelism: the Workers path must reproduce the fused single-threaded
+// result bit for bit (waveforms and coverage), and concurrent Batches of
+// one shared Program must not interfere.
+func TestBatchWorkersByteIdentical(t *testing.T) {
+	const lanes, cycles = 8, 30
+	p, err := CompileSource(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Batch {
+		b, err := NewBatch(p, lanes, "clk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Workers = workers
+		if err := b.EnableCover(CoverAll()); err != nil {
+			t.Fatal(err)
+		}
+		runBatch(t, b, cycles)
+		return b
+	}
+	ref := run(0)
+	var wg sync.WaitGroup
+	got := make([]*Batch, 3)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = run(2 + i) // 2, 3, 4 workers, concurrently
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range got {
+		for k := 0; k < lanes; k++ {
+			if err := wavesEqual(ref.Wave(k), b.Wave(k)); err != nil {
+				t.Fatalf("workers batch %d lane %d waveform: %v", i, k, err)
+			}
+			if !bytes.Equal(ref.Coverage(k).Encode(), b.Coverage(k).Encode()) {
+				t.Fatalf("workers batch %d lane %d coverage differs", i, k)
+			}
+		}
+	}
+}
+
+// TestBatchRejectsBadShapes pins the usage-error surface.
+func TestBatchRejectsBadShapes(t *testing.T) {
+	p, err := CompileSource(memDUT, "memdut", BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatch(p, 0, "clk"); err == nil {
+		t.Fatal("0-lane batch accepted")
+	}
+	b, err := NewBatch(p, 2, "clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Cycle([][]uint64{nil}); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if err := b.Cycle([][]uint64{{1}, {2}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := b.CycleMaps([]map[string]uint64{nil}); err == nil {
+		t.Fatal("wrong map count accepted")
+	}
+}
+
+// TestBatchRandomizedAgainstHarness fuzzes the identity over random
+// per-lane streams on both backends (short, deterministic).
+func TestBatchRandomizedAgainstHarness(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			p, err := CompileSource(coverFSMSrc, "cfsm", be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const lanes, cycles = 6, 50
+			b, err := NewBatch(p, lanes, "clk")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.EnableCover(CoverAll()); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.ApplyReset(2); err != nil {
+				t.Fatal(err)
+			}
+			stim := func(lane int) []map[string]uint64 {
+				rng := rand.New(rand.NewSource(int64(1000 + lane)))
+				out := make([]map[string]uint64, cycles)
+				for c := range out {
+					out[c] = map[string]uint64{"rst_n": 1, "in": rng.Uint64() & 1}
+				}
+				return out
+			}
+			all := make([][]map[string]uint64, lanes)
+			for k := range all {
+				all[k] = stim(k)
+			}
+			ins := make([]map[string]uint64, lanes)
+			for c := 0; c < cycles; c++ {
+				for k := range ins {
+					ins[k] = all[k][c]
+				}
+				if err := b.CycleMaps(ins); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := 0; k < lanes; k++ {
+				inst, err := p.NewInstance()
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := NewHarness(inst, "clk")
+				if err := h.EnableCover(CoverAll()); err != nil {
+					t.Fatal(err)
+				}
+				if err := h.ApplyReset(2); err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < cycles; c++ {
+					if _, err := h.Cycle(all[k][c]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := wavesEqual(h.Wave, b.Wave(k)); err != nil {
+					t.Fatalf("lane %d: %v", k, err)
+				}
+				if !bytes.Equal(h.Coverage().Encode(), b.Coverage(k).Encode()) {
+					t.Fatalf("lane %d coverage differs", k)
+				}
+			}
+		})
+	}
+}

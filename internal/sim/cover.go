@@ -389,8 +389,11 @@ type instCover struct {
 // zero CoverOptions), replacing any coverage collected so far. The full
 // point universe of the enabled models is registered immediately, so
 // Coverage().Percent() has its denominator before the first sample.
-// Coverage state is not part of Snapshot/Restore: it is observational,
-// and rewinding an instance does not un-observe its history.
+// The accumulated coverage map is not part of Snapshot/Restore — it is
+// observational, and rewinding an instance does not un-observe its
+// history — but the FSM sampler's transition history is captured and
+// restored so a rewound instance never records a phantom transition out
+// of the pre-restore state (see Snapshot).
 func (s *Instance) EnableCover(opts CoverOptions) error {
 	if !opts.Any() {
 		s.cov = nil

@@ -78,13 +78,22 @@ func (p *Program) FallbackReason() string {
 // settles. Instances of one Program are independent: any number may run
 // concurrently on separate goroutines.
 func (p *Program) NewInstance() (*Instance, error) {
+	return p.newInstanceArena(make([]uint64, len(p.d.sigs)))
+}
+
+// newInstanceArena is NewInstance over a caller-provided signal arena
+// (len(vals) must equal the design's signal count). Batch passes per-lane
+// sub-slices of one contiguous pooled slab so K lanes share allocation
+// and cache locality; the zeroed slab is ready to use because Reset
+// rewrites every word anyway.
+func (p *Program) newInstanceArena(vals []uint64) (*Instance, error) {
 	s := &Instance{
 		program:    p,
 		d:          p.d,
 		code:       p.code,
 		levelized:  p.levelized,
 		backend:    p.backend,
-		vals:       make([]uint64, len(p.d.sigs)),
+		vals:       vals,
 		mems:       make([][]uint64, len(p.d.sigs)),
 		inQueue:    make([]bool, len(p.d.procs)),
 		inSeq:      make([]bool, len(p.d.procs)),
@@ -109,6 +118,16 @@ func (p *Program) NewInstance() (*Instance, error) {
 // state: signal arena, memories, pending event queues and the NBA buffer.
 // Snapshots are deep copies — restoring one multiple times, or after the
 // instance has moved on, always reproduces the captured state.
+//
+// Coverage contract: the accumulated coverage map is NOT part of a
+// snapshot — coverage is observational, and rewinding an instance does
+// not un-observe its history. The FSM sampler's transition history (the
+// previous sampled state per inferred FSM) IS captured: it describes the
+// trajectory being rewound, and restoring it keeps the first post-restore
+// sample from recording a phantom transition out of the pre-restore
+// state. A snapshot taken while coverage was off restores into a covering
+// instance by clearing that history instead (the next sample records
+// occupancy only, never a fabricated transition).
 type Snapshot struct {
 	program   *Program
 	vals      []uint64
@@ -120,10 +139,15 @@ type Snapshot struct {
 	nba       []nbaWrite
 	dirty     []bool
 	needSweep bool
+
+	covPrev []uint64 // FSM sampler history; nil when coverage was off
+	covSeen []bool
+	covOn   bool // coverage (with FSM model) was enabled at capture time
 }
 
 // Snapshot captures the instance's state. Call it between Settle
-// boundaries (not from inside a running process).
+// boundaries (not from inside a running process). See the Snapshot type
+// for the coverage contract.
 func (s *Instance) Snapshot() *Snapshot {
 	sn := &Snapshot{
 		program:   s.program,
@@ -141,6 +165,11 @@ func (s *Instance) Snapshot() *Snapshot {
 		if mem != nil {
 			sn.mems[i] = append([]uint64(nil), mem...)
 		}
+	}
+	if ic := s.cov; ic != nil && ic.fsmSeen != nil {
+		sn.covOn = true
+		sn.covPrev = append([]uint64(nil), ic.fsmPrev...)
+		sn.covSeen = append([]bool(nil), ic.fsmSeen...)
 	}
 	return sn
 }
@@ -169,5 +198,19 @@ func (s *Instance) Restore(sn *Snapshot) error {
 	s.needSweep = sn.needSweep
 	s.inSweep = false
 	s.running = -1
+	if ic := s.cov; ic != nil && len(ic.fsmSeen) > 0 {
+		if sn.covOn && len(sn.covSeen) == len(ic.fsmSeen) {
+			copy(ic.fsmPrev, sn.covPrev)
+			copy(ic.fsmSeen, sn.covSeen)
+		} else {
+			// The snapshot predates coverage (or was taken under a different
+			// FSM universe): the transition history along the restored
+			// trajectory is unknowable, so restart it rather than fabricate
+			// a transition out of the pre-restore state.
+			for i := range ic.fsmSeen {
+				ic.fsmSeen[i] = false
+			}
+		}
+	}
 	return nil
 }

@@ -35,6 +35,12 @@ type StimConfig struct {
 	// snippet (default 5). Shorter snippets give finer gain attribution;
 	// longer ones reach deeper sequential behavior.
 	SnippetLen int
+	// Lanes selects the batched candidate scorer: values > 1 make
+	// CoverageDirected evaluate that many candidate snippets per round in
+	// one sim.Batch (fused sweeps, shared schedule decode) and continue
+	// from the best, under the same total cycle budget. 0 or 1 keeps the
+	// sequential loop.
+	Lanes int
 }
 
 func (c StimConfig) cover() sim.CoverOptions {
@@ -124,6 +130,9 @@ func CoverageRandom(p *sim.Program, cfg StimConfig) (*cover.Map, error) {
 // fresh snippet drawn from the boundary/constant-biased value
 // distribution, and any snippet that hits new points joins the corpus.
 func CoverageDirected(p *sim.Program, cfg StimConfig) (*cover.Map, *Corpus, error) {
+	if cfg.Lanes > 1 {
+		return CoverageDirectedBatch(p, cfg)
+	}
 	h, err := coverHarness(p, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -160,6 +169,112 @@ func CoverageDirected(p *sim.Program, cfg StimConfig) (*cover.Map, *Corpus, erro
 		if gain := m.Hit() - before; gain > 0 {
 			corpus.Entries = append(corpus.Entries, CorpusEntry{Vectors: snippet, Gain: gain})
 		}
+	}
+	return m, corpus, nil
+}
+
+// CoverageDirectedBatch is the lane-parallel directed loop: each round
+// restores cfg.Lanes instances of one sim.Batch to the committed state,
+// drives one candidate snippet per lane in fused sweeps, scores every
+// candidate's coverage gain against the accumulated map, and continues
+// from the best candidate's post-snippet state. All simulated cycles
+// count against cfg.Cycles (L lanes × k-cycle snippets consume L·k), so
+// runs stay budget-comparable with CoverageRandom and the sequential
+// CoverageDirected; every lane's observed coverage is merged — a losing
+// candidate's points were still genuinely exercised.
+func CoverageDirectedBatch(p *sim.Program, cfg StimConfig) (*cover.Map, *Corpus, error) {
+	lanes := cfg.Lanes
+	if lanes < 2 {
+		lanes = 2
+	}
+	b, err := sim.NewBatch(p, lanes, cfg.Clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := b.EnableCover(cfg.cover()); err != nil {
+		return nil, nil, err
+	}
+	if err := b.ApplyReset(2); err != nil {
+		return nil, nil, fmt.Errorf("uvm: cover reset: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := p.Design()
+	ports := stimPorts(d, cfg.Clock)
+	rstName, activeLow := sim.FindReset(d)
+	var dict []uint64
+	for _, c := range d.Constants() {
+		if c != 0 {
+			dict = append(dict, c)
+		}
+	}
+
+	m := b.Coverage(0).Clone() // reset-phase coverage, identical on every lane
+	cur := b.Lane(0).Snapshot()
+	corpus := &Corpus{}
+	ins := make([]map[string]uint64, lanes)
+	remaining := cfg.Cycles
+	for remaining > 0 {
+		k := cfg.snippetLen()
+		if k > remaining {
+			k = remaining
+		}
+		live := remaining / k // candidates this round within budget
+		if live < 1 {
+			live = 1
+		}
+		if live > lanes {
+			live = lanes
+		}
+		candidates := make([][]map[string]uint64, live)
+		for l := range candidates {
+			candidates[l] = nextCandidate(corpus, rng, ports, dict, rstName, activeLow, k)
+		}
+		for l := 0; l < live; l++ {
+			// Fresh per-round map first, then restore: the rewind lands the
+			// FSM sampler history in the new collector, so each lane's map
+			// holds exactly this snippet's coverage.
+			if err := b.EnableCoverLane(l, cfg.cover()); err != nil {
+				return m, corpus, err
+			}
+			if err := b.Lane(l).Restore(cur); err != nil {
+				return m, corpus, err
+			}
+		}
+		for c := 0; c < k; c++ {
+			for l := range ins {
+				if l < live {
+					ins[l] = candidates[l][c]
+				} else {
+					ins[l] = nil
+				}
+			}
+			if err := b.CycleMaps(ins); err != nil {
+				return m, corpus, err
+			}
+		}
+		best, bestGain := -1, -1
+		for l := 0; l < live; l++ {
+			if b.Err(l) != nil {
+				continue
+			}
+			if gain := m.Gain(b.Coverage(l)); gain > bestGain {
+				best, bestGain = l, gain
+			}
+		}
+		if best < 0 {
+			return m, corpus, b.Err(0)
+		}
+		for l := 0; l < live; l++ {
+			if b.Err(l) != nil {
+				continue
+			}
+			if gain := m.Gain(b.Coverage(l)); gain > 0 {
+				corpus.Entries = append(corpus.Entries, CorpusEntry{Vectors: candidates[l], Gain: gain})
+			}
+			m.Merge(b.Coverage(l))
+		}
+		cur = b.Lane(best).Snapshot()
+		remaining -= live * k
 	}
 	return m, corpus, nil
 }

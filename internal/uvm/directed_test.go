@@ -127,3 +127,73 @@ func TestCoverageBudgetIsRespected(t *testing.T) {
 		t.Fatalf("cycle budgets differ: random sampled %d, directed %d", randomSamples, directedSamples)
 	}
 }
+
+func TestCoverageDirectedBatchNeedle(t *testing.T) {
+	p := compileNeedle(t)
+	cfg := StimConfig{Clock: "clk", Cycles: 120, Seed: 5, Lanes: 4}
+	mr, err := CoverageRandom(p, StimConfig{Clock: "clk", Cycles: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, corpus, err := CoverageDirected(p, cfg) // dispatches to the batch scorer
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Percent() <= mr.Percent() {
+		t.Fatalf("batched directed %.2f%% must beat random %.2f%% on the needle design",
+			md.Percent(), mr.Percent())
+	}
+	if len(corpus.Entries) == 0 {
+		t.Fatal("batched directed run saved no coverage-raising snippets")
+	}
+	for _, e := range corpus.Entries {
+		if e.Gain <= 0 || len(e.Vectors) == 0 {
+			t.Fatalf("bad corpus entry: gain=%d vectors=%d", e.Gain, len(e.Vectors))
+		}
+	}
+}
+
+func TestCoverageDirectedBatchDeterministic(t *testing.T) {
+	p := compileNeedle(t)
+	cfg := StimConfig{Clock: "clk", Cycles: 60, Seed: 9, Lanes: 3}
+	m1, c1, err := CoverageDirectedBatch(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, c2, err := CoverageDirectedBatch(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Encode(), m2.Encode()) {
+		t.Fatal("batched directed run is not deterministic for a fixed seed")
+	}
+	if len(c1.Entries) != len(c2.Entries) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(c1.Entries), len(c2.Entries))
+	}
+}
+
+func TestCoverageDirectedBatchBudget(t *testing.T) {
+	p := compileNeedle(t)
+	// Same statement-sample accounting as the sequential loop: the merged
+	// map must carry exactly reset + Cycles samples of the always block's
+	// outer statement — L lanes of k-cycle snippets consume L·k budget.
+	cfg := StimConfig{Clock: "clk", Cycles: 37, Seed: 1, SnippetLen: 5, Lanes: 4}
+	mr, err := CoverageRandom(p, StimConfig{Clock: "clk", Cycles: 37, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _, err := CoverageDirectedBatch(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randomSamples, batchSamples uint64
+	for _, pt := range mr.Points() {
+		if pt.Name == "p0.s1" {
+			randomSamples = mr.Count(pt)
+			batchSamples = md.Count(pt)
+		}
+	}
+	if randomSamples == 0 || randomSamples != batchSamples {
+		t.Fatalf("cycle budgets differ: random sampled %d, batch sampled %d", randomSamples, batchSamples)
+	}
+}

@@ -96,8 +96,34 @@ func traceKey(refName string, reset bool, vectors []map[string]uint64) [sha256.S
 // Expected returns the reference model's output for every vector of the
 // stream, computing and memoizing it on first use. reset mirrors the UVM
 // environment's reset phase (the model is Reset before stepping when the
-// DUT has a reset). The returned maps are shared and must not be mutated.
+// DUT has a reset). The returned slice and maps are fresh copies owned
+// by the caller: mutating them cannot poison the memoized trace for
+// later hits, and concurrent batch lanes can each take and edit their
+// own view of one golden trace.
 func (tm *TraceMemo) Expected(refName string, reset bool, vectors []map[string]uint64) ([]map[string]uint64, error) {
+	trace, err := tm.expectedShared(refName, reset, vectors)
+	if err != nil {
+		return nil, err
+	}
+	// Defensive copy: the memoized trace is the canonical artifact shared
+	// by every future hit (and, under sim.Batch, by concurrent lanes); a
+	// caller writing through the returned maps must never reach it.
+	out := make([]map[string]uint64, len(trace))
+	for i, row := range trace {
+		cp := make(map[string]uint64, len(row))
+		for k, v := range row {
+			cp[k] = v
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// expectedShared returns the canonical memoized trace without copying.
+// In-package callers on the hot path (Env.Run scores one comparison per
+// cycle) use it and MUST treat the slice and its maps as frozen; the
+// exported Expected wraps it in a defensive copy.
+func (tm *TraceMemo) expectedShared(refName string, reset bool, vectors []map[string]uint64) ([]map[string]uint64, error) {
 	return tm.m.Do(traceKey(refName, reset, vectors), func() ([]map[string]uint64, error) {
 		model, err := refmodel.New(refName)
 		if err != nil {

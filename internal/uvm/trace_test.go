@@ -73,6 +73,58 @@ func TestTraceMemoMatchesModel(t *testing.T) {
 	}
 }
 
+// TestTraceMemoMutationCannotPoison is the memo-poisoning regression
+// gate: a caller scribbling over the slice and maps Expected returned
+// must not corrupt what a later identical lookup sees. Batch lanes
+// share golden traces, so a leaked reference here would be a silent
+// cross-lane corruption vector.
+func TestTraceMemoMutationCannotPoison(t *testing.T) {
+	m := dataset.ByName("counter_12bit")
+	vectors := []map[string]uint64{
+		{"rst_n": 1, "en": 1}, {"rst_n": 1, "en": 1}, {"rst_n": 1, "en": 0},
+	}
+	tm := NewTraceMemo()
+	first, err := tm.Expected(m.Name, true, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := make([]map[string]uint64, len(first))
+	for i, row := range first {
+		cp := map[string]uint64{}
+		for k, v := range row {
+			cp[k] = v
+		}
+		pristine[i] = cp
+	}
+	// Hostile caller: rewrite every cell, add keys, nil out rows.
+	for _, row := range first {
+		for k := range row {
+			row[k] = ^uint64(0)
+		}
+		row["injected"] = 7
+	}
+	first[0] = nil
+	second, err := tm.Expected(m.Name, true, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, pristine) {
+		t.Fatalf("memo hit returned a poisoned trace:\n got %v\nwant %v", second, pristine)
+	}
+	if st := tm.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("second fetch was not a memo hit: %+v", st)
+	}
+	// And the two fetches must not alias each other.
+	second[1]["en"] = 99
+	third, err := tm.Expected(m.Name, true, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(third, pristine) {
+		t.Fatal("fetches alias one another")
+	}
+}
+
 // TestRunWithMemoIsByteIdentical runs the same environment configuration
 // with and without the golden-trace memo (and with a shared compiled
 // Program) and requires identical pass rates, scoreboards and logs — the

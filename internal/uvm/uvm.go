@@ -272,9 +272,11 @@ func (e *Env) Run(seq Sequence) float64 {
 		e.Ref.Reset()
 	}
 
+	// The shared (uncopied) trace is deliberate: Run only reads the rows
+	// it compares against, so the canonical memoized maps stay untouched.
 	var expected []map[string]uint64
 	if e.memo != nil {
-		if exp, err := e.memo.Expected(e.refName, resetName != "", vectors); err == nil {
+		if exp, err := e.memo.expectedShared(e.refName, resetName != "", vectors); err == nil {
 			expected = exp
 		}
 	}
