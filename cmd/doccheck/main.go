@@ -25,13 +25,14 @@ import (
 )
 
 // defaultDirs is the enforced documentation surface: the simulator and
-// coverage APIs every other layer builds on, the UVM components, and
-// the formal engine.
+// coverage APIs every other layer builds on, the UVM components, the
+// formal engine, and the service layer (the API of cmd/uvllmd).
 var defaultDirs = []string{
 	"./internal/sim",
 	"./internal/cover",
 	"./internal/uvm",
 	"./internal/formal",
+	"./internal/service",
 }
 
 func main() {

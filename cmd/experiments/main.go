@@ -22,13 +22,11 @@ import (
 	"os"
 
 	"uvllm/internal/exp"
-	"uvllm/internal/sim"
+	"uvllm/internal/service"
 )
 
 func main() {
 	var (
-		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
-		workers  = flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU; results are identical for any value)")
 		verbose  = flag.Bool("v", false, "print compile-cache and golden-trace-memo statistics")
 		fig5     = flag.Bool("fig5", false, "print Fig. 5")
 		fig6     = flag.Bool("fig6", false, "print Fig. 6")
@@ -40,17 +38,19 @@ func main() {
 		cov      = flag.Bool("cover", false, "print the random-vs-directed structural coverage study")
 		form     = flag.Bool("formal", false, "print the bounded-equivalence study (formal engine over the 27 modules)")
 		batch    = flag.Bool("batch", false, "print the batch-vs-sequential per-lane amortization study")
-		lanes    = flag.Int("lanes", 0, "batch lanes for the -batch study (0 = default 8)")
 		all      = flag.Bool("all", false, "print everything")
 	)
+	knobs := service.Bind(flag.CommandLine, service.FlagBackend|service.FlagWorkers|service.FlagLanes)
 	flag.Parse()
-	if err := validateFlags(*workers, *lanes, *backend); err != nil {
+	opts, err := knobs.Options()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	b, _ := sim.ParseBackend(*backend) // validated above
-	sess := exp.SharedSession(b)
-	sess.Workers = *workers
+	cfg := opts.Exp(exp.Config{})
+	sess := exp.SharedSession(cfg.Backend)
+	sess.Workers = cfg.Workers
+	lanes := opts.Lanes
 	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov && !*form && !*batch {
 		*all = true
 	}
@@ -59,7 +59,7 @@ func main() {
 		fmt.Print(sess.FullReport())
 		printAblations(sess)
 		printCoverage(sess)
-		printBatch(sess, *lanes)
+		printBatch(sess, lanes)
 		printFormal(sess, *verbose)
 		printStats(sess, *verbose)
 		return
@@ -92,28 +92,12 @@ func main() {
 		printCoverage(sess)
 	}
 	if *batch {
-		printBatch(sess, *lanes)
+		printBatch(sess, lanes)
 	}
 	if *form {
 		printFormal(sess, *verbose)
 	}
 	printStats(sess, *verbose)
-}
-
-// validateFlags rejects nonsense flag values up front with exit code 2:
-// a negative worker count would be handed to the pool silently, and the
-// backend string should fail before any study begins.
-func validateFlags(workers, lanes int, backend string) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", workers)
-	}
-	if lanes < 0 {
-		return fmt.Errorf("-lanes must be >= 0, got %d", lanes)
-	}
-	if _, err := sim.ParseBackend(backend); err != nil {
-		return err
-	}
-	return nil
 }
 
 func printBatch(sess *exp.Session, lanes int) {

@@ -1,29 +1,37 @@
 package main
 
 import (
+	"flag"
 	"strings"
 	"testing"
+
+	"uvllm/internal/service"
 )
 
-// TestValidateFlags is the table test for the experiments CLI's up-front
-// flag validation.
-func TestValidateFlags(t *testing.T) {
+// TestSharedFlagValidation is the table test for the experiments CLI's
+// up-front flag validation, which now lives in the shared service layer
+// (service.Bind + Options.Validate) used identically by cmd/uvllm and
+// cmd/uvllmd.
+func TestSharedFlagValidation(t *testing.T) {
 	cases := []struct {
 		name    string
-		workers int
-		lanes   int
-		backend string
+		args    []string
 		wantErr string // "" = valid
 	}{
-		{"defaults", 0, 0, "compiled", ""},
-		{"explicit workers and lanes", 4, 8, "event", ""},
-		{"negative workers", -2, 0, "compiled", "-workers"},
-		{"negative lanes", 0, -1, "compiled", "-lanes"},
-		{"unknown backend", 0, 0, "verilator", "backend"},
+		{"defaults", nil, ""},
+		{"explicit workers and lanes", []string{"-workers=4", "-lanes=8", "-backend=event"}, ""},
+		{"negative workers", []string{"-workers=-2"}, "workers"},
+		{"negative lanes", []string{"-lanes=-1"}, "lanes"},
+		{"unknown backend", []string{"-backend=verilator"}, "backend"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.workers, tc.lanes, tc.backend)
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			knobs := service.Bind(fs, service.FlagBackend|service.FlagWorkers|service.FlagLanes)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("parse flags: %v", err)
+			}
+			_, err := knobs.Options()
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("valid flags rejected: %v", err)

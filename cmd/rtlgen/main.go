@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"uvllm/internal/rtlgen"
+	"uvllm/internal/service"
 )
 
 func main() {
@@ -29,17 +30,19 @@ func main() {
 		check  = flag.Bool("check", false, "run the differential oracles on each design")
 		cov    = flag.Bool("cover", false, "coverage-directed sweep: compare random vs directed stimulus, keep coverage-raising designs")
 		cycles = flag.Int("cycles", 60, "stimulus cycles per design in -check and -cover modes")
-		lanes  = flag.Int("lanes", 0, "batch lanes: in -check, additionally diff sim.Batch against standalone runs; in -cover, score directed candidates lane-parallel (0 or 1 = off)")
 	)
+	knobs := service.Bind(flag.CommandLine, service.FlagLanes)
 	flag.Parse()
+	opts, err := knobs.Options()
+	if err != nil {
+		fatal(err)
+	}
+	lanes := &opts.Lanes
 	if *n < 1 {
 		fatal(fmt.Errorf("-n must be >= 1, got %d", *n))
 	}
 	if *cycles < 1 {
 		fatal(fmt.Errorf("-cycles must be >= 1, got %d", *cycles))
-	}
-	if *lanes < 0 {
-		fatal(fmt.Errorf("-lanes must be >= 0, got %d", *lanes))
 	}
 
 	if *cov {

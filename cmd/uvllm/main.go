@@ -14,6 +14,10 @@
 // provably equivalent to the golden for every post-reset stimulus up to
 // -formal-depth cycles (refutations print a replayable counterexample and
 // fail the run).
+//
+// The command assembles a service.JobSpec and executes it through the
+// same service.Execute path as the cmd/uvllmd server, so a job submitted
+// here and a job submitted over HTTP produce identical verdicts.
 package main
 
 import (
@@ -22,12 +26,9 @@ import (
 	"os"
 	"strings"
 
-	"uvllm/internal/core"
 	"uvllm/internal/dataset"
-	"uvllm/internal/faultgen"
-	"uvllm/internal/formal"
 	"uvllm/internal/lint"
-	"uvllm/internal/llm"
+	"uvllm/internal/service"
 	"uvllm/internal/sim"
 	"uvllm/internal/synth"
 	"uvllm/internal/uvm"
@@ -41,19 +42,13 @@ func main() {
 		file     = flag.String("file", "", "verify this Verilog file instead of injecting")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		mode     = flag.String("mode", "pair", "repair generation form: pair or complete")
-		backend  = flag.String("backend", "compiled", "simulation backend: compiled or event")
-		cov      = flag.Bool("cover", false, "collect structural coverage (statements, branches, toggles, FSM) during UVM runs")
-		useForm  = flag.Bool("formal", false, "after verification, bounded-prove the final source equivalent to the golden (refutation fails the run)")
-		formDep  = flag.Int("formal-depth", 0, "formal unrolling depth in cycles (0 = default)")
 		list     = flag.Bool("list", false, "list benchmark modules and exit")
 		lintOnly = flag.Bool("lint", false, "lint the input and exit")
 		synthRpt = flag.Bool("synth", false, "synthesize the input, print the cell report and exit")
 		verbose  = flag.Bool("v", false, "print the pipeline log")
 	)
+	knobs := service.Bind(flag.CommandLine, service.FlagBackend|service.FlagCover|service.FlagFormal)
 	flag.Parse()
-	if err := validateFlags(*variant, *formDep, *mode, *backend); err != nil {
-		fatalf("%v", err)
-	}
 
 	if *list {
 		for _, m := range dataset.All() {
@@ -63,38 +58,18 @@ func main() {
 		return
 	}
 
-	m := dataset.ByName(*modName)
-	if m == nil {
-		fatalf("unknown module %q (use -list)", *modName)
+	spec, err := buildSpec(knobs, *modName, *inject, *variant, *file, *seed, *mode)
+	if err != nil {
+		fatalf("%v", err)
 	}
-
-	source := m.Source
-	golden := m.Source
-	class := "FuncLogic"
-	faultID := m.Name + "/cli"
-	descr := "(user input)"
-
-	switch {
-	case *file != "":
-		data, err := os.ReadFile(*file)
-		if err != nil {
-			fatalf("read %s: %v", *file, err)
-		}
-		source = string(data)
-	case *inject != "":
-		fs := faultgen.Generate(m, faultgen.Class(*inject))
-		if len(fs) == 0 {
-			fatalf("class %s is not expressible on %s", *inject, m.Name)
-		}
-		if *variant >= len(fs) {
-			fatalf("module %s has %d %s variants", m.Name, len(fs), *inject)
-		}
-		f := fs[*variant]
-		source, golden, class, faultID, descr = f.Source, f.Golden, string(f.Class), f.ID, f.Descr
+	m := dataset.ByName(spec.Module)
+	in, err := spec.Resolve()
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	if *synthRpt {
-		nl, err := synth.SynthesizeSource(source, m.Top)
+		nl, err := synth.SynthesizeSource(in.Source, m.Top)
 		if err != nil {
 			fatalf("synthesis failed: %v", err)
 		}
@@ -106,7 +81,7 @@ func main() {
 	}
 
 	if *lintOnly {
-		rep := lint.Lint(source)
+		rep := lint.Lint(in.Source)
 		fmt.Print(rep.Format())
 		if !rep.Clean() {
 			os.Exit(1)
@@ -115,43 +90,28 @@ func main() {
 		return
 	}
 
-	genMode := llm.ModePair
-	if *mode == "complete" {
-		genMode = llm.ModeComplete
+	fmt.Printf("UVLLM: verifying %s (%s)\n", m.Name, in.Descr)
+	res := service.Execute(spec, service.DefaultServices(), nil)
+	if res.Error != "" {
+		fatalf("%s", res.Error)
 	}
-	simBackend, _ := sim.ParseBackend(*backend) // validated up front
-	var coverOpts sim.CoverOptions
-	if *cov {
-		coverOpts = sim.CoverAll()
-	}
-	client := llm.NewOracle(llm.Knowledge{
-		FaultID: faultID, Golden: golden, Class: class,
-		Complexity: m.Complexity, IsFSM: m.IsFSM,
-	}, llm.DefaultProfile(), *seed)
-
-	fmt.Printf("UVLLM: verifying %s (%s)\n", m.Name, descr)
-	res := core.Verify(core.Input{
-		Source: source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
-		RefName: m.Name, ModuleName: m.Name, Client: client,
-		Opts: core.Options{
-			Seed: *seed, Mode: genMode, Backend: simBackend,
-			Cache: sim.SharedCache(), Memo: uvm.SharedTraceMemo(),
-			Cover: coverOpts,
-		},
-	})
 
 	fmt.Printf("result: success=%v stage=%s iterations=%d pass_rate=%.2f%% coverage=%.1f%%\n",
-		res.Success, res.FixedStage, res.Iterations, res.PassRate*100, res.Coverage)
-	if *cov {
+		res.Success, res.Stage, res.Iterations, res.PassRate*100, res.Coverage)
+	if spec.Options.Cover {
 		fmt.Printf("structural coverage: %.1f%% (best across UVM runs)\n", res.StructCoverage)
 	}
 	fmt.Printf("modeled time: pre=%.2fs ms=%.2fs sl=%.2fs total=%.2fs; LLM calls=%d (%d in / %d out tokens)\n",
 		res.Times.Pre, res.Times.MS, res.Times.SL, res.Times.Total(),
 		res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens)
 
-	formalFailed := false
-	if *useForm && res.Success {
-		formalFailed = !runFormal(res.Final, golden, m, *formDep)
+	switch res.Formal {
+	case "proved":
+		fmt.Printf("formal: PROVED %s\n", res.FormalDetail)
+	case "refuted":
+		fmt.Printf("formal: REFUTED — %s\n", res.FormalDetail)
+	case "unsupported":
+		fmt.Printf("formal: %s\n", res.FormalDetail)
 	}
 	if *verbose {
 		cs := sim.SharedCache().Stats()
@@ -163,66 +123,39 @@ func main() {
 		fmt.Println("--- final source ---")
 		fmt.Println(res.Final)
 	}
-	if !res.Success || formalFailed {
+	if res.Failed() {
 		os.Exit(1)
 	}
 }
 
-// runFormal bounded-proves the delivered source equivalent to the golden
-// (the third oracle: where the UVM run samples stimulus, the proof
-// exhausts it to the unrolling depth). It reports true when the source
-// is proved equivalent or the design is outside the blastable subset
-// (in which case the simulation verdict stands alone).
-func runFormal(final, golden string, m *dataset.Module, depth int) bool {
-	if depth <= 0 {
-		depth = formal.DefaultBMCDepth
-	}
-	g, err := sim.SharedCache().Compile(golden, m.Top, sim.BackendCompiled)
+// buildSpec assembles and validates the job spec from the parsed flags —
+// the same service-layer validation path the uvllmd server applies to
+// HTTP submissions, so a value rejected here is rejected identically
+// there.
+func buildSpec(knobs *service.Flags, module, inject string, variant int, file string, seed int64, mode string) (service.JobSpec, error) {
+	opts, err := knobs.Options()
 	if err != nil {
-		fmt.Printf("formal: golden does not compile: %v\n", err)
-		return true
+		return service.JobSpec{}, err
 	}
-	c, err := sim.SharedCache().Compile(final, m.Top, sim.BackendCompiled)
-	if err != nil {
-		fmt.Printf("formal: delivered source does not compile: %v\n", err)
-		return false
+	spec := service.JobSpec{
+		Module: module, Inject: inject, Variant: variant,
+		Seed: seed, Mode: mode, Options: opts,
 	}
-	res, err := formal.BMCEquiv(g, c, m.Clock, depth)
-	if err != nil {
-		fmt.Printf("formal: not checked (%v)\n", err)
-		return true
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return service.JobSpec{}, fmt.Errorf("read %s: %v", file, err)
+		}
+		spec.Source = string(data)
+		spec.Inject = ""
 	}
-	if res.Equivalent {
-		fmt.Printf("formal: PROVED equivalent to golden for every stimulus up to %d cycles (%d AIG nodes, %d conflicts)\n",
-			depth, res.Stats.AIGNodes, res.Stats.Conflicts())
-		return true
+	if err := spec.Validate(); err != nil {
+		if dataset.ByName(spec.Module) == nil {
+			return service.JobSpec{}, fmt.Errorf("%v (use -list)", err)
+		}
+		return service.JobSpec{}, err
 	}
-	div, cyc, rerr := formal.ReplayCex(golden, final, m.Top, m.Clock, res.Cex, sim.BackendCompiled)
-	fmt.Printf("formal: REFUTED — diverges from golden at post-reset cycle %d on %s (simulation replay: diverged=%v at cycle %d, err=%v)\n",
-		res.Cex.Cycle, res.Cex.Signal, div, cyc, rerr)
-	fmt.Printf("formal: counterexample stimulus: %v\n", res.Cex.Inputs)
-	return false
-}
-
-// validateFlags rejects nonsense flag values before any pipeline work
-// runs: a negative variant index would panic inside the fault lookup, a
-// negative formal depth would silently become the default, an unknown
-// repair mode would silently become "pair", and an unknown backend used
-// to surface only after lint/synth work had already run.
-func validateFlags(variant, formalDepth int, mode, backend string) error {
-	if variant < 0 {
-		return fmt.Errorf("-variant must be >= 0, got %d", variant)
-	}
-	if formalDepth < 0 {
-		return fmt.Errorf("-formal-depth must be >= 0, got %d", formalDepth)
-	}
-	if mode != "pair" && mode != "complete" {
-		return fmt.Errorf("-mode must be %q or %q, got %q", "pair", "complete", mode)
-	}
-	if _, err := sim.ParseBackend(backend); err != nil {
-		return err
-	}
-	return nil
+	return spec, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,109 @@
+// Command uvllmd is the long-running verification-as-a-service front-end:
+// an HTTP/JSON server over the UVLLM pipeline. Clients submit designs or
+// repair jobs against the benchmark modules, poll status, and stream
+// per-iteration progress; a bounded worker pool executes jobs through the
+// same service.Execute path as cmd/uvllm, so a job submitted over HTTP
+// produces exactly the verdict the CLI would print.
+//
+//	uvllmd -addr :8080                      # serve
+//	uvllmd -addr :8080 -cache-dir /var/cache/uvllm   # + persistent compile cache
+//
+//	curl -s localhost:8080/v1/modules                # catalog
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"module":"adder_8bit","inject":"FuncLogic","tenant":"alice"}'
+//	curl -s localhost:8080/v1/jobs/job-1             # status + result
+//	curl -sN localhost:8080/v1/jobs/job-1/events     # SSE progress stream
+//	curl -s localhost:8080/v1/metrics                # queue depth, latency
+//	                                                 # percentiles, cache hit rates
+//
+// The queue applies backpressure (429 + Retry-After when full) and fair
+// round-robin scheduling across tenants. SIGTERM/SIGINT starts a graceful
+// drain: new submissions get 503, queued jobs end in the "drained" state,
+// in-flight jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uvllm/internal/service"
+	"uvllm/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		queue    = flag.Int("queue", service.DefaultQueueLimit, "job queue bound: submissions beyond this get 429 + Retry-After")
+		cacheDir = flag.String("cache-dir", "", "directory for the persistent compile-cache tier (empty = memory only)")
+		drainSec = flag.Int("drain-timeout", 60, "seconds to wait for in-flight jobs on SIGTERM before exiting anyway")
+	)
+	knobs := service.Bind(flag.CommandLine, service.FlagAll)
+	flag.Parse()
+	opts, err := knobs.Options()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *queue < 1 {
+		fatalf("-queue must be >= 1, got %d", *queue)
+	}
+	if *drainSec < 0 {
+		fatalf("-drain-timeout must be >= 0, got %d", *drainSec)
+	}
+
+	svc := service.DefaultServices()
+	if *cacheDir != "" {
+		disk, err := sim.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatalf("open cache dir: %v", err)
+		}
+		svc.Cache.AttachDisk(disk)
+		if n := svc.Cache.WarmFromDisk(); n > 0 {
+			log.Printf("uvllmd: warmed %d compiled designs from %s", n, *cacheDir)
+		}
+	}
+
+	srv := service.NewServer(service.RunnerConfig{
+		Workers:    opts.Workers,
+		QueueLimit: *queue,
+		Services:   svc,
+		Defaults:   opts,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		log.Printf("uvllmd: %v: draining (in-flight jobs finish, queued jobs end drained, new submissions get 503)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("uvllmd: drain incomplete: %v", err)
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("uvllmd: serving on %s (workers=%d queue=%d backend=%s)",
+		*addr, srv.Runner().Workers(), *queue, opts.SimBackend())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+	<-done
+	log.Printf("uvllmd: drained, bye")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "uvllmd: "+format+"\n", args...)
+	os.Exit(2)
+}

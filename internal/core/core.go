@@ -56,6 +56,31 @@ type Options struct {
 	// Memo serves the scoreboard's golden traces; nil gets a fresh
 	// per-job memo (the 5-iteration loop replays the same stimulus).
 	Memo *uvm.TraceMemo
+
+	// OnProgress, when set, is called synchronously from the verifying
+	// goroutine after every UVM evaluation of the repair loop (and once
+	// after pre-processing, with Iteration 0). It exists so a serving
+	// front-end can stream per-iteration verdicts; the callback must be
+	// fast, must not block, and must not retain the Progress value's
+	// maps past the call. It has no effect on the verdict.
+	OnProgress func(Progress)
+}
+
+// Progress is one repair-loop progress event, emitted through
+// Options.OnProgress. Iteration 0 reports the pre-processing outcome;
+// iterations 1..MaxIterations report each UVM evaluation.
+type Progress struct {
+	Iteration int     // 0 = pre-processing, then 1-based repair iterations
+	Stage     Stage   // pipeline segment active at this point
+	Score     float64 // scoreboard pass rate of this iteration's evaluation
+	Best      float64 // best pass rate seen so far in the job
+	Coverage  float64 // port-level coverage percent of this evaluation
+	// StructCoverage is the structural coverage percent of this
+	// evaluation (0 unless Options.Cover is set).
+	StructCoverage float64
+	// Rollback reports that the score register rejected this iteration's
+	// candidate and the loop reverted to the best source.
+	Rollback bool
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +171,9 @@ func Verify(in Input) Result {
 	if pres.Changed {
 		lastStage = StagePre
 	}
+	if opts.OnProgress != nil {
+		opts.OnProgress(Progress{Iteration: 0, Stage: StagePre})
+	}
 
 	reg := repair.ScoreRegister{Disabled: opts.DisableRollback}
 	var lastPairs []llm.PatchPair
@@ -173,11 +201,19 @@ func Verify(in Input) Result {
 		if ev.score > res.PassRate {
 			res.PassRate = ev.score
 		}
+		prog := Progress{
+			Iteration: iter, Stage: stage, Score: ev.score,
+			Coverage: ev.cov, StructCoverage: ev.scov,
+		}
 		if ev.score == 1.0 {
 			res.Success = true
 			res.FixedStage = lastStage
 			res.Final = cur
 			res.FinalScore = 1.0
+			if opts.OnProgress != nil {
+				prog.Best = res.PassRate
+				opts.OnProgress(prog)
+			}
 			return res
 		}
 
@@ -190,6 +226,11 @@ func Verify(in Input) Result {
 			res.Log = append(res.Log, fmt.Sprintf("iter %d: rollback (score %.2f < best %.2f)", iter, ev.score, reg.Best().Score))
 			cur = next
 			ev = bestEval
+			prog.Rollback = true
+		}
+		if opts.OnProgress != nil {
+			prog.Best = res.PassRate
+			opts.OnProgress(prog)
 		}
 
 		if iter == opts.MaxIterations {

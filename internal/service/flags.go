@@ -1,0 +1,78 @@
+package service
+
+import "flag"
+
+// FlagMask selects which of the shared knobs a command binds. Each
+// command registers only the flags it historically had; the names, help
+// strings, defaults and validation come from one place so the CLIs and
+// the server cannot drift.
+type FlagMask uint
+
+// Flag selectors.
+const (
+	// FlagBackend binds -backend.
+	FlagBackend FlagMask = 1 << iota
+	// FlagCover binds -cover.
+	FlagCover
+	// FlagFormal binds -formal and -formal-depth.
+	FlagFormal
+	// FlagLanes binds -lanes.
+	FlagLanes
+	// FlagWorkers binds -workers.
+	FlagWorkers
+	// FlagAll binds every shared knob.
+	FlagAll = FlagBackend | FlagCover | FlagFormal | FlagLanes | FlagWorkers
+)
+
+// Flags holds the bound flag targets between Bind (at init) and Options
+// (after fs.Parse). Unbound knobs resolve to their zero value.
+type Flags struct {
+	mask        FlagMask
+	backend     string
+	cover       bool
+	formalOn    bool
+	formalDepth int
+	lanes       int
+	workers     int
+}
+
+// Bind registers the selected shared knobs on fs with their canonical
+// names, defaults and help text. Call before fs.Parse; read the result
+// with Options after.
+func Bind(fs *flag.FlagSet, mask FlagMask) *Flags {
+	f := &Flags{mask: mask, backend: "compiled"}
+	if mask&FlagBackend != 0 {
+		fs.StringVar(&f.backend, "backend", "compiled", "simulation backend: compiled or event")
+	}
+	if mask&FlagCover != 0 {
+		fs.BoolVar(&f.cover, "cover", false, "collect structural coverage (statements, branches, toggles, FSM) during UVM runs")
+	}
+	if mask&FlagFormal != 0 {
+		fs.BoolVar(&f.formalOn, "formal", false, "after verification, bounded-prove the final source equivalent to the golden (refutation fails the run)")
+		fs.IntVar(&f.formalDepth, "formal-depth", 0, "formal unrolling depth in cycles (0 = default)")
+	}
+	if mask&FlagLanes != 0 {
+		fs.IntVar(&f.lanes, "lanes", 0, "batched simulation lanes where supported (0 or 1 = sequential)")
+	}
+	if mask&FlagWorkers != 0 {
+		fs.IntVar(&f.workers, "workers", 0, "worker pool size (0 = NumCPU; results are identical for any value)")
+	}
+	return f
+}
+
+// Options validates the parsed flag values through the one shared path
+// and returns them as the unified options type.
+func (f *Flags) Options() (Options, error) {
+	o := Options{
+		Backend:     f.backend,
+		Cover:       f.cover,
+		Formal:      f.formalOn,
+		FormalDepth: f.formalDepth,
+		Lanes:       f.lanes,
+		Workers:     f.workers,
+	}
+	if err := o.Validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/faultgen"
+	"uvllm/internal/metrics"
+)
+
+// loadSpecs builds n distinct job specs cycling over every benchmark
+// module that can express a FuncLogic fault, varying the variant so the
+// fleet is heterogeneous (different faults, different repair depths).
+func loadSpecs(n int) []JobSpec {
+	var eligible []*dataset.Module
+	for _, m := range dataset.All() {
+		if len(faultgen.Generate(m, faultgen.Class("FuncLogic"))) > 0 {
+			eligible = append(eligible, m)
+		}
+	}
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		m := eligible[i%len(eligible)]
+		variant := (i / len(eligible)) % len(faultgen.Generate(m, faultgen.Class("FuncLogic")))
+		specs[i] = JobSpec{
+			Module: m.Name, Inject: "FuncLogic", Variant: variant,
+			Tenant: fmt.Sprintf("tenant-%d", i%4),
+		}
+	}
+	return specs
+}
+
+// TestLoadConcurrentClients is the load gate of the service layer: 32
+// concurrent HTTP clients submit heterogeneous jobs through httptest and
+// every verdict must be byte-identical to a sequential Execute of the
+// same spec against fresh simulation state — shared caches and the
+// worker pool may change speed, never results. The run also records
+// submit-to-terminal latency percentiles through metrics.Percentile and
+// runs under -race in CI, so any cross-job interference (shared mutable
+// state, event cross-talk) fails the build.
+func TestLoadConcurrentClients(t *testing.T) {
+	const clients = 32
+	specs := loadSpecs(clients)
+
+	// Sequential ground truth, each job against its own fresh services:
+	// no cache sharing, no concurrency, nothing to interfere.
+	want := make([][]byte, clients)
+	for i, spec := range specs {
+		res := Execute(spec, testServices(), nil)
+		if res.Error != "" {
+			t.Fatalf("sequential baseline %d (%s) errored: %s", i, spec.Module, res.Error)
+		}
+		want[i], _ = json.Marshal(res)
+	}
+
+	_, ts := testServer(t, RunnerConfig{Workers: 4, QueueLimit: clients}, nil)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64
+		failures  []string
+	)
+	fail := func(format string, args ...interface{}) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := specs[i]
+			body, _ := json.Marshal(spec)
+			start := time.Now()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fail("client %d: submit: %v", i, err)
+				return
+			}
+			var sub submitResponse
+			err = json.NewDecoder(resp.Body).Decode(&sub)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusAccepted {
+				fail("client %d: HTTP %d (%v)", i, resp.StatusCode, err)
+				return
+			}
+			var view JobView
+			for deadline := time.Now().Add(60 * time.Second); ; {
+				r2, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+				if err != nil {
+					fail("client %d: poll: %v", i, err)
+					return
+				}
+				err = json.NewDecoder(r2.Body).Decode(&view)
+				r2.Body.Close()
+				if err != nil {
+					fail("client %d: decode: %v", i, err)
+					return
+				}
+				if view.Status.Terminal() {
+					break
+				}
+				if time.Now().After(deadline) {
+					fail("client %d: job %s never finished", i, sub.ID)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			mu.Lock()
+			latencies = append(latencies, time.Since(start).Seconds()*1000)
+			mu.Unlock()
+
+			got, _ := json.Marshal(view.Result)
+			if !bytes.Equal(got, want[i]) {
+				fail("client %d (%s variant %d): concurrent result diverges from sequential baseline:\n got %s\nwant %s",
+					i, spec.Module, spec.Variant, got, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if len(latencies) == clients {
+		t.Logf("load gate: %d clients, submit-to-terminal p50=%.1fms p95=%.1fms p99=%.1fms",
+			clients,
+			metrics.Percentile(latencies, 50),
+			metrics.Percentile(latencies, 95),
+			metrics.Percentile(latencies, 99))
+	}
+}
+
+// TestLoadSharedCacheConsistency re-runs a subset of the fleet against a
+// single shared Services through the Runner directly (no HTTP) and
+// checks results again match the isolated baseline — the cache layers
+// (compile cache, golden-trace memo) must be invisible to verdicts.
+func TestLoadSharedCacheConsistency(t *testing.T) {
+	specs := loadSpecs(8)
+	shared := testServices()
+	r := NewRunner(RunnerConfig{Workers: 4, QueueLimit: 8, Services: shared})
+	defer r.Drain(context.Background())
+
+	jobs := make([]*Job, len(specs))
+	for i, spec := range specs {
+		j, err := r.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if _, err := j.WaitTerminal(context.Background()); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		res, ok := j.Result()
+		if !ok {
+			t.Fatalf("job %d has no result", i)
+		}
+		baseline := Execute(specs[i], testServices(), nil)
+		got, _ := json.Marshal(res)
+		want, _ := json.Marshal(baseline)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("job %d: shared-cache result diverges:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	cs := shared.Cache.Stats()
+	if cs.Hits == 0 {
+		t.Fatal("shared compile cache saw no hits across 8 jobs; amortization broken")
+	}
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"uvllm/internal/memo"
+	"uvllm/internal/metrics"
+	"uvllm/internal/sim"
+)
+
+// LatencySummary is the percentile digest of one latency series, in
+// milliseconds, computed with metrics.Percentile at snapshot time.
+type LatencySummary struct {
+	// Count is the number of samples observed.
+	Count int64 `json:"count"`
+	// P50 is the median latency in milliseconds.
+	P50 float64 `json:"p50_ms"`
+	// P95 is the 95th-percentile latency in milliseconds.
+	P95 float64 `json:"p95_ms"`
+	// P99 is the 99th-percentile latency in milliseconds.
+	P99 float64 `json:"p99_ms"`
+}
+
+func summarize(count int64, secs []float64) LatencySummary {
+	ms := make([]float64, len(secs))
+	for i, s := range secs {
+		ms[i] = s * 1000
+	}
+	return LatencySummary{
+		Count: count,
+		P50:   metrics.Percentile(ms, 50),
+		P95:   metrics.Percentile(ms, 95),
+		P99:   metrics.Percentile(ms, 99),
+	}
+}
+
+// EndpointStats is one endpoint's request accounting.
+type EndpointStats struct {
+	// Latency digests the endpoint's request latencies.
+	Latency LatencySummary `json:"latency"`
+	// Errors counts responses with status >= 400.
+	Errors int64 `json:"errors"`
+}
+
+// endpointRecorder keeps bounded per-endpoint latency samples and error
+// counts. All methods are safe for concurrent use.
+type endpointRecorder struct {
+	mu  sync.Mutex
+	eps map[string]*endpointSeries
+}
+
+type endpointSeries struct {
+	count   int64
+	errors  int64
+	samples []float64 // seconds, bounded like stage samples
+}
+
+func newEndpointRecorder() *endpointRecorder {
+	return &endpointRecorder{eps: map[string]*endpointSeries{}}
+}
+
+func (r *endpointRecorder) observe(endpoint string, d time.Duration, status int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.eps[endpoint]
+	if !ok {
+		s = &endpointSeries{}
+		r.eps[endpoint] = s
+	}
+	s.count++
+	if status >= 400 {
+		s.errors++
+	}
+	if len(s.samples) >= maxStageSamples {
+		s.samples = append(s.samples[:0], s.samples[len(s.samples)/2:]...)
+	}
+	s.samples = append(s.samples, d.Seconds())
+}
+
+func (r *endpointRecorder) snapshot() map[string]EndpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]EndpointStats{}
+	for name, s := range r.eps {
+		out[name] = EndpointStats{
+			Latency: summarize(s.count, s.samples),
+			Errors:  s.errors,
+		}
+	}
+	return out
+}
+
+// CacheMetrics is the cache section of the metrics snapshot: counter
+// copies taken through the Stats() snapshot methods (never raw field
+// reads) plus derived hit rates.
+type CacheMetrics struct {
+	// Compile is the sim.Cache snapshot (memory + disk tiers).
+	Compile sim.CacheStats `json:"compile"`
+	// CompileHitRate is hits/(hits+misses) of the compile cache, percent.
+	CompileHitRate float64 `json:"compile_hit_rate"`
+	// TraceMemo is the golden-trace memo snapshot.
+	TraceMemo memo.Stats `json:"trace_memo"`
+	// TraceMemoHitRate is hits/(hits+misses) of the trace memo, percent.
+	TraceMemoHitRate float64 `json:"trace_memo_hit_rate"`
+}
+
+// MetricsSnapshot is the full scrape of /v1/metrics: queue and worker
+// state, per-endpoint and per-stage latency percentiles, and cache
+// counters.
+type MetricsSnapshot struct {
+	// Workers is the worker pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the total queued (not running) job count.
+	QueueDepth int `json:"queue_depth"`
+	// QueueLimit is the backpressure bound.
+	QueueLimit int `json:"queue_limit"`
+	// Running is the in-flight job count.
+	Running int `json:"running"`
+	// Draining reports whether the server is refusing new work.
+	Draining bool `json:"draining"`
+	// TenantQueues is the per-tenant queued-job depth.
+	TenantQueues map[string]int `json:"tenant_queues,omitempty"`
+	// JobsByStatus counts every known job by lifecycle state.
+	JobsByStatus map[Status]int `json:"jobs_by_status"`
+	// Endpoints digests request latency per endpoint pattern.
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+	// Stages digests job queue-wait and run latencies.
+	Stages map[string]LatencySummary `json:"stages,omitempty"`
+	// Caches is the compile-cache and trace-memo counter section.
+	Caches CacheMetrics `json:"caches"`
+}
+
+func hitRatePct(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

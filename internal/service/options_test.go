@@ -1,0 +1,112 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"uvllm/internal/core"
+	"uvllm/internal/exp"
+	"uvllm/internal/formal"
+	"uvllm/internal/sim"
+	"uvllm/internal/uvm"
+)
+
+// TestOptionsValidate is the table test for the single shared validation
+// path: every front-end (both CLIs and the HTTP server) rejects exactly
+// these values with messages naming the offending knob.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		o       Options
+		wantErr string // "" = valid
+	}{
+		{"zero value", Options{}, ""},
+		{"explicit compiled", Options{Backend: "compiled"}, ""},
+		{"event backend", Options{Backend: "event"}, ""},
+		{"event-driven alias", Options{Backend: "event-driven"}, ""},
+		{"everything on", Options{Backend: "event", Cover: true, Formal: true, FormalDepth: 40, Lanes: 8, Workers: 4}, ""},
+		{"unknown backend", Options{Backend: "verilator"}, "backend"},
+		{"negative formal depth", Options{FormalDepth: -1}, "formal-depth"},
+		{"negative lanes", Options{Lanes: -3}, "lanes"},
+		{"negative workers", Options{Workers: -1}, "workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.o.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid options accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending knob %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestOptionsAdapters checks that the thin adapters fill exactly the
+// shared knobs into the legacy config structs and leave every
+// job-specific field of the base untouched.
+func TestOptionsAdapters(t *testing.T) {
+	o := Options{Backend: "event", Cover: true, Lanes: 8, Workers: 3}
+
+	co := o.Core(core.Options{Seed: 7, MaxIterations: 5})
+	if co.Backend != sim.BackendEventDriven || !co.Cover.Any() {
+		t.Fatalf("Core adapter dropped shared knobs: %+v", co)
+	}
+	if co.Seed != 7 || co.MaxIterations != 5 {
+		t.Fatalf("Core adapter clobbered base fields: %+v", co)
+	}
+
+	ec := o.Exp(exp.Config{Seed: 9})
+	if ec.Backend != sim.BackendEventDriven || ec.Workers != 3 || ec.Seed != 9 {
+		t.Fatalf("Exp adapter wrong: %+v", ec)
+	}
+
+	uc := o.UVM(uvm.Config{Seed: 11})
+	if uc.Backend != sim.BackendEventDriven || !uc.Cover.Any() || uc.Seed != 11 {
+		t.Fatalf("UVM adapter wrong: %+v", uc)
+	}
+
+	sc := o.Stim(uvm.StimConfig{Cycles: 13})
+	if sc.Lanes != 8 || !sc.Cover.Any() || sc.Cycles != 13 {
+		t.Fatalf("Stim adapter wrong: %+v", sc)
+	}
+}
+
+// TestOptionsBMCDepth checks the effective-depth resolution.
+func TestOptionsBMCDepth(t *testing.T) {
+	if got := (Options{}).BMCDepth(); got != formal.DefaultBMCDepth {
+		t.Fatalf("zero depth = %d, want engine default %d", got, formal.DefaultBMCDepth)
+	}
+	if got := (Options{FormalDepth: 23}).BMCDepth(); got != 23 {
+		t.Fatalf("explicit depth = %d, want 23", got)
+	}
+}
+
+// TestOptionsMerge checks the server-default merging semantics: zero
+// knobs inherit, booleans or-combine, explicit values win.
+func TestOptionsMerge(t *testing.T) {
+	def := Options{Backend: "event", Cover: true, FormalDepth: 16, Lanes: 4, Workers: 2}
+
+	got := Options{}.merge(def)
+	if got != def {
+		t.Fatalf("zero spec should inherit all defaults: %+v", got)
+	}
+
+	got = Options{Backend: "compiled", FormalDepth: 8, Formal: true}.merge(def)
+	if got.Backend != "compiled" || got.FormalDepth != 8 {
+		t.Fatalf("explicit knobs overridden by defaults: %+v", got)
+	}
+	if !got.Cover || !got.Formal {
+		t.Fatalf("boolean knobs must or-combine: %+v", got)
+	}
+	if got.Lanes != 4 || got.Workers != 2 {
+		t.Fatalf("zero knobs must inherit: %+v", got)
+	}
+}

@@ -1,0 +1,494 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state. Terminal states are StatusDone,
+// StatusFailed and StatusDrained.
+type Status string
+
+// Job lifecycle states.
+const (
+	// StatusQueued means the job is waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning means a worker is executing the job.
+	StatusRunning Status = "running"
+	// StatusDone means the job finished with a passing verdict.
+	StatusDone Status = "done"
+	// StatusFailed means the job finished with a failing verdict or
+	// could not run.
+	StatusFailed Status = "failed"
+	// StatusDrained means the job was still queued when the runner
+	// drained; it never ran.
+	StatusDrained Status = "drained"
+)
+
+// Terminal reports whether the status is a terminal state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusDrained
+}
+
+// Event is one progress record on a job's stream: the queue transitions,
+// core.Verify's per-iteration verdicts, the formal outcome and the
+// terminal state. Seq is assigned per job, densely from 0, so a stream
+// consumer can resume from any offset.
+type Event struct {
+	// Seq is the dense per-job sequence number.
+	Seq int `json:"seq"`
+	// Kind discriminates the event payload.
+	Kind string `json:"kind"`
+	// Iteration is the repair iteration for iteration events (0 =
+	// pre-processing).
+	Iteration int `json:"iteration,omitempty"`
+	// Stage is the active pipeline segment.
+	Stage string `json:"stage,omitempty"`
+	// Score is the scoreboard pass rate of this iteration (0..1).
+	Score float64 `json:"score,omitempty"`
+	// Best is the best pass rate seen so far.
+	Best float64 `json:"best,omitempty"`
+	// Coverage is the port-level coverage percent of this iteration.
+	Coverage float64 `json:"coverage,omitempty"`
+	// StructCoverage is the structural coverage percent of this
+	// iteration (when the cover knob is on).
+	StructCoverage float64 `json:"struct_coverage,omitempty"`
+	// Rollback marks an iteration whose candidate was rejected by the
+	// score register.
+	Rollback bool `json:"rollback,omitempty"`
+	// Formal is the proof outcome on formal events.
+	Formal string `json:"formal,omitempty"`
+	// Status is the job status on terminal and transition events.
+	Status Status `json:"status,omitempty"`
+	// Message is free-form human-readable detail.
+	Message string `json:"message,omitempty"`
+}
+
+// Event kinds.
+const (
+	// EventQueued is emitted at submission.
+	EventQueued = "queued"
+	// EventStarted is emitted when a worker picks the job up.
+	EventStarted = "started"
+	// EventIteration carries one core.Progress record.
+	EventIteration = "iteration"
+	// EventFormal carries the bounded-proof outcome.
+	EventFormal = "formal"
+	// EventTerminal closes the stream with the final status.
+	EventTerminal = "terminal"
+)
+
+// Job is one submitted verification job and its event history. All
+// methods are safe for concurrent use.
+type Job struct {
+	// ID is the runner-assigned job identifier.
+	ID string
+	// Spec is the submitted job spec (post default-merging).
+	Spec JobSpec
+
+	mu       sync.Mutex
+	status   Status
+	events   []Event
+	notify   chan struct{} // closed and replaced on every append
+	result   *Result
+	queuedAt time.Time
+	ranFor   time.Duration
+	waited   time.Duration
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *Job {
+	j := &Job{ID: id, Spec: spec, status: StatusQueued, notify: make(chan struct{}), queuedAt: now}
+	j.append(Event{Kind: EventQueued, Status: StatusQueued})
+	return j
+}
+
+// append records one event, stamping Seq and waking stream readers.
+func (j *Job) append(ev Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the terminal result, ok=false while the job is live.
+func (j *Job) Result() (Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return Result{}, false
+	}
+	return *j.result, true
+}
+
+// EventsSince returns a copy of the events from seq onward, plus a
+// channel that is closed when more events arrive and whether the job has
+// reached a terminal state. The triple lets a streamer loop without
+// missing or duplicating events.
+func (j *Job) EventsSince(seq int) (evs []Event, more <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < len(j.events) {
+		evs = append(evs, j.events[seq:]...)
+	}
+	return evs, j.notify, j.status.Terminal()
+}
+
+// WaitTerminal blocks until the job reaches a terminal state or the
+// context is cancelled, returning the final status.
+func (j *Job) WaitTerminal(ctx context.Context) (Status, error) {
+	seq := 0
+	for {
+		evs, more, terminal := j.EventsSince(seq)
+		seq += len(evs)
+		if terminal {
+			return j.Status(), nil
+		}
+		select {
+		case <-more:
+		case <-ctx.Done():
+			return j.Status(), ctx.Err()
+		}
+	}
+}
+
+// setStatus transitions the lifecycle state (non-terminal transitions).
+func (j *Job) setStatus(s Status) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and emits the closing event.
+func (j *Job) finish(s Status, res *Result, msg string) {
+	j.mu.Lock()
+	j.status = s
+	j.result = res
+	j.mu.Unlock()
+	j.append(Event{Kind: EventTerminal, Status: s, Message: msg})
+}
+
+// Submission and drain errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity; the HTTP layer maps it to 429 with Retry-After.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining is returned by Submit once Drain has begun; the HTTP
+	// layer maps it to 503.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// RunnerConfig sizes a Runner.
+type RunnerConfig struct {
+	// Workers is the worker pool size (0 = NumCPU).
+	Workers int
+	// QueueLimit bounds the total queued (not yet running) jobs across
+	// all tenants (0 = DefaultQueueLimit).
+	QueueLimit int
+	// Services is the simulation state jobs run against; the zero value
+	// resolves to DefaultServices.
+	Services Services
+	// Defaults are server-level option defaults merged into every
+	// submitted spec (zero-valued knobs inherit, booleans or-combine).
+	Defaults Options
+}
+
+// DefaultQueueLimit bounds the queue when RunnerConfig.QueueLimit is 0.
+const DefaultQueueLimit = 256
+
+// Runner is the bounded worker pool over core.Verify behind the server:
+// submissions enter per-tenant FIFO queues scheduled round-robin (one
+// tenant flooding the queue cannot starve another), a fixed worker pool
+// executes jobs through the shared Execute path, and Drain stops intake,
+// fails over queued jobs to the drained state and waits for in-flight
+// jobs to finish.
+type Runner struct {
+	cfg  RunnerConfig
+	svc  Services
+	exec func(JobSpec, Services, func(Event)) Result // test seam; Execute by default
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string][]*Job // per-tenant FIFO
+	ring     []string          // round-robin tenant order
+	next     int               // ring cursor
+	queued   int
+	running  int
+	draining bool
+	seq      int
+	jobs     map[string]*Job
+	wg       sync.WaitGroup
+
+	stages *stageRecorder
+}
+
+// NewRunner starts the worker pool and returns the runner.
+func NewRunner(cfg RunnerConfig) *Runner {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	svc := cfg.Services
+	if svc.Cache == nil || svc.Memo == nil {
+		def := DefaultServices()
+		if svc.Cache == nil {
+			svc.Cache = def.Cache
+		}
+		if svc.Memo == nil {
+			svc.Memo = def.Memo
+		}
+	}
+	r := &Runner{
+		cfg: cfg, svc: svc, exec: Execute,
+		queues: map[string][]*Job{},
+		jobs:   map[string]*Job{},
+		stages: newStageRecorder(),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Workers returns the worker pool size.
+func (r *Runner) Workers() int { return r.cfg.Workers }
+
+// Services returns the simulation state jobs run against.
+func (r *Runner) Services() Services { return r.svc }
+
+// Submit validates, defaults and enqueues one job. It returns
+// ErrDraining after Drain has begun and ErrQueueFull when the bounded
+// queue is at capacity; both leave no trace in the job table.
+func (r *Runner) Submit(spec JobSpec) (*Job, error) {
+	spec.Options = spec.Options.merge(r.cfg.Defaults)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, ErrDraining
+	}
+	if r.queued >= r.cfg.QueueLimit {
+		return nil, ErrQueueFull
+	}
+	r.seq++
+	j := newJob(fmt.Sprintf("job-%d", r.seq), spec, time.Now())
+	tenant := spec.Tenant
+	if _, ok := r.queues[tenant]; !ok {
+		r.ring = append(r.ring, tenant)
+	}
+	r.queues[tenant] = append(r.queues[tenant], j)
+	r.queued++
+	r.jobs[j.ID] = j
+	r.cond.Signal()
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (r *Runner) Job(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// QueueDepth returns the number of queued (not running) jobs.
+func (r *Runner) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queued
+}
+
+// Draining reports whether Drain has begun.
+func (r *Runner) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Snapshot returns per-tenant queue depths and job counts by status —
+// the runner's contribution to the metrics endpoint.
+func (r *Runner) Snapshot() (tenantDepth map[string]int, byStatus map[Status]int, running int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tenantDepth = map[string]int{}
+	for t, q := range r.queues {
+		if len(q) > 0 {
+			tenantDepth[t] = len(q)
+		}
+	}
+	byStatus = map[Status]int{}
+	for _, j := range r.jobs {
+		byStatus[j.Status()]++
+	}
+	return tenantDepth, byStatus, r.running
+}
+
+// popLocked removes and returns the next job under round-robin tenant
+// order, or nil when the queue is empty. Called with mu held.
+func (r *Runner) popLocked() *Job {
+	for range r.ring {
+		if len(r.ring) == 0 {
+			return nil
+		}
+		r.next %= len(r.ring)
+		tenant := r.ring[r.next]
+		q := r.queues[tenant]
+		if len(q) == 0 {
+			// Tenant went idle: drop it from the ring (it re-registers on
+			// its next submission) without advancing the cursor.
+			delete(r.queues, tenant)
+			r.ring = append(r.ring[:r.next], r.ring[r.next+1:]...)
+			continue
+		}
+		j := q[0]
+		r.queues[tenant] = q[1:]
+		r.queued--
+		r.next++
+		return j
+	}
+	return nil
+}
+
+// worker is one pool goroutine: pop fair-scheduled jobs until drain.
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for r.queued == 0 && !r.draining {
+			r.cond.Wait()
+		}
+		if r.queued == 0 && r.draining {
+			r.mu.Unlock()
+			return
+		}
+		j := r.popLocked()
+		r.running++
+		r.mu.Unlock()
+		if j != nil {
+			r.run(j)
+		}
+		r.mu.Lock()
+		r.running--
+		r.mu.Unlock()
+	}
+}
+
+// run executes one job end to end, recording queue-wait and run-time
+// stage samples.
+func (r *Runner) run(j *Job) {
+	start := time.Now()
+	wait := start.Sub(j.queuedAt)
+	r.stages.observe("queue_wait", wait)
+	j.mu.Lock()
+	j.waited = wait
+	j.mu.Unlock()
+
+	j.setStatus(StatusRunning)
+	j.append(Event{Kind: EventStarted, Status: StatusRunning})
+	res := r.exec(j.Spec, r.svc, j.append)
+	ran := time.Since(start)
+	r.stages.observe("run", ran)
+	j.mu.Lock()
+	j.ranFor = ran
+	j.mu.Unlock()
+
+	status, msg := StatusDone, "verification passed"
+	if res.Failed() {
+		status = StatusFailed
+		switch {
+		case res.Error != "":
+			msg = res.Error
+		case res.Formal == "refuted":
+			msg = "formal refutation: " + res.FormalDetail
+		default:
+			msg = fmt.Sprintf("verification failed (best pass rate %.2f)", res.PassRate)
+		}
+	}
+	j.finish(status, &res, msg)
+}
+
+// Drain stops intake, terminates every still-queued job with the drained
+// status, and waits (bounded by ctx) for in-flight jobs and the worker
+// pool to finish. Safe to call more than once.
+func (r *Runner) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.draining {
+		r.draining = true
+		for {
+			j := r.popLocked()
+			if j == nil {
+				break
+			}
+			j.finish(StatusDrained, nil, "server drained before the job ran")
+		}
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StageStats returns the recorded per-stage latency samples (seconds),
+// keyed by stage name ("queue_wait", "run").
+func (r *Runner) StageStats() map[string][]float64 { return r.stages.snapshot() }
+
+// stageRecorder keeps bounded per-stage latency samples.
+type stageRecorder struct {
+	mu      sync.Mutex
+	samples map[string][]float64
+}
+
+const maxStageSamples = 4096
+
+func newStageRecorder() *stageRecorder {
+	return &stageRecorder{samples: map[string][]float64{}}
+}
+
+func (s *stageRecorder) observe(stage string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xs := s.samples[stage]
+	if len(xs) >= maxStageSamples {
+		// Keep the newest half: percentiles should reflect recent load.
+		xs = append(xs[:0], xs[len(xs)/2:]...)
+	}
+	s.samples[stage] = append(xs, d.Seconds())
+}
+
+func (s *stageRecorder) snapshot() map[string][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string][]float64{}
+	for k, v := range s.samples {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}

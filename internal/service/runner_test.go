@@ -1,0 +1,293 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// stubExec is a controllable Runner.exec replacement: every invocation
+// reports itself on started, then blocks until release is closed (or
+// proceeds immediately when release is nil).
+type stubExec struct {
+	started chan string   // receives the job's tenant per invocation
+	release chan struct{} // close to let blocked invocations finish
+}
+
+func newStubExec(buffered int, blocking bool) *stubExec {
+	s := &stubExec{started: make(chan string, buffered)}
+	if blocking {
+		s.release = make(chan struct{})
+	}
+	return s
+}
+
+func (s *stubExec) exec(spec JobSpec, _ Services, _ func(Event)) Result {
+	s.started <- spec.Tenant
+	if s.release != nil {
+		<-s.release
+	}
+	return Result{Success: true, Stage: "stub"}
+}
+
+// testSpec is a minimal valid spec (the runner validates against the
+// real dataset even with a stubbed executor).
+func testSpec(tenant string) JobSpec {
+	return JobSpec{Module: "adder_8bit", Tenant: tenant}
+}
+
+func waitStatus(t *testing.T, j *Job, want Status) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		evs, more, _ := j.EventsSince(0)
+		_ = evs
+		if j.Status() == want {
+			return
+		}
+		select {
+		case <-more:
+		case <-deadline:
+			t.Fatalf("job %s stuck in %s, want %s", j.ID, j.Status(), want)
+		}
+	}
+}
+
+// TestRunnerBackpressure checks the bounded-queue contract: submissions
+// beyond the limit fail fast with ErrQueueFull and are accepted again
+// once the queue drains.
+func TestRunnerBackpressure(t *testing.T) {
+	stub := newStubExec(8, true)
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 2})
+	r.exec = stub.exec
+	defer r.Drain(context.Background())
+
+	if _, err := r.Submit(testSpec("a")); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-stub.started // the single worker is now occupied
+
+	for i := 0; i < 2; i++ {
+		if _, err := r.Submit(testSpec("a")); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if _, err := r.Submit(testSpec("a")); err != ErrQueueFull {
+		t.Fatalf("over-limit submit: err = %v, want ErrQueueFull", err)
+	}
+
+	// Unblock everything (a closed release channel never blocks again);
+	// once the queue drains, submissions are accepted again.
+	close(stub.release)
+	deadline := time.After(5 * time.Second)
+	for r.QueueDepth() > 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("queue never drained (depth %d)", r.QueueDepth())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := r.Submit(testSpec("a")); err != nil {
+		t.Fatalf("post-drain submit rejected: %v", err)
+	}
+}
+
+// TestRunnerFairness checks round-robin tenant scheduling: with one
+// worker and queues pre-loaded while the worker is blocked, execution
+// interleaves tenants instead of draining the largest queue first.
+func TestRunnerFairness(t *testing.T) {
+	stub := newStubExec(16, true)
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 16})
+	r.exec = stub.exec
+
+	blocker, err := r.Submit(testSpec("blocker"))
+	if err != nil {
+		t.Fatalf("blocker submit: %v", err)
+	}
+	<-stub.started // worker occupied; everything below queues up
+
+	for i := 0; i < 4; i++ {
+		if _, err := r.Submit(testSpec("alice")); err != nil {
+			t.Fatalf("alice %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Submit(testSpec("bob")); err != nil {
+			t.Fatalf("bob %d: %v", i, err)
+		}
+	}
+
+	close(stub.release)
+	var order []string
+	for i := 0; i < 6; i++ {
+		select {
+		case tenant := <-stub.started:
+			order = append(order, tenant)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 6 queued jobs ran: %v", i, order)
+		}
+	}
+	want := []string{"alice", "bob", "alice", "bob", "alice", "alice"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want round-robin %v", order, want)
+	}
+	waitStatus(t, blocker, StatusDone)
+	r.Drain(context.Background())
+}
+
+// TestRunnerDrain checks the graceful-drain contract: in-flight jobs
+// finish, queued jobs terminate in the drained state without running,
+// and new submissions are refused with ErrDraining.
+func TestRunnerDrain(t *testing.T) {
+	stub := newStubExec(8, true)
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 8})
+	r.exec = stub.exec
+
+	inflight, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatalf("inflight submit: %v", err)
+	}
+	<-stub.started
+	queued, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- r.Drain(context.Background()) }()
+
+	// The queued job must terminate as drained without ever executing.
+	waitStatus(t, queued, StatusDrained)
+	if _, ok := queued.Result(); ok {
+		t.Fatal("drained job has a result; it must never have run")
+	}
+	if _, err := r.Submit(testSpec("b")); err != ErrDraining {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+
+	// Drain must wait for the in-flight job.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned (%v) before the in-flight job finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(stub.release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitStatus(t, inflight, StatusDone)
+	if res, ok := inflight.Result(); !ok || !res.Success {
+		t.Fatalf("in-flight job result = %+v ok=%v, want success", res, ok)
+	}
+
+	// Drain is idempotent, and a cancelled context reports cleanly.
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestRunnerDrainTimeout checks that a drain bounded by an expiring
+// context returns the context error while a job is still stuck.
+func TestRunnerDrainTimeout(t *testing.T) {
+	stub := newStubExec(8, true)
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 8})
+	r.exec = stub.exec
+	if _, err := r.Submit(testSpec("a")); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-stub.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain err = %v, want DeadlineExceeded", err)
+	}
+	close(stub.release)
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+}
+
+// TestRunnerRejectsInvalidSpec checks that validation failures surface
+// at submission and leave no job behind.
+func TestRunnerRejectsInvalidSpec(t *testing.T) {
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 2})
+	r.exec = newStubExec(1, false).exec
+	defer r.Drain(context.Background())
+
+	if _, err := r.Submit(JobSpec{Module: "warp_core"}); err == nil {
+		t.Fatal("unknown module accepted")
+	}
+	if _, err := r.Submit(JobSpec{Module: "adder_8bit", Options: Options{Lanes: -1}}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	if depth := r.QueueDepth(); depth != 0 {
+		t.Fatalf("rejected submissions left %d jobs queued", depth)
+	}
+}
+
+// TestJobEventSequence checks the dense per-job Seq numbering and the
+// EventsSince resume contract a reconnecting stream consumer relies on.
+func TestJobEventSequence(t *testing.T) {
+	stub := newStubExec(1, false)
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 2})
+	r.exec = stub.exec
+	defer r.Drain(context.Background())
+
+	j, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := j.WaitTerminal(context.Background()); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	evs, _, terminal := j.EventsSince(0)
+	if !terminal {
+		t.Fatal("terminal job reported as live")
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d; numbering must be dense from 0", i, ev.Seq)
+		}
+	}
+	if evs[0].Kind != EventQueued || evs[len(evs)-1].Kind != EventTerminal {
+		t.Fatalf("event kinds = %v, want queued..terminal", kinds(evs))
+	}
+	// Resume from a mid-stream offset: no duplicates, no gaps.
+	tail, _, _ := j.EventsSince(1)
+	if len(tail) != len(evs)-1 || tail[0].Seq != 1 {
+		t.Fatalf("EventsSince(1) returned %d events starting at %d", len(tail), tail[0].Seq)
+	}
+}
+
+func kinds(evs []Event) []string {
+	var out []string
+	for _, ev := range evs {
+		out = append(out, ev.Kind)
+	}
+	return out
+}
+
+// TestRunnerStageStats checks that queue-wait and run samples are
+// recorded for executed jobs — the feed of the metrics percentiles.
+func TestRunnerStageStats(t *testing.T) {
+	stub := newStubExec(4, false)
+	r := NewRunner(RunnerConfig{Workers: 2, QueueLimit: 8})
+	r.exec = stub.exec
+	for i := 0; i < 3; i++ {
+		j, err := r.Submit(testSpec("a"))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if _, err := j.WaitTerminal(context.Background()); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	r.Drain(context.Background())
+	stats := r.StageStats()
+	if len(stats["queue_wait"]) != 3 || len(stats["run"]) != 3 {
+		t.Fatalf("stage samples = %d wait / %d run, want 3 / 3",
+			len(stats["queue_wait"]), len(stats["run"]))
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// DiskCache is the on-disk content-addressed tier under Cache: one file
+// per compile outcome, named by the hex sha256 of (source, top, backend),
+// so warm compile state survives process restarts. A long-running server
+// attaches one (Cache.AttachDisk) and calls Cache.WarmFromDisk at startup;
+// after that, designs the previous process compiled are served from the
+// in-memory tier without a cold request-path compile.
+//
+// What is persisted is the compile *outcome envelope*, not machine state:
+// compiled Programs are closures and cannot be serialized, so a positive
+// entry stores the canonical source text and is rehydrated by replaying it
+// through the compiler once per process (at warm-up or on the first miss),
+// while a negative entry stores the deterministic compile error and
+// short-circuits with zero compile work. Every read is corruption
+// tolerant: a truncated, garbled or checksum-mismatched file counts in
+// Stats().DiskCorrupt and degrades to an ordinary miss — it is never
+// surfaced as an error to the caller, and the entry is rewritten after
+// the fresh compile.
+//
+// DiskCache is safe for concurrent use. Writes go through a temp file +
+// rename so readers never observe a partial entry; per-key serialization
+// is inherited from the single-flight memory tier above it.
+type DiskCache struct {
+	dir string
+
+	hits    atomic.Int64 // entries loaded intact
+	misses  atomic.Int64 // consulted, no entry on disk
+	corrupt atomic.Int64 // entries present but unreadable or checksum-broken
+	writes  atomic.Int64 // entries stored
+}
+
+// NewDiskCache opens (creating if needed) the on-disk tier rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the directory backing this tier.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// DiskStats is a point-in-time snapshot of the disk-tier counters. Like
+// CacheStats it is a plain value copy: read it and let it go stale.
+type DiskStats struct {
+	Hits    int64 // entries loaded intact from disk
+	Misses  int64 // lookups that found no entry
+	Corrupt int64 // entries dropped as corrupt (degraded to misses)
+	Writes  int64 // entries written
+}
+
+// Stats returns the disk-tier counters.
+func (d *DiskCache) Stats() DiskStats {
+	return DiskStats{
+		Hits:    d.hits.Load(),
+		Misses:  d.misses.Load(),
+		Corrupt: d.corrupt.Load(),
+		Writes:  d.writes.Load(),
+	}
+}
+
+// diskEntry is the JSON envelope of one persisted compile outcome. Sum is
+// the hex sha256 over (Source, Top, Backend, Error) and is what makes
+// reads corruption-evident: any bit flip in the payload (or a stale
+// rename of a different key's file) fails the checksum and the entry is
+// treated as absent.
+type diskEntry struct {
+	Top     string `json:"top"`
+	Backend string `json:"backend"`
+	Source  string `json:"source"`
+	Error   string `json:"error,omitempty"`
+	Sum     string `json:"sum"`
+}
+
+func (e *diskEntry) checksum() string {
+	h := sha256.New()
+	for _, s := range []string{e.Source, e.Top, e.Backend, e.Error} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entryName is the content address: hex sha256 over the same triple that
+// keys the in-memory tier.
+func entryName(src, top string, backend Backend) string {
+	h := sha256.New()
+	for _, s := range []string{src, top, backend.String()} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)) + ".json"
+}
+
+// load returns the persisted outcome for (src, top, backend). ok is false
+// on a miss or a corrupt entry; corrupt entries are deleted so the
+// rewrite after recompilation starts clean.
+func (d *DiskCache) load(src, top string, backend Backend) (e diskEntry, ok bool) {
+	path := filepath.Join(d.dir, entryName(src, top, backend))
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		d.misses.Add(1)
+		return diskEntry{}, false
+	}
+	if err != nil {
+		d.corrupt.Add(1)
+		return diskEntry{}, false
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Sum != e.checksum() {
+		d.corrupt.Add(1)
+		os.Remove(path)
+		return diskEntry{}, false
+	}
+	d.hits.Add(1)
+	return e, true
+}
+
+// store persists one compile outcome. Failures are silent by design: the
+// disk tier is an accelerator, and a full or read-only disk must never
+// fail a compile that already succeeded in memory.
+func (d *DiskCache) store(src, top string, backend Backend, compileErr error) {
+	e := diskEntry{Top: top, Backend: backend.String(), Source: src}
+	if compileErr != nil {
+		e.Error = compileErr.Error()
+	}
+	e.Sum = e.checksum()
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(d.dir, entryName(src, top, backend))
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.writes.Add(1)
+}
+
+// entries walks the tier and decodes every intact entry, skipping (and
+// counting) corrupt ones. Used by WarmFromDisk.
+func (d *DiskCache) entries() []diskEntry {
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var out []diskEntry
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(d.dir, de.Name()))
+		if err != nil {
+			d.corrupt.Add(1)
+			continue
+		}
+		var e diskEntry
+		if err := json.Unmarshal(data, &e); err != nil || e.Sum != e.checksum() {
+			d.corrupt.Add(1)
+			os.Remove(filepath.Join(d.dir, de.Name()))
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const diskTestSrc = `module inc(input clk, input [3:0] a, output reg [3:0] y);
+  always @(posedge clk) y <= a + 1;
+endmodule
+`
+
+// TestDiskCacheRestartWarm is the restart contract: a second process (a
+// fresh Cache over the same directory) re-serves a previously compiled
+// design without a request-path compile — WarmFromDisk pre-populates the
+// memory tier, so the request itself is a pure memory hit.
+func TestDiskCacheRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+
+	// Process 1: compile once, writing through to disk.
+	d1, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewCache()
+	c1.AttachDisk(d1)
+	if _, err := c1.Compile(diskTestSrc, "inc", BackendCompiled); err != nil {
+		t.Fatalf("cold compile: %v", err)
+	}
+	if got := c1.Stats().Disk.Writes; got != 1 {
+		t.Fatalf("disk writes = %d, want 1", got)
+	}
+
+	// Process 2: same directory, fresh memory tier.
+	d2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache()
+	c2.AttachDisk(d2)
+	if n := c2.WarmFromDisk(); n != 1 {
+		t.Fatalf("warmed %d entries, want 1", n)
+	}
+	pre := c2.Stats()
+	p, err := c2.Compile(diskTestSrc, "inc", BackendCompiled)
+	if err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+	if _, err := p.NewInstance(); err != nil {
+		t.Fatalf("rehydrated program unusable: %v", err)
+	}
+	post := c2.Stats()
+	if post.Hits != pre.Hits+1 || post.Misses != pre.Misses {
+		t.Fatalf("restart request was not a memory hit: pre %+v post %+v", pre.Stats, post.Stats)
+	}
+	if post.Disk.Hits == 0 {
+		t.Fatalf("disk tier served no hits across restart: %+v", post.Disk)
+	}
+}
+
+// TestDiskCacheNegativeEntry pins that deterministic compile errors are
+// persisted and short-circuit on the next process with zero compile work.
+func TestDiskCacheNegativeEntry(t *testing.T) {
+	dir := t.TempDir()
+	bad := "module broken(input clk; endmodule"
+
+	d1, _ := NewDiskCache(dir)
+	c1 := NewCache()
+	c1.AttachDisk(d1)
+	_, err1 := c1.Compile(bad, "broken", BackendCompiled)
+	if err1 == nil {
+		t.Fatal("broken source compiled")
+	}
+
+	d2, _ := NewDiskCache(dir)
+	c2 := NewCache()
+	c2.AttachDisk(d2)
+	_, err2 := c2.Compile(bad, "broken", BackendCompiled)
+	if err2 == nil {
+		t.Fatal("persisted negative entry lost")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("persisted error drifted: %q vs %q", err1, err2)
+	}
+	if got := c2.Stats().Disk.Hits; got != 1 {
+		t.Fatalf("disk hits = %d, want 1", got)
+	}
+}
+
+// TestDiskCacheCorruptionDegradesToMiss is the corruption contract: a
+// garbled entry is never surfaced as an error — the read degrades to a
+// miss, the source recompiles, and the entry is rewritten intact.
+func TestDiskCacheCorruptionDegradesToMiss(t *testing.T) {
+	for name, corrupt := range map[string]func(path string) error{
+		"truncated": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		},
+		"bitflip": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			// Flip a byte inside the source payload, keeping valid JSON.
+			flipped := strings.Replace(string(data), "posedge", "p0sedge", 1)
+			return os.WriteFile(path, []byte(flipped), 0o644)
+		},
+		"empty": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			d1, _ := NewDiskCache(dir)
+			c1 := NewCache()
+			c1.AttachDisk(d1)
+			if _, err := c1.Compile(diskTestSrc, "inc", BackendCompiled); err != nil {
+				t.Fatal(err)
+			}
+
+			ents, err := os.ReadDir(dir)
+			if err != nil || len(ents) != 1 {
+				t.Fatalf("want exactly one entry file, got %d (%v)", len(ents), err)
+			}
+			path := filepath.Join(dir, ents[0].Name())
+			if err := corrupt(path); err != nil {
+				t.Fatal(err)
+			}
+
+			d2, _ := NewDiskCache(dir)
+			c2 := NewCache()
+			c2.AttachDisk(d2)
+			if _, err := c2.Compile(diskTestSrc, "inc", BackendCompiled); err != nil {
+				t.Fatalf("corrupt entry surfaced as error: %v", err)
+			}
+			st := c2.Stats().Disk
+			if st.Corrupt == 0 {
+				t.Fatalf("corruption not counted: %+v", st)
+			}
+			if st.Hits != 0 {
+				t.Fatalf("corrupt entry served as hit: %+v", st)
+			}
+			// The recompile rewrote the entry; a third process reads it intact.
+			d3, _ := NewDiskCache(dir)
+			c3 := NewCache()
+			c3.AttachDisk(d3)
+			if _, err := c3.Compile(diskTestSrc, "inc", BackendCompiled); err != nil {
+				t.Fatal(err)
+			}
+			if got := c3.Stats().Disk.Hits; got != 1 {
+				t.Fatalf("rewritten entry not served: %+v", c3.Stats().Disk)
+			}
+		})
+	}
+}
+
+// TestDiskCacheWarmSkipsCorrupt pins that WarmFromDisk walks past corrupt
+// files instead of aborting the warm-up.
+func TestDiskCacheWarmSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := NewDiskCache(dir)
+	c1 := NewCache()
+	c1.AttachDisk(d1)
+	if _, err := c1.Compile(diskTestSrc, "inc", BackendCompiled); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, strings.Repeat("0", 64)+".json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _ := NewDiskCache(dir)
+	c2 := NewCache()
+	c2.AttachDisk(d2)
+	if n := c2.WarmFromDisk(); n != 1 {
+		t.Fatalf("warmed %d, want 1 (corrupt file should be skipped)", n)
+	}
+	if got := c2.Stats().Disk.Corrupt; got != 1 {
+		t.Fatalf("corrupt = %d, want 1", got)
+	}
+}
+
+// TestDiskEntryChecksumCoversAllFields guards the checksum definition: two
+// entries differing only in the error field must not share a checksum, or
+// a stale rename could flip a verdict.
+func TestDiskEntryChecksumCoversAllFields(t *testing.T) {
+	base := diskEntry{Top: "t", Backend: "compiled", Source: "s"}
+	withErr := base
+	withErr.Error = "boom"
+	if base.checksum() == withErr.checksum() {
+		t.Fatal("checksum ignores the error field")
+	}
+	b, _ := json.Marshal(base)
+	if !json.Valid(b) {
+		t.Fatal("entry does not marshal to valid JSON")
+	}
+}
