@@ -22,6 +22,7 @@ import (
 	"uvllm/internal/formal"
 	"uvllm/internal/lint"
 	"uvllm/internal/llm"
+	"uvllm/internal/psim"
 	"uvllm/internal/sim"
 	"uvllm/internal/uvm"
 	"uvllm/internal/verilog"
@@ -391,6 +392,83 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// bitSimLanes is K for the bit-parallel benchmark: the full word width,
+// one lane per bit. benchguard compares it per-lane against
+// BenchmarkBatchLanes' per-lane cost and requires at least a 4x
+// improvement.
+const bitSimLanes = 64
+
+// BenchmarkBitSimLanes drives the same per-cycle hot loop as the batch
+// pair through the bit-parallel engine: 64 lanes x 500 cycles per module
+// of the mix as word-level AIG sweeps, including engine construction
+// (blasting the cycle circuit and compiling the op list) and the
+// per-cycle packing of row stimulus into bit-sliced form. Recording is
+// off — this is the configuration the throughput-critical consumers run
+// (the directed-stimulus candidate scorer and the bit-parallel fault
+// classifier screen lanes without waveforms; the differential oracle,
+// which does record, is correctness-gated rather than benchmark-gated).
+func BenchmarkBitSimLanes(b *testing.B) {
+	progs := benchBatchPrograms(b)
+	for _, pm := range progs {
+		if err := psim.Supported(pm.p, pm.m.Clock); err != nil {
+			b.Fatalf("%s left the bit-parallel subset: %v", pm.m.Name, err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pm := range progs {
+			eng, err := psim.NewEngine(pm.p, bitSimLanes, pm.m.Clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.SetRecord(false)
+			if err := eng.ApplyReset(2); err != nil {
+				b.Fatal(err)
+			}
+			ports := eng.Ports()
+			rstIdx := -1
+			for pi, pt := range ports {
+				if pm.m.HasReset && pt.Name == "rst_n" {
+					rstIdx = pi
+				}
+			}
+			rows := make([][]uint64, bitSimLanes)
+			for k := range rows {
+				rows[k] = make([]uint64, len(ports))
+			}
+			for c := 0; c < 500; c++ {
+				for k := range rows {
+					for pi, pt := range ports {
+						rows[k][pi] = uint64(c*31+k*7+i+len(pt.Name)) & maskBits(pt.Width)
+					}
+					if rstIdx >= 0 {
+						rows[k][rstIdx] = 1
+					}
+				}
+				if err := eng.Cycle(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBitSimTranspose measures the 64x64 bit-matrix transpose that
+// converts between the engine's lane-sliced and bit-sliced layouts — the
+// fixed per-cycle overhead every stimulus row and recorded waveform row
+// pays.
+func BenchmarkBitSimTranspose(b *testing.B) {
+	var m [64]uint64
+	for i := range m {
+		m[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	b.SetBytes(64 * 8)
+	for i := 0; i < b.N; i++ {
+		psim.Transpose64(&m)
 	}
 }
 

@@ -5,7 +5,7 @@
 // (minimum ns/op) run across -count repetitions, and compares against
 // the committed BENCH_baseline.json:
 //
-//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv|Batch(Lanes|VsSequential))$' -count=5 . | tee bench.txt
+//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv|Batch(Lanes|VsSequential)|BitSim(Lanes|Transpose))$' -count=5 . | tee bench.txt
 //	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
 //
 // Raw ns/op is machine-dependent, so every guarded quantity is a ratio
@@ -43,6 +43,7 @@ const (
 	benchCompiled = "BenchmarkSimCompiled"
 	benchBatch    = "BenchmarkBatchLanes"
 	benchBatchSeq = "BenchmarkBatchVsSequential"
+	benchBitSim   = "BenchmarkBitSimLanes"
 )
 
 // batchMinSpeedup is the acceptance bar for the batch scheduler: the
@@ -51,6 +52,20 @@ const (
 // identical total work, so their within-run ns/op ratio is the per-lane
 // amortization factor directly.
 const batchMinSpeedup = 1.5
+
+// Lane counts of the per-lane normalized pair: BenchmarkBatchLanes runs
+// 8 lanes per iteration, BenchmarkBitSimLanes 64. Keep in sync with
+// batchBenchLanes / bitSimLanes in bench_test.go.
+const (
+	batchBenchLanes = 8
+	bitSimLanes     = 64
+)
+
+// bitSimMinSpeedup is the acceptance bar for the bit-parallel engine:
+// its per-lane cycle cost (ns/op divided by its 64 lanes) must be at
+// least this factor below sim.Batch's per-lane cost (ns/op divided by
+// its 8 lanes) on the same module mix and cycle count.
+const bitSimMinSpeedup = 4.0
 
 func main() {
 	var (
@@ -137,6 +152,24 @@ func main() {
 			if speedup < batchMinSpeedup {
 				fmt.Fprintf(os.Stderr, "benchguard: FAIL: batch per-lane speedup %.2fx fell below the %.1fx floor\n",
 					speedup, batchMinSpeedup)
+				failed = true
+			}
+		}
+	}
+	// Pair rule: whenever both lane benchmarks are in the run, the
+	// bit-parallel engine's per-lane cost must beat the batch scheduler's
+	// per-lane cost by the acceptance bar. The benchmarks run different
+	// lane counts, so each side is normalized to ns per lane first.
+	if bl, ok := best[benchBatch]; ok {
+		if bp, ok := best[benchBitSim]; ok {
+			perBatch := bl / batchBenchLanes
+			perBit := bp / bitSimLanes
+			speedup := perBatch / perBit
+			fmt.Printf("benchguard: bit-parallel per-lane speedup %.2fx (%s %.0f ns/lane vs %s %.0f ns/lane, floor %.1fx)\n",
+				speedup, benchBitSim, perBit, benchBatch, perBatch, bitSimMinSpeedup)
+			if speedup < bitSimMinSpeedup {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL: bit-parallel per-lane speedup %.2fx fell below the %.1fx floor\n",
+					speedup, bitSimMinSpeedup)
 				failed = true
 			}
 		}

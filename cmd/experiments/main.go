@@ -38,6 +38,7 @@ func main() {
 		cov      = flag.Bool("cover", false, "print the random-vs-directed structural coverage study")
 		form     = flag.Bool("formal", false, "print the bounded-equivalence study (formal engine over the 27 modules)")
 		batch    = flag.Bool("batch", false, "print the batch-vs-sequential per-lane amortization study")
+		bitlanes = flag.Bool("bitlanes", false, "print the 64-lane bit-parallel amortization study (psim vs batch vs sequential)")
 		all      = flag.Bool("all", false, "print everything")
 	)
 	knobs := service.Bind(flag.CommandLine, service.FlagBackend|service.FlagWorkers|service.FlagLanes)
@@ -51,7 +52,7 @@ func main() {
 	sess := exp.SharedSession(cfg.Backend)
 	sess.Workers = cfg.Workers
 	lanes := opts.Lanes
-	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov && !*form && !*batch {
+	if !*fig5 && !*fig6 && !*fig7 && !*table2 && !*table3 && !*ablation && !*passk && !*cov && !*form && !*batch && !*bitlanes {
 		*all = true
 	}
 
@@ -60,6 +61,7 @@ func main() {
 		printAblations(sess)
 		printCoverage(sess)
 		printBatch(sess, lanes)
+		printBitLanes(sess)
 		printFormal(sess, *verbose)
 		printStats(sess, *verbose)
 		return
@@ -94,6 +96,9 @@ func main() {
 	if *batch {
 		printBatch(sess, lanes)
 	}
+	if *bitlanes {
+		printBitLanes(sess)
+	}
 	if *form {
 		printFormal(sess, *verbose)
 	}
@@ -108,6 +113,16 @@ func printBatch(sess *exp.Session, lanes int) {
 		os.Exit(1)
 	}
 	fmt.Print(exp.FormatBatchAmortization(rows))
+}
+
+func printBitLanes(sess *exp.Session) {
+	fmt.Println()
+	rows, err := sess.BitSimAmortizationStudy(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: bitlanes study:", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.FormatBitSimAmortization(rows))
 }
 
 func printFormal(sess *exp.Session, verbose bool) {

@@ -42,7 +42,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		queue    = flag.Int("queue", service.DefaultQueueLimit, "job queue bound: submissions beyond this get 429 + Retry-After")
 		cacheDir = flag.String("cache-dir", "", "directory for the persistent compile-cache tier (empty = memory only)")
+		cacheMB  = flag.Int64("cache-budget-mb", 0, "LRU byte budget for the disk cache tier in MiB (0 = unbounded)")
 		drainSec = flag.Int("drain-timeout", 60, "seconds to wait for in-flight jobs on SIGTERM before exiting anyway")
+		ttlSec   = flag.Int("result-ttl", 0, "seconds a finished job's result stays addressable before GC (0 = forever)")
 	)
 	knobs := service.Bind(flag.CommandLine, service.FlagAll)
 	flag.Parse()
@@ -56,12 +58,21 @@ func main() {
 	if *drainSec < 0 {
 		fatalf("-drain-timeout must be >= 0, got %d", *drainSec)
 	}
+	if *cacheMB < 0 {
+		fatalf("-cache-budget-mb must be >= 0, got %d", *cacheMB)
+	}
+	if *ttlSec < 0 {
+		fatalf("-result-ttl must be >= 0, got %d", *ttlSec)
+	}
 
 	svc := service.DefaultServices()
 	if *cacheDir != "" {
 		disk, err := sim.NewDiskCache(*cacheDir)
 		if err != nil {
 			fatalf("open cache dir: %v", err)
+		}
+		if *cacheMB > 0 {
+			disk.SetBudget(*cacheMB << 20)
 		}
 		svc.Cache.AttachDisk(disk)
 		if n := svc.Cache.WarmFromDisk(); n > 0 {
@@ -74,6 +85,7 @@ func main() {
 		QueueLimit: *queue,
 		Services:   svc,
 		Defaults:   opts,
+		ResultTTL:  time.Duration(*ttlSec) * time.Second,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

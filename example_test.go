@@ -129,7 +129,8 @@ func Example_formalEquivalence() {
 
 	// Every refutation must replay in concrete simulation — the bridge
 	// from the SAT model back into the testbench world (the same vectors
-	// convert to a uvm sequence via res.Cex.Sequence()).
+	// convert to a uvm sequence via &uvm.DirectedSequence{Vectors:
+	// res.Cex.Vectors()}).
 	div, cyc, _ := formal.ReplayCex(m.Source, buggy, m.Top, m.Clock, res.Cex, sim.BackendCompiled)
 	fmt.Printf("replayed in simulation: diverged=%v at cycle %d\n", div, cyc)
 

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"uvllm/internal/sim"
+)
+
+// TestBitSimAmortizationStudyShape validates the study's structure (not
+// its timings, which are machine-dependent): every hot-loop module gets
+// a row with positive per-lane-cycle costs on all three paths and
+// computed speedup factors, and the formatter renders one line per row
+// plus the mean. It also pins the study's contract that the whole module
+// mix lives inside the bit-parallel subset — a module falling out would
+// silently turn the table into a batch-vs-batch comparison.
+func TestBitSimAmortizationStudyShape(t *testing.T) {
+	s := SharedSession(sim.BackendCompiled)
+	rows, err := s.BitSimAmortizationStudy(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(batchAmortModules) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(batchAmortModules))
+	}
+	for _, r := range rows {
+		if r.Cycles != 100 {
+			t.Fatalf("%s: cycles not threaded: %+v", r.Module, r)
+		}
+		if r.SeqNsPerLC <= 0 || r.BatchNsPerLC <= 0 || r.BitNsPerLC <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", r.Module, r)
+		}
+		if r.VsBatch <= 0 || r.VsSeq <= 0 {
+			t.Fatalf("%s: speedup factors not computed: %+v", r.Module, r)
+		}
+	}
+	out := FormatBitSimAmortization(rows)
+	if strings.Count(out, "\n") != len(rows)+3 {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	for _, r := range rows {
+		if !strings.Contains(out, r.Module) {
+			t.Fatalf("table missing %s:\n%s", r.Module, out)
+		}
+	}
+}

@@ -144,6 +144,20 @@ func (g *AIG) NewVar() Lit {
 	return Lit(idx << 1)
 }
 
+// Fanins returns node i's fanin literals and whether the node is an AND
+// gate (false for the constant node and for input variables). Nodes are
+// created in topological order, so a single pass over 1..NumNodes()-1
+// visiting each AND's fanins is a complete evaluation order — the export
+// that lets a word-level evaluator (internal/psim) compile the graph into
+// a straight-line op list without re-walking construction.
+func (g *AIG) Fanins(i uint32) (a, b Lit, isAnd bool) {
+	n := g.nodes[i]
+	if i == 0 || n.a == varSentinel {
+		return 0, 0, false
+	}
+	return n.a, n.b, true
+}
+
 // IsVar reports whether the literal points at an input variable node.
 func (g *AIG) IsVar(l Lit) bool {
 	n := g.nodes[l.Node()]

@@ -38,6 +38,21 @@ type Options struct {
 	// skip deterministically the rare miters (deep multiplier/divider
 	// cones) whose UNSAT proofs are out of a test budget's reach.
 	MaxConflicts int
+	// FreeReset, when set, leaves the conventional reset input free (a
+	// per-cycle variable) instead of freezing it at its deasserted value.
+	// Sequential processes that trigger on a reset edge are then recorded
+	// as async procs: under the harness protocol the reset only changes at
+	// input-apply time, so the cycle-circuit replay (NewCircuit) fires them
+	// symbolically at the clock-low settle, guarded by the old-versus-new
+	// edge condition — exact async-reset semantics at every observation
+	// instant. The cycle-circuit consumers use FreeReset so every non-clock
+	// input — the sim.Batch row layout — is a driven variable.
+	FreeReset bool
+	// LiteralClock, when set, takes Clock exactly as given — "" then means
+	// "no clock", suppressing the conventional-name guess. This mirrors
+	// the harness contract, where an empty clock name selects the
+	// combinational protocol even when the design has a clk input.
+	LiteralClock bool
 }
 
 // ErrBudget marks a check abandoned on its MaxConflicts budget: the
@@ -69,6 +84,19 @@ type Model struct {
 	procs        []sim.ProcView
 	sigs         []sim.SignalView
 	maxConflicts int
+
+	// Async-reset bookkeeping (FreeReset only): the conventional reset's
+	// arena index and the sequential processes with an edge trigger on it,
+	// fired symbolically at the settle instant by the cycle-circuit replay.
+	rstIdx int
+	asyncs []asyncProc
+}
+
+// asyncProc is one sequential process with an edge trigger on the free
+// reset: proc index plus the trigger polarity (true = posedge).
+type asyncProc struct {
+	proc int
+	pos  bool
 }
 
 // State is one symbolic snapshot of the signal arena (and memories): the
@@ -118,7 +146,7 @@ func newModelShared(g *AIG, prog *sim.Program, opts Options) (*Model, error) {
 	}
 	d := prog.Design()
 	clock := opts.Clock
-	if clock == "" {
+	if clock == "" && !opts.LiteralClock {
 		clock = sim.FindClock(d)
 	}
 	m := &Model{
@@ -131,6 +159,7 @@ func newModelShared(g *AIG, prog *sim.Program, opts Options) (*Model, error) {
 		outs:         d.Outputs(),
 		combOrder:    prog.CombOrder(),
 		maxConflicts: opts.MaxConflicts,
+		rstIdx:       -1,
 	}
 	if m.clock != "" {
 		if idx, ok := d.SignalIndex(m.clock); ok {
@@ -144,10 +173,16 @@ func newModelShared(g *AIG, prog *sim.Program, opts Options) (*Model, error) {
 		m.procs = append(m.procs, d.Proc(i))
 	}
 
-	// Frozen inputs: the conventional reset, held deasserted.
+	// The conventional reset: frozen at its deasserted value by default
+	// (the protocol runs the concrete preamble and explores post-reset
+	// behavior), a tracked free input under FreeReset.
 	if rst, v := sim.FindResetDeassert(d); rst != "" {
 		if idx, ok := d.SignalIndex(rst); ok {
-			m.frozen[idx] = v
+			if opts.FreeReset {
+				m.rstIdx = idx
+			} else {
+				m.frozen[idx] = v
+			}
 		}
 	}
 	for _, p := range d.Inputs() {
@@ -180,7 +215,7 @@ func newModelShared(g *AIG, prog *sim.Program, opts Options) (*Model, error) {
 	if memBits > maxMem {
 		return nil, unsupportedf("memories total %d bits (cap %d)", memBits, maxMem)
 	}
-	for _, pv := range m.procs {
+	for pi, pv := range m.procs {
 		if pv.Kind != sim.ProcSeq {
 			continue
 		}
@@ -191,7 +226,14 @@ func newModelShared(g *AIG, prog *sim.Program, opts Options) (*Model, error) {
 			if _, fr := m.frozen[ed.Sig]; fr {
 				continue // frozen signals never toggle: the edge cannot fire
 			}
-			return nil, unsupportedf("edge trigger on %s (only the clock and the frozen reset are modeled)",
+			if ed.Sig == m.rstIdx {
+				// Free reset: the edge can only fire at input-apply time, so
+				// the cycle-circuit replay reproduces it exactly with a
+				// guarded firing at the settle instant.
+				m.asyncs = append(m.asyncs, asyncProc{proc: pi, pos: ed.Pos})
+				continue
+			}
+			return nil, unsupportedf("edge trigger on %s (only the clock and the reset are modeled)",
 				m.sigs[ed.Sig].Name)
 		}
 	}

@@ -4,21 +4,24 @@ import (
 	"fmt"
 
 	"uvllm/internal/sim"
-	"uvllm/internal/uvm"
 )
 
 // Counterexample is a refutation witness: the per-cycle stimulus (every
 // driven input, frozen reset included) that makes two designs' outputs
 // diverge, or an assertion fail, at cycle Cycle of the post-reset run.
+// Vectors converts it into replayable per-cycle stimulus — the bridge
+// from a SAT model back into the simulation world (wrap the result in a
+// uvm.DirectedSequence to play it through a testbench; formal cannot
+// import uvm, which now sits above the bit-parallel simulator and the
+// bit-blaster both).
 type Counterexample struct {
 	Inputs []map[string]uint64 // one map per harness cycle, in order
 	Cycle  int                 // 0-based cycle of the divergence/violation
 	Signal string              // a diverging output (or the asserted signal)
 }
 
-// Sequence converts the counterexample into a replayable UVM stimulus
-// sequence — the bridge from a SAT model back into the simulation world.
-func (c *Counterexample) Sequence() *uvm.DirectedSequence {
+// Vectors deep-copies the stimulus stream, one map per harness cycle.
+func (c *Counterexample) Vectors() []map[string]uint64 {
 	vecs := make([]map[string]uint64, len(c.Inputs))
 	for i, in := range c.Inputs {
 		cp := make(map[string]uint64, len(in))
@@ -27,7 +30,7 @@ func (c *Counterexample) Sequence() *uvm.DirectedSequence {
 		}
 		vecs[i] = cp
 	}
-	return &uvm.DirectedSequence{Vectors: vecs}
+	return vecs
 }
 
 // DefaultBMCDepth is the conventional unrolling depth of the bounded

@@ -5,7 +5,6 @@ import (
 
 	"uvllm/internal/assert"
 	"uvllm/internal/sim"
-	"uvllm/internal/uvm"
 )
 
 func mustCompile(t *testing.T, src, top string) *sim.Program {
@@ -150,11 +149,10 @@ endmodule
 	if res.Equivalent {
 		t.Fatal("hit-comparison bug must be refuted within 8 cycles")
 	}
-	seq := res.Cex.Sequence()
-	if seq.Len() != len(res.Cex.Inputs) {
-		t.Fatalf("sequence length %d, want %d", seq.Len(), len(res.Cex.Inputs))
+	vectors := res.Cex.Vectors()
+	if len(vectors) != len(res.Cex.Inputs) {
+		t.Fatalf("vector stream length %d, want %d", len(vectors), len(res.Cex.Inputs))
 	}
-	vectors := uvm.Materialize(seq, 0)
 
 	for _, backend := range []sim.Backend{sim.BackendCompiled, sim.BackendEventDriven} {
 		sG, err := sim.CompileAndNewBackend(cntGolden, "cnt", backend)

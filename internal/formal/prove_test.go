@@ -5,7 +5,6 @@ import (
 
 	"uvllm/internal/assert"
 	"uvllm/internal/sim"
-	"uvllm/internal/uvm"
 )
 
 // modSaturate saturates at 9 and exposes a one-hot phase vector, giving
@@ -54,7 +53,7 @@ func TestCheckAssertions(t *testing.T) {
 	if ref.Cex == nil || ref.Cex.Signal != ref.Assertion.Name() {
 		t.Fatalf("refutation carries no usable cex: %+v", ref.Cex)
 	}
-	vectors := uvm.Materialize(ref.Cex.Sequence(), 0)
+	vectors := ref.Cex.Vectors()
 	for _, backend := range []sim.Backend{sim.BackendCompiled, sim.BackendEventDriven} {
 		s, err := sim.CompileAndNewBackend(modSaturate, "sat9", backend)
 		if err != nil {

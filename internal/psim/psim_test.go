@@ -1,0 +1,377 @@
+package psim
+
+import (
+	"math/rand"
+	"testing"
+
+	"uvllm/internal/dataset"
+	"uvllm/internal/formal"
+	"uvllm/internal/sim"
+)
+
+func maskW(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// TestTranspose64 checks the block transpose against the naive bit-by-bit
+// definition and the involution property.
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, orig [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+		orig[i] = a[i]
+	}
+	var want [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			want[j] |= (orig[i] >> uint(j) & 1) << uint(i)
+		}
+	}
+	Transpose64(&a)
+	if a != want {
+		t.Fatal("Transpose64 disagrees with the naive transpose")
+	}
+	Transpose64(&a)
+	if a != orig {
+		t.Fatal("Transpose64 is not an involution")
+	}
+}
+
+// TestMachineAgreesWithEval cross-checks the word evaluator against
+// AIG.Eval on a random circuit: 64 random assignments per sweep, every
+// lane must match the per-assignment reference evaluation.
+func TestMachineAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := formal.NewAIG()
+	vars := make([]formal.Lit, 24)
+	for i := range vars {
+		vars[i] = g.NewVar()
+	}
+	pool := append([]formal.Lit{formal.False, formal.True}, vars...)
+	for i := 0; i < 400; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		if rng.Intn(2) == 0 {
+			b = b.Not()
+		}
+		l := g.And(a, b)
+		if rng.Intn(2) == 0 {
+			l = l.Not()
+		}
+		pool = append(pool, l)
+	}
+	roots := pool[len(pool)-32:]
+
+	m := NewMachine(g)
+	words := make([]uint64, len(vars))
+	for i := range words {
+		words[i] = rng.Uint64()
+		m.SetVar(vars[i], words[i])
+	}
+	m.Sweep()
+	for lane := 0; lane < 64; lane++ {
+		ref := g.Eval(func(node uint32) bool {
+			for i, v := range vars {
+				if v.Node() == node {
+					return words[i]>>uint(lane)&1 == 1
+				}
+			}
+			return false
+		}, roots)
+		for ri, r := range roots {
+			got := m.Word(r)>>uint(lane)&1 == 1
+			if got != ref[ri] {
+				t.Fatalf("lane %d root %d: machine=%v eval=%v", lane, ri, got, ref[ri])
+			}
+		}
+	}
+}
+
+// TestEngineMatchesHarness drives every supported dataset module with 16
+// lanes of random full-row stimulus, bit-parallel and standalone, and
+// requires byte-identical outputs, waveforms and final state (signals and
+// memories). This is the in-package identity check; the adversarial
+// differential gate over generated designs lives in rtlgen (DiffBitSim).
+func TestEngineMatchesHarness(t *testing.T) {
+	supported := 0
+	for _, mod := range dataset.All() {
+		p, err := sim.CompileSource(mod.Source, mod.Top, sim.BackendCompiled)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", mod.Name, err)
+		}
+		if err := Supported(p, mod.Clock); err != nil {
+			continue
+		}
+		supported++
+		const lanes, cycles = 16, 24
+		e, err := NewEngine(p, lanes, mod.Clock)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", mod.Name, err)
+		}
+		refs := make([]*sim.Harness, lanes)
+		for k := range refs {
+			inst, err := p.NewInstance()
+			if err != nil {
+				t.Fatalf("%s: instance: %v", mod.Name, err)
+			}
+			refs[k] = sim.NewHarness(inst, mod.Clock)
+		}
+		if err := e.ApplyReset(2); err != nil {
+			t.Fatalf("%s: engine reset: %v", mod.Name, err)
+		}
+		for k, h := range refs {
+			if err := h.ApplyReset(2); err != nil {
+				t.Fatalf("%s lane %d: harness reset: %v", mod.Name, k, err)
+			}
+		}
+		ports := e.Ports()
+		rngs := make([]*rand.Rand, lanes)
+		for k := range rngs {
+			rngs[k] = rand.New(rand.NewSource(900 + int64(k)))
+		}
+		rows := make([][]uint64, lanes)
+		for cyc := 0; cyc < cycles; cyc++ {
+			for k := range rows {
+				row := make([]uint64, len(ports))
+				for i, pt := range ports {
+					row[i] = rngs[k].Uint64() & maskW(pt.Width)
+				}
+				rows[k] = row
+			}
+			if err := e.Cycle(rows); err != nil {
+				t.Fatalf("%s cycle %d: %v", mod.Name, cyc, err)
+			}
+			for k, h := range refs {
+				in := map[string]uint64{}
+				for i, pt := range ports {
+					in[pt.Name] = rows[k][i]
+				}
+				out, err := h.Cycle(in)
+				if err != nil {
+					t.Fatalf("%s lane %d cycle %d: harness: %v", mod.Name, k, cyc, err)
+				}
+				got := e.Outputs(k)
+				for name, v := range out {
+					if got[name] != v {
+						t.Fatalf("%s lane %d cycle %d output %s: psim=0x%x harness=0x%x",
+							mod.Name, k, cyc, name, got[name], v)
+					}
+				}
+			}
+		}
+		for k, h := range refs {
+			ew, hw := e.Wave(k), h.Wave
+			if ew.Cycles() != hw.Cycles() {
+				t.Fatalf("%s lane %d: wave cycles psim=%d harness=%d", mod.Name, k, ew.Cycles(), hw.Cycles())
+			}
+			for _, n := range hw.Names() {
+				for cyc := 0; cyc < hw.Cycles(); cyc++ {
+					if ew.At(n, cyc) != hw.At(n, cyc) {
+						t.Fatalf("%s lane %d wave %s@%d: psim=0x%x harness=0x%x",
+							mod.Name, k, n, cyc, ew.At(n, cyc), hw.At(n, cyc))
+					}
+				}
+			}
+			d := p.Design()
+			for i := 0; i < d.NumSignals(); i++ {
+				sv := d.Signal(i)
+				if e.Get(k, sv.Name) != h.Sim.Get(sv.Name) {
+					t.Fatalf("%s lane %d signal %s: psim=0x%x harness=0x%x",
+						mod.Name, k, sv.Name, e.Get(k, sv.Name), h.Sim.Get(sv.Name))
+				}
+				for dw := 0; dw < sv.Depth; dw++ {
+					if e.GetMem(k, sv.Name, dw) != h.Sim.GetMem(sv.Name, dw) {
+						t.Fatalf("%s lane %d mem %s[%d]: psim=0x%x harness=0x%x",
+							mod.Name, k, sv.Name, dw, e.GetMem(k, sv.Name, dw), h.Sim.GetMem(sv.Name, dw))
+					}
+				}
+			}
+		}
+	}
+	if supported < 10 {
+		t.Fatalf("only %d dataset modules in the bit-parallel subset; expected a substantial majority", supported)
+	}
+	t.Logf("bit-parallel subset: %d/%d dataset modules", supported, len(dataset.All()))
+}
+
+// TestCycleMapsHoldSemantics checks the per-lane hold path: inputs absent
+// from a stimulus map keep their previous value, exactly like the
+// standalone harness.
+func TestCycleMapsHoldSemantics(t *testing.T) {
+	mod := dataset.ByName("fifo_sync")
+	if mod == nil {
+		t.Skip("fifo_sync not in dataset")
+	}
+	p, err := sim.CompileSource(mod.Source, mod.Top, sim.BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Supported(p, mod.Clock); err != nil {
+		t.Skipf("fifo_sync unsupported: %v", err)
+	}
+	const lanes = 4
+	e, err := NewEngine(p, lanes, mod.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*sim.Harness, lanes)
+	for k := range refs {
+		inst, _ := p.NewInstance()
+		refs[k] = sim.NewHarness(inst, mod.Clock)
+	}
+	if err := e.ApplyReset(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range refs {
+		if err := h.ApplyReset(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	ports := e.Ports()
+	for cyc := 0; cyc < 30; cyc++ {
+		ins := make([]map[string]uint64, lanes)
+		for k := range ins {
+			in := map[string]uint64{}
+			for _, pt := range ports {
+				if rng.Intn(3) == 0 {
+					continue // hold this input on this lane
+				}
+				in[pt.Name] = rng.Uint64() & maskW(pt.Width)
+			}
+			ins[k] = in
+		}
+		if err := e.CycleMaps(ins); err != nil {
+			t.Fatal(err)
+		}
+		for k, h := range refs {
+			out, err := h.Cycle(ins[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.Outputs(k)
+			for name, v := range out {
+				if got[name] != v {
+					t.Fatalf("cycle %d lane %d output %s: psim=0x%x harness=0x%x", cyc, k, name, got[name], v)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRetirement drives lanes of different lengths through Run and
+// checks each lane's waveform stops at its own stream length.
+func TestRunRetirement(t *testing.T) {
+	mod := dataset.ByName("fifo_sync")
+	if mod == nil {
+		t.Skip("fifo_sync not in dataset")
+	}
+	p, err := sim.CompileSource(mod.Source, mod.Top, sim.BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLanes(p, 1, mod.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := l.Ports()
+	rng := rand.New(rand.NewSource(3))
+	const lanes = 70 // exercises engine chunking too (two engines)
+	stim := make([][][]uint64, lanes)
+	for k := range stim {
+		n := 5 + k%7
+		stim[k] = make([][]uint64, n)
+		for c := range stim[k] {
+			row := make([]uint64, len(ports))
+			for i, pt := range ports {
+				row[i] = rng.Uint64() & maskW(pt.Width)
+			}
+			stim[k][c] = row
+		}
+	}
+	run, err := Run(p, mod.Clock, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resetRows := 0
+	if name, _ := sim.FindReset(p.Design()); name != "" {
+		resetRows = ResetCycles
+	}
+	for k := range stim {
+		if got, want := run.Wave(k).Cycles(), resetRows+len(stim[k]); got != want {
+			t.Fatalf("lane %d: wave cycles %d, want %d", k, got, want)
+		}
+	}
+	// Each lane's trace must match a standalone run of the same stream.
+	for _, k := range []int{0, 3, 64, 69} {
+		inst, _ := p.NewInstance()
+		h := sim.NewHarness(inst, mod.Clock)
+		if err := h.ApplyReset(ResetCycles); err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range stim[k] {
+			in := map[string]uint64{}
+			for i, pt := range ports {
+				in[pt.Name] = row[i]
+			}
+			if _, err := h.Cycle(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, n := range h.Wave.Names() {
+			for cyc := 0; cyc < h.Wave.Cycles(); cyc++ {
+				if run.Wave(k).At(n, cyc) != h.Wave.At(n, cyc) {
+					t.Fatalf("lane %d wave %s@%d diverges from standalone", k, n, cyc)
+				}
+			}
+		}
+	}
+}
+
+// TestFallbackUnsupported checks that a design outside the subset (an
+// edge trigger on a data strobe, which is neither the clock nor the
+// conventional reset) transparently falls back to sim.Batch and still
+// produces harness-identical traces.
+func TestFallbackUnsupported(t *testing.T) {
+	src := `module ff(input clk, input strobe, input d, output reg q);
+always @(posedge strobe) q <= d;
+endmodule`
+	p, err := sim.CompileSource(src, "ff", sim.BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Supported(p, "clk"); err == nil {
+		t.Fatal("strobe-triggered design unexpectedly supported")
+	}
+	l, err := NewLanes(p, 3, "clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.BitParallel() {
+		t.Fatal("expected sim.Batch fallback")
+	}
+	if err := l.ApplyReset(2); err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]uint64{{1, 1}, {1, 0}, {0, 1}}
+	// Ports are strobe, d in declaration order.
+	if got := l.Ports(); len(got) != 2 || got[0].Name != "strobe" || got[1].Name != "d" {
+		t.Fatalf("unexpected port layout: %+v", got)
+	}
+	if err := l.Cycle(rows); err != nil {
+		t.Fatal(err)
+	}
+	if q := l.Outputs(0)["q"]; q != 1 {
+		t.Fatalf("lane 0 q=%d, want 1", q)
+	}
+	if q := l.Outputs(1)["q"]; q != 0 {
+		t.Fatalf("lane 1 q=%d, want 0", q)
+	}
+}

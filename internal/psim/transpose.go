@@ -1,0 +1,25 @@
+package psim
+
+// Transpose64 transposes the 64x64 bit matrix held in a, in place: bit j
+// of word i moves to bit i of word j. This is the recursive block-swap of
+// Hacker's Delight figure 7-3 widened to 64 bits — six rounds of
+// half-size swaps instead of 64*64 single-bit moves — and it is the only
+// conversion between the engine's two layouts: lane-sliced (word i = lane
+// i's value) and bit-sliced (word j = bit j across all 64 lanes). The
+// matrix transpose is its own inverse, so the same routine converts both
+// directions. It is exported for drivers that run their own machines over
+// shared circuits (faultgen's pair classifier) and for the benchmarks.
+func Transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; {
+		for k := uint(0); k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>j ^ a[k+j]) & m
+			a[k] ^= t << j
+			a[k+j] ^= t
+		}
+		// The halved mask pairs with the halved stride: update m with the
+		// new j (the C original's comma sequence), not the one just used.
+		j >>= 1
+		m ^= m << j
+	}
+}

@@ -1,0 +1,185 @@
+package rtlgen
+
+// Bit-parallel differential gate, the fifth oracle. DiffBatchLanes pins
+// the fused batch scheduler to standalone harnesses; DiffBitSim pins the
+// bit-parallel lane simulator (internal/psim) to both: K lanes evaluated
+// one-bit-per-word over the blasted cycle AIG must be byte-identical —
+// per-cycle outputs, waveform, VCD rendering and final internal state
+// (memories included) — to a sim.Batch and to K standalone Harness runs
+// under the same per-lane stimulus streams. Lanes get different stream
+// lengths so mid-run retirement (frozen state, truncated waveform) is on
+// the differential path too. Designs outside the bit-parallel subset
+// exercise psim's sim.Batch fallback instead — the gate then checks the
+// fallback is transparent, so "one API, always correct" is itself under
+// test.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"uvllm/internal/psim"
+	"uvllm/internal/sim"
+)
+
+// DiffBitSim runs `lanes` lanes of src, lane k for cycles-(k%3) cycles
+// under its own seeded stimulus stream (seed+lane), through psim.Lanes, a
+// sim.Batch and standalone harnesses, and compares every observable per
+// lane. Sources that do not elaborate are vacuously fine (DiffBackends
+// owns construction errors). It reports whether the bit-parallel path was
+// taken; a non-nil error is a genuine divergence.
+func DiffBitSim(src, top, clock string, lanes, cycles int, seed int64) (bool, error) {
+	p, err := diffCache.Compile(src, top, sim.BackendCompiled)
+	if err != nil {
+		return false, nil
+	}
+	l, err := psim.NewLanes(p, lanes, clock)
+	if err != nil {
+		return false, fmt.Errorf("psim construction: %v", err)
+	}
+	b, err := sim.NewBatch(p, lanes, clock)
+	if err != nil {
+		return false, fmt.Errorf("batch construction: %v", err)
+	}
+	refs := make([]*sim.Harness, lanes)
+	refErrs := make([]error, lanes)
+	for k := range refs {
+		inst, err := p.NewInstance()
+		if err != nil {
+			return false, fmt.Errorf("lane %d standalone instance: %v", k, err)
+		}
+		refs[k] = sim.NewHarness(inst, clock)
+	}
+
+	if err := l.ApplyReset(2); err != nil {
+		return false, fmt.Errorf("psim reset: %v", err)
+	}
+	if err := b.ApplyReset(2); err != nil {
+		return false, fmt.Errorf("batch reset: %v", err)
+	}
+	for k, h := range refs {
+		refErrs[k] = h.ApplyReset(2)
+		if !errEqual(refErrs[k], b.Err(k)) {
+			return false, fmt.Errorf("lane %d reset diverged: batch=%v standalone=%v", k, b.Err(k), refErrs[k])
+		}
+		if l.BitParallel() && refErrs[k] != nil {
+			// Bit-parallel lanes cannot error: a design whose harness run
+			// errors must have been rejected into the fallback.
+			return false, fmt.Errorf("lane %d reset diverged: psim=<nil> standalone=%v", k, refErrs[k])
+		}
+	}
+
+	// Per-lane stimulus streams: deterministic per lane, row-layout (every
+	// port driven each cycle), with staggered lengths so the longer lanes
+	// keep running after the shorter ones retire.
+	ports := l.Ports()
+	rngs := make([]*rand.Rand, lanes)
+	length := make([]int, lanes)
+	for k := range rngs {
+		rngs[k] = rand.New(rand.NewSource(seed + int64(k)))
+		length[k] = cycles - k%3
+		if length[k] < 1 {
+			length[k] = 1
+		}
+	}
+	rows := make([][]uint64, lanes)
+	ins := make([]map[string]uint64, lanes)
+	for cyc := 0; cyc < cycles; cyc++ {
+		for k := range rows {
+			rows[k], ins[k] = nil, nil
+			if refErrs[k] != nil || cyc >= length[k] {
+				continue // dead or retired lane: masked everywhere
+			}
+			row := make([]uint64, len(ports))
+			in := make(map[string]uint64, len(ports))
+			for i, pt := range ports {
+				row[i] = rngs[k].Uint64() & maskW(pt.Width)
+				in[pt.Name] = row[i]
+			}
+			rows[k], ins[k] = row, in
+		}
+		if err := l.Cycle(rows); err != nil {
+			return false, fmt.Errorf("psim cycle %d: %v", cyc, err)
+		}
+		if err := b.Cycle(rows); err != nil {
+			return false, fmt.Errorf("batch cycle %d: %v", cyc, err)
+		}
+		for k, h := range refs {
+			if ins[k] == nil {
+				continue
+			}
+			out, cerr := h.Cycle(ins[k])
+			refErrs[k] = cerr
+			if !errEqual(cerr, b.Err(k)) {
+				return false, fmt.Errorf("lane %d cycle %d diverged: batch=%v standalone=%v", k, cyc, b.Err(k), cerr)
+			}
+			if cerr != nil {
+				if l.BitParallel() {
+					return false, fmt.Errorf("lane %d cycle %d diverged: psim=<nil> standalone=%v", k, cyc, cerr)
+				}
+				continue
+			}
+			gotP, gotB := l.Outputs(k), b.Outputs(k)
+			for sigName, v := range out {
+				if gotP[sigName] != v {
+					return false, fmt.Errorf("lane %d cycle %d signal %s: psim=0x%x standalone=0x%x",
+						k, cyc, sigName, gotP[sigName], v)
+				}
+				if gotB[sigName] != v {
+					return false, fmt.Errorf("lane %d cycle %d signal %s: batch=0x%x standalone=0x%x",
+						k, cyc, sigName, gotB[sigName], v)
+				}
+			}
+		}
+	}
+
+	d := p.Design()
+	for k, h := range refs {
+		pw, bw, hw := l.Wave(k), b.Wave(k), h.Wave
+		if pw.Cycles() != hw.Cycles() || bw.Cycles() != hw.Cycles() {
+			return false, fmt.Errorf("lane %d waveform length: psim=%d batch=%d standalone=%d",
+				k, pw.Cycles(), bw.Cycles(), hw.Cycles())
+		}
+		for _, n := range hw.Names() {
+			for cyc := 0; cyc < hw.Cycles(); cyc++ {
+				if pw.At(n, cyc) != hw.At(n, cyc) {
+					return false, fmt.Errorf("lane %d waveform %s@%d: psim=0x%x standalone=0x%x",
+						k, n, cyc, pw.At(n, cyc), hw.At(n, cyc))
+				}
+				if bw.At(n, cyc) != hw.At(n, cyc) {
+					return false, fmt.Errorf("lane %d waveform %s@%d: batch=0x%x standalone=0x%x",
+						k, n, cyc, bw.At(n, cyc), hw.At(n, cyc))
+				}
+			}
+		}
+		var vcdP, vcdH bytes.Buffer
+		if err := sim.WriteVCD(&vcdP, pw, d, top); err != nil {
+			return false, fmt.Errorf("lane %d vcd: %v", k, err)
+		}
+		if err := sim.WriteVCD(&vcdH, hw, h.Sim.Design(), top); err != nil {
+			return false, fmt.Errorf("lane %d vcd: %v", k, err)
+		}
+		if !bytes.Equal(vcdP.Bytes(), vcdH.Bytes()) {
+			return false, fmt.Errorf("lane %d VCD output differs", k)
+		}
+		if refErrs[k] != nil {
+			continue // dead lanes: trace prefix and error already compared
+		}
+		for i := 0; i < d.NumSignals(); i++ {
+			sv := d.Signal(i)
+			if l.Get(k, sv.Name) != h.Sim.Get(sv.Name) {
+				return false, fmt.Errorf("lane %d internal signal %s: psim=0x%x standalone=0x%x",
+					k, sv.Name, l.Get(k, sv.Name), h.Sim.Get(sv.Name))
+			}
+			if sv.IsMem {
+				for w := 0; w < sv.Depth; w++ {
+					if l.GetMem(k, sv.Name, w) != h.Sim.GetMem(sv.Name, w) {
+						return false, fmt.Errorf("lane %d memory %s[%d]: psim=0x%x standalone=0x%x",
+							k, sv.Name, w, l.GetMem(k, sv.Name, w), h.Sim.GetMem(sv.Name, w))
+					}
+				}
+			}
+		}
+	}
+	return l.BitParallel(), nil
+}

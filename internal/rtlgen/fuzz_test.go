@@ -82,6 +82,34 @@ func FuzzFormalAgreesWithSim(f *testing.F) {
 	})
 }
 
+// FuzzBitSimAgreesWithSim is the bit-parallel simulator's differential
+// fuzz target: for a fuzzer-chosen generated design, lane count and
+// cycle budget, psim's lane traces (bit-parallel or fallback, whichever
+// path the design lands on) must stay byte-identical to a sim.Batch and
+// to standalone harness runs — outputs, waveforms, VCD bytes and final
+// state, with staggered lane retirement in the mix.
+//
+// Seed corpus: committed under testdata/fuzz/FuzzBitSimAgreesWithSim. Run
+// locally with:
+//
+//	go test ./internal/rtlgen -run=^$ -fuzz=FuzzBitSimAgreesWithSim -fuzztime=30s
+func FuzzBitSimAgreesWithSim(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed, uint8(seed), uint8(16))
+	}
+	f.Add(int64(-1), uint8(65), uint8(3))
+	f.Add(int64(1<<40), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, lanesSel, cyclesSel uint8) {
+		d := Generate(seed)
+		lanes := int(lanesSel)%12 + 1
+		cycles := int(cyclesSel)%24 + 2
+		if _, err := DiffBitSim(d.Source, d.Top, d.Clock, lanes, cycles, seed); err != nil {
+			t.Fatalf("seed %d (%s) lanes %d cycles %d: bit-parallel diverged: %v\n%s",
+				seed, d.Flavor, lanes, cycles, err, d.Source)
+		}
+	})
+}
+
 // FuzzParserRoundTrip feeds arbitrary text to the parser and requires that
 // anything it accepts survives print->parse->print byte-identically (the
 // printed form must reparse cleanly and be a fixpoint). Inputs the parser

@@ -12,20 +12,25 @@ import (
 // at least 300 distinct designs elaborate and diff clean across backends,
 // (b) every design lands on exactly the scheduling path its flavor was
 // constructed for, (c) at least 25% of designs exercise the
-// event-fallback path, so the fuzzer keeps covering both engines, and (d)
+// event-fallback path, so the fuzzer keeps covering both engines, (d)
 // on a strided subset of the small levelized designs the formal engine's
 // bounded-equivalence verdicts agree with simulation (the fourth oracle:
 // golden provably self-equivalent, mutant refutations replayable, bounded
-// proofs unrefuted by random probes).
+// proofs unrefuted by random probes), and (e) on a strided subset the
+// bit-parallel lane simulator diffs byte-identical against batch and
+// standalone runs (the fifth oracle), with both its engine and fallback
+// paths exercised.
 func TestSweep(t *testing.T) {
 	const (
 		seeds        = 330
 		formalStride = formalSweepStride // sparser under -race, see stride_off_test.go
 		formalDepth  = 4
+		bitStride    = 3
 	)
 	distinct := map[string]bool{}
 	total, fallback := 0, 0
 	formalChecked, formalMutants, formalRefuted := 0, 0, 0
+	bitChecked, bitParallel := 0, 0
 	for seed := int64(1); seed <= seeds; seed++ {
 		d := Generate(seed)
 		rep, err := DiffBackends(d.Source, d.Top, d.Clock, 40, seed)
@@ -54,6 +59,16 @@ func TestSweep(t *testing.T) {
 				formalRefuted += frep.Refuted
 			}
 		}
+		if seed%bitStride == 1 {
+			bp, err := DiffBitSim(d.Source, d.Top, d.Clock, 5, 20, seed)
+			if err != nil {
+				t.Fatalf("seed %d: bit-parallel oracle diverged: %v\n%s", seed, err, d.Source)
+			}
+			bitChecked++
+			if bp {
+				bitParallel++
+			}
+		}
 		// Distinctness is judged on the body: the module name embeds the
 		// seed and would make every source trivially unique.
 		distinct[bodyOf(d.Source)] = true
@@ -70,9 +85,15 @@ func TestSweep(t *testing.T) {
 	if formalRefuted == 0 {
 		t.Fatal("formal oracle refuted no mutants: the SAT/replay path went unexercised")
 	}
-	t.Logf("swept %d designs (%d distinct, %d event-fallback = %.1f%%); formal agreed on %d designs / %d mutants (%d refuted)",
+	if bitParallel == 0 {
+		t.Fatal("bit-parallel oracle never took the engine path")
+	}
+	if bitParallel == bitChecked {
+		t.Fatal("bit-parallel oracle never exercised the sim.Batch fallback")
+	}
+	t.Logf("swept %d designs (%d distinct, %d event-fallback = %.1f%%); formal agreed on %d designs / %d mutants (%d refuted); bit-parallel agreed on %d designs (%d on the engine path)",
 		total, len(distinct), fallback, 100*float64(fallback)/float64(total),
-		formalChecked, formalMutants, formalRefuted)
+		formalChecked, formalMutants, formalRefuted, bitChecked, bitParallel)
 }
 
 func bodyOf(src string) string {

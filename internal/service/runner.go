@@ -96,6 +96,7 @@ type Job struct {
 	notify   chan struct{} // closed and replaced on every append
 	result   *Result
 	queuedAt time.Time
+	doneAt   time.Time // terminal-transition instant; zero while live
 	ranFor   time.Duration
 	waited   time.Duration
 }
@@ -171,13 +172,22 @@ func (j *Job) setStatus(s Status) {
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state and emits the closing event.
-func (j *Job) finish(s Status, res *Result, msg string) {
+// finish moves the job to a terminal state at the given instant and
+// emits the closing event.
+func (j *Job) finish(s Status, res *Result, msg string, at time.Time) {
 	j.mu.Lock()
 	j.status = s
 	j.result = res
+	j.doneAt = at
 	j.mu.Unlock()
 	j.append(Event{Kind: EventTerminal, Status: s, Message: msg})
+}
+
+// doneSince returns the terminal instant, ok=false while the job is live.
+func (j *Job) doneSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneAt, j.status.Terminal() && !j.doneAt.IsZero()
 }
 
 // Submission and drain errors.
@@ -203,6 +213,12 @@ type RunnerConfig struct {
 	// Defaults are server-level option defaults merged into every
 	// submitted spec (zero-valued knobs inherit, booleans or-combine).
 	Defaults Options
+	// ResultTTL bounds how long a terminal job (and its result and event
+	// history) stays addressable after finishing; expired jobs are
+	// garbage-collected opportunistically on submissions and lookups, so
+	// a lookup past the TTL reports not-found (HTTP 404). 0 keeps
+	// terminal jobs forever — the pre-TTL behavior.
+	ResultTTL time.Duration
 }
 
 // DefaultQueueLimit bounds the queue when RunnerConfig.QueueLimit is 0.
@@ -218,6 +234,7 @@ type Runner struct {
 	cfg  RunnerConfig
 	svc  Services
 	exec func(JobSpec, Services, func(Event)) Result // test seam; Execute by default
+	now  func() time.Time                            // test seam; time.Now by default
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -253,7 +270,7 @@ func NewRunner(cfg RunnerConfig) *Runner {
 		}
 	}
 	r := &Runner{
-		cfg: cfg, svc: svc, exec: Execute,
+		cfg: cfg, svc: svc, exec: Execute, now: time.Now,
 		queues: map[string][]*Job{},
 		jobs:   map[string]*Job{},
 		stages: newStageRecorder(),
@@ -282,6 +299,7 @@ func (r *Runner) Submit(spec JobSpec) (*Job, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gcLocked()
 	if r.draining {
 		return nil, ErrDraining
 	}
@@ -289,7 +307,7 @@ func (r *Runner) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrQueueFull
 	}
 	r.seq++
-	j := newJob(fmt.Sprintf("job-%d", r.seq), spec, time.Now())
+	j := newJob(fmt.Sprintf("job-%d", r.seq), spec, r.now())
 	tenant := spec.Tenant
 	if _, ok := r.queues[tenant]; !ok {
 		r.ring = append(r.ring, tenant)
@@ -301,12 +319,29 @@ func (r *Runner) Submit(spec JobSpec) (*Job, error) {
 	return j, nil
 }
 
-// Job looks a job up by ID.
+// Job looks a job up by ID. Terminal jobs past the configured ResultTTL
+// are gone: the lookup reports not-found exactly like an unknown ID.
 func (r *Runner) Job(id string) (*Job, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gcLocked()
 	j, ok := r.jobs[id]
 	return j, ok
+}
+
+// gcLocked removes terminal jobs whose ResultTTL has elapsed. Called with
+// mu held; a no-op when no TTL is configured.
+func (r *Runner) gcLocked() {
+	ttl := r.cfg.ResultTTL
+	if ttl <= 0 {
+		return
+	}
+	now := r.now()
+	for id, j := range r.jobs {
+		if at, ok := j.doneSince(); ok && now.Sub(at) >= ttl {
+			delete(r.jobs, id)
+		}
+	}
 }
 
 // QueueDepth returns the number of queued (not running) jobs.
@@ -394,7 +429,7 @@ func (r *Runner) worker() {
 // run executes one job end to end, recording queue-wait and run-time
 // stage samples.
 func (r *Runner) run(j *Job) {
-	start := time.Now()
+	start := r.now()
 	wait := start.Sub(j.queuedAt)
 	r.stages.observe("queue_wait", wait)
 	j.mu.Lock()
@@ -404,7 +439,7 @@ func (r *Runner) run(j *Job) {
 	j.setStatus(StatusRunning)
 	j.append(Event{Kind: EventStarted, Status: StatusRunning})
 	res := r.exec(j.Spec, r.svc, j.append)
-	ran := time.Since(start)
+	ran := r.now().Sub(start)
 	r.stages.observe("run", ran)
 	j.mu.Lock()
 	j.ranFor = ran
@@ -422,7 +457,7 @@ func (r *Runner) run(j *Job) {
 			msg = fmt.Sprintf("verification failed (best pass rate %.2f)", res.PassRate)
 		}
 	}
-	j.finish(status, &res, msg)
+	j.finish(status, &res, msg, r.now())
 }
 
 // Drain stops intake, terminates every still-queued job with the drained
@@ -437,7 +472,7 @@ func (r *Runner) Drain(ctx context.Context) error {
 			if j == nil {
 				break
 			}
-			j.finish(StatusDrained, nil, "server drained before the job ran")
+			j.finish(StatusDrained, nil, "server drained before the job ran", r.now())
 		}
 	}
 	r.cond.Broadcast()

@@ -291,3 +291,69 @@ func TestRunnerStageStats(t *testing.T) {
 			len(stats["queue_wait"]), len(stats["run"]))
 	}
 }
+
+// TestRunnerResultTTL pins the terminal-result garbage collection under a
+// fake clock: a finished job stays addressable within its TTL, and a
+// lookup after the TTL elapses reports not-found — the HTTP layer's 404.
+// Live jobs are never collected, whatever the clock says.
+func TestRunnerResultTTL(t *testing.T) {
+	clock := struct {
+		mu  chan struct{}
+		now time.Time
+	}{mu: make(chan struct{}, 1), now: time.Unix(1_000_000, 0)}
+	clock.mu <- struct{}{}
+	read := func() time.Time {
+		<-clock.mu
+		n := clock.now
+		clock.mu <- struct{}{}
+		return n
+	}
+	advance := func(d time.Duration) {
+		<-clock.mu
+		clock.now = clock.now.Add(d)
+		clock.mu <- struct{}{}
+	}
+
+	stub := newStubExec(8, false)
+	r := NewRunner(RunnerConfig{Workers: 1, ResultTTL: time.Minute})
+	r.exec = stub.exec
+	r.now = read
+	defer r.Drain(context.Background())
+
+	j, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, StatusDone)
+
+	// Inside the TTL the job and its result remain addressable.
+	advance(59 * time.Second)
+	if _, ok := r.Job(j.ID); !ok {
+		t.Fatal("terminal job vanished before its TTL")
+	}
+	if _, ok := j.Result(); !ok {
+		t.Fatal("terminal job lost its result")
+	}
+
+	// Crossing the TTL, the next lookup collects it: not-found, exactly
+	// like an unknown ID.
+	advance(2 * time.Second)
+	if _, ok := r.Job(j.ID); ok {
+		t.Fatal("terminal job still addressable past its TTL")
+	}
+
+	// A live (blocked) job is immune to the TTL no matter the clock.
+	blocked := newStubExec(1, true)
+	r.exec = blocked.exec
+	j2, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked.started
+	advance(time.Hour)
+	if _, ok := r.Job(j2.ID); !ok {
+		t.Fatal("running job was garbage-collected")
+	}
+	close(blocked.release)
+	waitStatus(t, j2, StatusDone)
+}

@@ -7,8 +7,11 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DiskCache is the on-disk content-addressed tier under Cache: one file
@@ -35,10 +38,20 @@ import (
 type DiskCache struct {
 	dir string
 
-	hits    atomic.Int64 // entries loaded intact
-	misses  atomic.Int64 // consulted, no entry on disk
-	corrupt atomic.Int64 // entries present but unreadable or checksum-broken
-	writes  atomic.Int64 // entries stored
+	// maxBytes is the eviction budget (0 = unbounded). When the tier
+	// grows past it, least-recently-used entries — file modification
+	// time is the recency clock; loads touch it — are removed until the
+	// tier fits again. Eviction is an accelerator-tier policy like
+	// everything else here: an evicted entry is simply a future miss.
+	maxBytes atomic.Int64
+	evictMu  sync.Mutex // serializes eviction sweeps
+
+	hits         atomic.Int64 // entries loaded intact
+	misses       atomic.Int64 // consulted, no entry on disk
+	corrupt      atomic.Int64 // entries present but unreadable or checksum-broken
+	writes       atomic.Int64 // entries stored
+	evictions    atomic.Int64 // entries removed by the byte budget
+	evictedBytes atomic.Int64 // bytes reclaimed by the byte budget
 }
 
 // NewDiskCache opens (creating if needed) the on-disk tier rooted at dir.
@@ -52,22 +65,43 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 // Dir returns the directory backing this tier.
 func (d *DiskCache) Dir() string { return d.dir }
 
+// SetBudget caps the tier at maxBytes of entry files, evicting in
+// least-recently-used order when exceeded (0 restores unbounded growth).
+// The budget is enforced immediately and after every store.
+func (d *DiskCache) SetBudget(maxBytes int64) {
+	d.maxBytes.Store(maxBytes)
+	d.evict()
+}
+
+// SizeBytes reports the current total size of the tier's entry files.
+func (d *DiskCache) SizeBytes() int64 {
+	var total int64
+	for _, f := range d.entryFiles() {
+		total += f.size
+	}
+	return total
+}
+
 // DiskStats is a point-in-time snapshot of the disk-tier counters. Like
 // CacheStats it is a plain value copy: read it and let it go stale.
 type DiskStats struct {
-	Hits    int64 // entries loaded intact from disk
-	Misses  int64 // lookups that found no entry
-	Corrupt int64 // entries dropped as corrupt (degraded to misses)
-	Writes  int64 // entries written
+	Hits         int64 // entries loaded intact from disk
+	Misses       int64 // lookups that found no entry
+	Corrupt      int64 // entries dropped as corrupt (degraded to misses)
+	Writes       int64 // entries written
+	Evictions    int64 // entries removed by the LRU byte budget
+	EvictedBytes int64 // bytes reclaimed by the LRU byte budget
 }
 
 // Stats returns the disk-tier counters.
 func (d *DiskCache) Stats() DiskStats {
 	return DiskStats{
-		Hits:    d.hits.Load(),
-		Misses:  d.misses.Load(),
-		Corrupt: d.corrupt.Load(),
-		Writes:  d.writes.Load(),
+		Hits:         d.hits.Load(),
+		Misses:       d.misses.Load(),
+		Corrupt:      d.corrupt.Load(),
+		Writes:       d.writes.Load(),
+		Evictions:    d.evictions.Load(),
+		EvictedBytes: d.evictedBytes.Load(),
 	}
 }
 
@@ -124,6 +158,10 @@ func (d *DiskCache) load(src, top string, backend Backend) (e diskEntry, ok bool
 		return diskEntry{}, false
 	}
 	d.hits.Add(1)
+	// Touch the entry: mtime is the LRU recency clock. Best effort — a
+	// read-only tier still serves hits, it just evicts in write order.
+	now := time.Now()
+	os.Chtimes(path, now, now)
 	return e, true
 }
 
@@ -156,6 +194,75 @@ func (d *DiskCache) store(src, top string, backend Backend, compileErr error) {
 		return
 	}
 	d.writes.Add(1)
+	d.evict()
+}
+
+// entryFile is one on-disk entry's eviction bookkeeping.
+type entryFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// entryFiles lists the tier's entry files with size and recency.
+func (d *DiskCache) entryFiles() []entryFile {
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var out []entryFile
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, entryFile{
+			path:  filepath.Join(d.dir, de.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	return out
+}
+
+// evict enforces the byte budget, removing least-recently-used entries
+// until the tier fits. Removal failures are skipped silently — like
+// store, eviction must never surface an error for an accelerator tier.
+func (d *DiskCache) evict() {
+	budget := d.maxBytes.Load()
+	if budget <= 0 {
+		return
+	}
+	d.evictMu.Lock()
+	defer d.evictMu.Unlock()
+	files := d.entryFiles()
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	if total <= budget {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files {
+		if total <= budget {
+			break
+		}
+		if os.Remove(f.path) != nil {
+			continue
+		}
+		total -= f.size
+		d.evictions.Add(1)
+		d.evictedBytes.Add(f.size)
+	}
 }
 
 // entries walks the tier and decodes every intact entry, skipping (and

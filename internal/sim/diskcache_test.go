@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const diskTestSrc = `module inc(input clk, input [3:0] a, output reg [3:0] y);
@@ -198,5 +199,76 @@ func TestDiskEntryChecksumCoversAllFields(t *testing.T) {
 	b, _ := json.Marshal(base)
 	if !json.Valid(b) {
 		t.Fatal("entry does not marshal to valid JSON")
+	}
+}
+
+// TestDiskCacheBudgetEviction pins the LRU byte-budget policy: when the
+// tier exceeds its budget the least-recently-used entries (mtime clock,
+// refreshed by loads) are removed first, survivors still serve hits, and
+// the eviction counters account for every removed byte.
+func TestDiskCacheBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := func(i int) string {
+		return strings.Replace(diskTestSrc, "a + 1", "a + "+string(rune('2'+i)), 1)
+	}
+	for i := 0; i < 4; i++ {
+		d.store(src(i), "inc", BackendCompiled, nil)
+	}
+	if got := d.Stats().Writes; got != 4 {
+		t.Fatalf("writes = %d, want 4", got)
+	}
+	// Stagger recency explicitly: entry i last used i hours ago, except
+	// entry 0 which a load below touches back to "now".
+	sizes := make([]int64, 4)
+	for i := 0; i < 4; i++ {
+		path := filepath.Join(dir, entryName(src(i), "inc", BackendCompiled))
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = info.Size()
+		when := time.Now().Add(-time.Duration(i) * time.Hour)
+		if err := os.Chtimes(path, when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := d.load(src(0), "inc", BackendCompiled); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+
+	// Budget for exactly two entries: the stalest two (3, then 2) go.
+	d.SetBudget(sizes[0] + sizes[1] + 1)
+	st := d.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (%+v)", st.Evictions, st)
+	}
+	if st.EvictedBytes != sizes[2]+sizes[3] {
+		t.Fatalf("evicted bytes = %d, want %d", st.EvictedBytes, sizes[2]+sizes[3])
+	}
+	for i, want := range []bool{true, true, false, false} {
+		if _, ok := d.load(src(i), "inc", BackendCompiled); ok != want {
+			t.Fatalf("entry %d present=%v after eviction, want %v", i, ok, want)
+		}
+	}
+	if got := d.SizeBytes(); got > sizes[0]+sizes[1]+1 {
+		t.Fatalf("tier still holds %d bytes over budget", got)
+	}
+
+	// Stores keep enforcing the budget: age entry 1 back out so it is
+	// unambiguously the LRU, then let a newcomer push it out.
+	stale := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, entryName(src(1), "inc", BackendCompiled)), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	d.store(src(4), "inc", BackendCompiled, nil)
+	if _, ok := d.load(src(1), "inc", BackendCompiled); ok {
+		t.Fatal("LRU entry survived a store over budget")
+	}
+	if _, ok := d.load(src(4), "inc", BackendCompiled); !ok {
+		t.Fatal("fresh store evicted itself")
 	}
 }

@@ -54,6 +54,11 @@ func (w *Waveform) recordRow(row []uint64) {
 	w.cycles++
 }
 
+// RecordRow appends one cycle of values aligned with Names() order — the
+// allocation-free alternative to Record for callers that maintain the
+// sorted layout themselves (the bit-parallel lane engine's per-lane rows).
+func (w *Waveform) RecordRow(row []uint64) { w.recordRow(row) }
+
 // At returns the value of name at cycle, or 0 when out of range.
 func (w *Waveform) At(name string, cycle int) uint64 {
 	i, ok := w.index[name]
