@@ -630,32 +630,73 @@ func BenchmarkSATSolve(b *testing.B) {
 	}
 }
 
-// BenchmarkBMCEquiv measures one full bounded-equivalence check end to
-// end — blast both designs, unroll, Tseitin, solve per depth — on a
-// golden module against a faultgen mutant that the engine refutes.
+// bmcBenchPair compiles the accumulator pair both BMC benchmarks share:
+// two syntactically different but equivalent 4-bit accumulators, so the
+// solver proves UNSAT at every depth — the workload where clause
+// retention pays (refutations stop at the first SAT depth and barely
+// reuse anything).
+func bmcBenchPair(b *testing.B) (golden, mutant *sim.Program) {
+	b.Helper()
+	const srcAdd = `module acc(input clk, input rst_n, input [3:0] d, output reg [3:0] q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 4'd0; else q <= q + d;
+endmodule`
+	const srcSub = `module acc(input clk, input rst_n, input [3:0] d, output reg [3:0] q);
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) q <= 4'd0; else q <= q - (4'd0 - d);
+endmodule`
+	golden, err := sim.CompileSource(srcAdd, "acc", sim.BackendCompiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mutant, err = sim.CompileSource(srcSub, "acc", sim.BackendCompiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return golden, mutant
+}
+
+// bmcBenchDepth is the unrolling depth of the BMCEquiv benchmark pair —
+// deep enough that per-depth re-solving dominates the from-scratch loop.
+const bmcBenchDepth = 8
+
+// BenchmarkBMCEquiv measures one full bounded-equivalence proof end to
+// end on the from-scratch path — blast, unroll, Tseitin and a fresh
+// solver at every depth — the engine as it stood before the incremental
+// interface. Paired with BenchmarkBMCEquivIncremental under a benchguard
+// pair rule: the incremental path must stay strictly faster.
 func BenchmarkBMCEquiv(b *testing.B) {
-	m := dataset.ByName("comparator_4bit")
-	faults := faultgen.Generate(m, faultgen.FuncLogic)
-	if len(faults) == 0 {
-		b.Fatal("no FuncLogic variants on comparator_4bit")
-	}
-	golden, err := sim.CompileSource(m.Source, m.Top, sim.BackendCompiled)
-	if err != nil {
-		b.Fatal(err)
-	}
-	mutant, err := sim.CompileSource(faults[0].Source, m.Top, sim.BackendCompiled)
-	if err != nil {
-		b.Fatal(err)
-	}
+	golden, mutant := bmcBenchPair(b)
+	opts := formal.Options{Clock: "clk", FromScratch: true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := formal.BMCEquiv(golden, mutant, m.Clock, 8)
+		res, err := formal.BMCEquivOpts(golden, mutant, "clk", bmcBenchDepth, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Equivalent {
-			b.Fatal("mutant unexpectedly equivalent")
+		if !res.Equivalent {
+			b.Fatal("accumulator pair unexpectedly refuted")
+		}
+	}
+}
+
+// BenchmarkBMCEquivIncremental measures the same proof on the default
+// incremental path: one solver and one Tseitin emission across all
+// depths, learned clauses and earlier ¬bad units retained. The
+// benchguard pair rule requires this to beat BenchmarkBMCEquiv.
+func BenchmarkBMCEquivIncremental(b *testing.B) {
+	golden, mutant := bmcBenchPair(b)
+	opts := formal.Options{Clock: "clk"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := formal.BMCEquivOpts(golden, mutant, "clk", bmcBenchDepth, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("accumulator pair unexpectedly refuted")
 		}
 	}
 }

@@ -5,7 +5,7 @@
 // (minimum ns/op) run across -count repetitions, and compares against
 // the committed BENCH_baseline.json:
 //
-//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv|Batch(Lanes|VsSequential)|BitSim(Lanes|Transpose))$' -count=5 . | tee bench.txt
+//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv(Incremental)?|Batch(Lanes|VsSequential)|BitSim(Lanes|Transpose))$' -count=5 . | tee bench.txt
 //	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
 //
 // Raw ns/op is machine-dependent, so every guarded quantity is a ratio
@@ -17,6 +17,12 @@
 // 1.0 (the compiled backend must remain faster than the interpreter).
 // Benchmarks the baseline file predates are not guarded, so new hot
 // paths roll out by adding a baseline line.
+//
+// Pair rules hold architectural claims independent of the baseline:
+// batch lane amortization, the bit-parallel per-lane floor, and the
+// incremental formal engine — BenchmarkBMCEquivIncremental must stay
+// strictly faster than the from-scratch BenchmarkBMCEquiv on the same
+// depth-8 proof.
 package main
 
 import (
@@ -39,11 +45,13 @@ type Baseline struct {
 }
 
 const (
-	benchEvent    = "BenchmarkSimEventDriven"
-	benchCompiled = "BenchmarkSimCompiled"
-	benchBatch    = "BenchmarkBatchLanes"
-	benchBatchSeq = "BenchmarkBatchVsSequential"
-	benchBitSim   = "BenchmarkBitSimLanes"
+	benchEvent      = "BenchmarkSimEventDriven"
+	benchCompiled   = "BenchmarkSimCompiled"
+	benchBatch      = "BenchmarkBatchLanes"
+	benchBatchSeq   = "BenchmarkBatchVsSequential"
+	benchBitSim     = "BenchmarkBitSimLanes"
+	benchBMCScratch = "BenchmarkBMCEquiv"
+	benchBMCInc     = "BenchmarkBMCEquivIncremental"
 )
 
 // batchMinSpeedup is the acceptance bar for the batch scheduler: the
@@ -66,6 +74,13 @@ const (
 // least this factor below sim.Batch's per-lane cost (ns/op divided by
 // its 8 lanes) on the same module mix and cycle count.
 const bitSimMinSpeedup = 4.0
+
+// bmcIncMinSpeedup is the acceptance bar for the incremental formal
+// engine: the same depth-8 UNSAT proof must be strictly cheaper on the
+// retained-solver path than rebuilt from scratch at every depth. The
+// observed margin is orders of magnitude; the gate only pins the
+// direction so the pair rule survives machine variance.
+const bmcIncMinSpeedup = 1.0
 
 func main() {
 	var (
@@ -170,6 +185,21 @@ func main() {
 			if speedup < bitSimMinSpeedup {
 				fmt.Fprintf(os.Stderr, "benchguard: FAIL: bit-parallel per-lane speedup %.2fx fell below the %.1fx floor\n",
 					speedup, bitSimMinSpeedup)
+				failed = true
+			}
+		}
+	}
+	// Pair rule: whenever both formal benchmarks are in the run, the
+	// incremental engine must be strictly faster than the from-scratch
+	// loop on the identical proof obligation.
+	if sc, ok := best[benchBMCScratch]; ok {
+		if inc, ok := best[benchBMCInc]; ok {
+			speedup := sc / inc
+			fmt.Printf("benchguard: incremental BMC speedup %.2fx (%s %.0f ns/op vs %s %.0f ns/op, floor >%.1fx)\n",
+				speedup, benchBMCInc, inc, benchBMCScratch, sc, bmcIncMinSpeedup)
+			if speedup <= bmcIncMinSpeedup {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL: incremental BMC speedup %.2fx is not strictly above %.1fx — the retained solver no longer pays\n",
+					speedup, bmcIncMinSpeedup)
 				failed = true
 			}
 		}

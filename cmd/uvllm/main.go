@@ -13,7 +13,9 @@
 // additionally checked by the formal engine: the delivered source must be
 // provably equivalent to the golden for every post-reset stimulus up to
 // -formal-depth cycles (refutations print a replayable counterexample and
-// fail the run).
+// fail the run). With -induction the proof runs through k-induction: the
+// same bounded base, plus an inductive step that can close the proof for
+// all time rather than just to the unrolling depth.
 //
 // The command assembles a service.JobSpec and executes it through the
 // same service.Execute path as the cmd/uvllmd server, so a job submitted

@@ -2,25 +2,40 @@ package assert
 
 import "fmt"
 
-// Promoted wraps a mined assertion with a bounded-proof certificate: the
+// DepthUnbounded is the Promoted.Depth sentinel for an unbounded proof:
+// the formal engine closed a k-induction step, so the property holds at
+// every cycle of every post-reset run — the third rung of the assertion
+// lifecycle (held-on-trace → proved-to-depth-k → proved-for-all-time).
+const DepthUnbounded = -1
+
+// Promoted wraps a mined assertion with a proof certificate: the
 // property did not merely hold on the observed trace, it was proved by
 // the formal engine (internal/formal) to hold on every post-reset input
-// sequence up to Depth cycles. Promotion is the held-on-trace →
-// proved-to-depth-k upgrade of the assertion lifecycle; the wrapper
-// still checks cycle by cycle inside the UVM monitor (a bounded proof is
-// not an unbounded one), but its description carries the certificate.
+// sequence up to Depth cycles — or, when Depth is DepthUnbounded, for
+// all time via k-induction. Promotion upgrades the assertion lifecycle
+// rung by rung; the wrapper still checks cycle by cycle inside the UVM
+// monitor (defense in depth even for proved properties), but its
+// description carries the certificate.
 type Promoted struct {
 	Assertion
-	Depth int // proved for all stimulus up to this many cycles
+	Depth int // proved for all stimulus up to this many cycles; DepthUnbounded = forever
 }
 
-// Promote attaches a bounded-proof certificate to an assertion.
+// Promote attaches a proof certificate to an assertion (depth
+// DepthUnbounded for an inductive, unbounded proof).
 func Promote(a Assertion, depth int) Promoted {
 	return Promoted{Assertion: a, Depth: depth}
 }
 
+// Unbounded reports whether the certificate is an unbounded (k-induction)
+// proof rather than a bounded one.
+func (p Promoted) Unbounded() bool { return p.Depth == DepthUnbounded }
+
 // Describe implements Assertion, appending the proof certificate to the
 // wrapped description.
 func (p Promoted) Describe() string {
+	if p.Unbounded() {
+		return fmt.Sprintf("%s  // proved for all time (k-induction)", p.Assertion.Describe())
+	}
 	return fmt.Sprintf("%s  // proved to depth %d", p.Assertion.Describe(), p.Depth)
 }

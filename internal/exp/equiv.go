@@ -22,18 +22,20 @@ const DefaultEquivDepth = formal.DefaultBMCDepth
 // exhaust it are reported as skipped, not guessed).
 const equivBudget = 50000
 
-// EquivRow is one benchmark module's bounded-equivalence study entry.
+// EquivRow is one benchmark module's equivalence study entry.
 type EquivRow struct {
-	Module    string
-	Supported bool
-	Reason    string // why the module is outside the blastable subset
-	AIGNodes  int    // graph size of the golden-vs-golden unrolling
-	SelfEquiv bool   // golden vs golden UNSAT through the study depth
-	Mutants   int    // functional benchmark faults checked
-	Detected  int    // SAT verdicts, every one replayed in simulation
-	KEquiv    int    // UNSAT-to-depth verdicts, probed by random simulation
-	Skipped   int    // mutants outside the subset or over budget
-	Conflicts int    // total solver conflicts across the module's checks
+	Module        string
+	Supported     bool
+	Reason        string // why the module is outside the blastable subset
+	AIGNodes      int    // graph size of the golden-vs-golden unrolling
+	SelfEquiv     bool   // golden vs golden UNSAT through the study depth
+	SelfUnbounded bool   // golden vs golden closed by the inductive step
+	Mutants       int    // functional benchmark faults checked
+	Detected      int    // SAT verdicts, every one replayed in simulation
+	KEquiv        int    // UNSAT-to-depth verdicts, probed by random simulation
+	Unbounded     int    // of KEquiv: proved for all time by k-induction
+	Skipped       int    // mutants outside the subset or over budget
+	Conflicts     int    // total solver conflicts across the module's checks
 }
 
 // EquivStudyResult is the full study: per-module rows plus the flat
@@ -50,12 +52,17 @@ type EquivStudyResult struct {
 // any disagreement is returned as an error, so the caller (test or CLI)
 // fails loudly rather than printing a wrong table.
 
-// EquivStudy runs the bounded-equivalence study over the 27 benchmark
-// modules on the session's cache: golden proved self-equivalent, then
-// every functional benchmark fault of the module classified and
-// cross-checked against simulation (SAT verdicts replayed, UNSAT
-// verdicts probed with seeded random stimulus). maxPerModule caps the
-// mutants per module (0 = 3); depth <= 0 uses DefaultEquivDepth.
+// EquivStudy runs the equivalence study over the 27 benchmark modules on
+// the session's cache: golden proved self-equivalent, then every
+// functional benchmark fault of the module classified and cross-checked
+// against simulation (SAT verdicts replayed, UNSAT verdicts probed with
+// seeded random stimulus). Checks run through k-induction
+// (formal.InductionEquivOpts), so an UNSAT verdict is either bounded
+// ("equivalent through the study depth") or unbounded ("equivalent for
+// all time" — the inductive step closed); unbounded verdicts are probed
+// with deeper random runs, since they make the stronger claim.
+// maxPerModule caps the mutants per module (0 = 3); depth <= 0 uses
+// DefaultEquivDepth.
 func (s *Session) EquivStudy(depth, maxPerModule int) (*EquivStudyResult, error) {
 	if depth <= 0 {
 		depth = DefaultEquivDepth
@@ -72,7 +79,7 @@ func (s *Session) EquivStudy(depth, maxPerModule int) (*EquivStudyResult, error)
 			return study, fmt.Errorf("exp: equiv: %s: golden does not compile: %w", m.Name, err)
 		}
 		opts := formal.Options{Clock: m.Clock, MaxConflicts: equivBudget}
-		res, err := formal.BMCEquivOpts(golden, golden, m.Clock, depth, opts)
+		res, err := formal.InductionEquivOpts(golden, golden, m.Clock, depth, opts)
 		if err != nil {
 			if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
 				row.Reason = trimReason(err)
@@ -83,6 +90,7 @@ func (s *Session) EquivStudy(depth, maxPerModule int) (*EquivStudyResult, error)
 		}
 		row.Supported = true
 		row.SelfEquiv = res.Equivalent
+		row.SelfUnbounded = res.Unbounded
 		row.AIGNodes = res.Stats.AIGNodes
 		row.Conflicts += res.Stats.Conflicts()
 		study.SolveStats = append(study.SolveStats, res.Stats.Solves...)
@@ -105,7 +113,7 @@ func (s *Session) EquivStudy(depth, maxPerModule int) (*EquivStudyResult, error)
 				row.Skipped++
 				continue
 			}
-			mres, err := formal.BMCEquivOpts(golden, mutant, m.Clock, depth, opts)
+			mres, err := formal.InductionEquivOpts(golden, mutant, m.Clock, depth, opts)
 			if err != nil {
 				if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
 					row.Skipped++
@@ -130,7 +138,15 @@ func (s *Session) EquivStudy(depth, maxPerModule int) (*EquivStudyResult, error)
 				row.Detected++
 				study.RefuteDepths = append(study.RefuteDepths, float64(mres.Cex.Cycle))
 			} else {
-				if err := probeEquivalence(golden.Design(), m, f, depth, s.Backend); err != nil {
+				// Unbounded proofs claim every depth, so probe them beyond
+				// the study's unrolling; bounded proofs are probed at the
+				// depth they actually cover.
+				probeDepth := depth
+				if mres.Unbounded {
+					probeDepth = 2*depth + 5
+					row.Unbounded++
+				}
+				if err := probeEquivalence(golden.Design(), m, f, probeDepth, s.Backend); err != nil {
 					return study, fmt.Errorf("exp: equiv: %s: %w", f.ID, err)
 				}
 				row.KEquiv++
@@ -196,13 +212,15 @@ func trimReason(err error) string {
 	return s
 }
 
-// FormatEquiv renders the study as the EXPERIMENTS.md table.
+// FormatEquiv renders the study as the EXPERIMENTS.md table, including
+// the induction-outcome column: "unbnd" counts the UNSAT mutants whose
+// proof the inductive step upgraded from depth-bounded to all-time.
 func FormatEquiv(st *EquivStudyResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Bounded equivalence (formal engine), depth %d\n", st.Depth)
-	fmt.Fprintf(&b, "%-18s %9s %8s %8s %7s %7s %7s %9s\n",
-		"module", "supported", "aig", "mutants", "SAT", "UNSAT", "skip", "conflicts")
-	supported, selfOK, mutants, detected, keq := 0, 0, 0, 0, 0
+	fmt.Fprintf(&b, "Equivalence study (formal engine, k-induction), depth %d\n", st.Depth)
+	fmt.Fprintf(&b, "%-18s %9s %8s %8s %7s %7s %7s %7s %9s\n",
+		"module", "supported", "aig", "mutants", "SAT", "UNSAT", "unbnd", "skip", "conflicts")
+	supported, selfOK, selfUnb, mutants, detected, keq, unb := 0, 0, 0, 0, 0, 0, 0
 	for _, r := range st.Rows {
 		if !r.Supported {
 			fmt.Fprintf(&b, "%-18s %9s %s\n", r.Module, "no", r.Reason)
@@ -212,14 +230,18 @@ func FormatEquiv(st *EquivStudyResult) string {
 		if r.SelfEquiv {
 			selfOK++
 		}
+		if r.SelfUnbounded {
+			selfUnb++
+		}
 		mutants += r.Mutants
 		detected += r.Detected
 		keq += r.KEquiv
-		fmt.Fprintf(&b, "%-18s %9s %8d %8d %7d %7d %7d %9d\n",
-			r.Module, "yes", r.AIGNodes, r.Mutants, r.Detected, r.KEquiv, r.Skipped, r.Conflicts)
+		unb += r.Unbounded
+		fmt.Fprintf(&b, "%-18s %9s %8d %8d %7d %7d %7d %7d %9d\n",
+			r.Module, "yes", r.AIGNodes, r.Mutants, r.Detected, r.KEquiv, r.Unbounded, r.Skipped, r.Conflicts)
 	}
-	fmt.Fprintf(&b, "%d/%d modules supported; golden self-equivalent %d/%d; %d mutants: %d refuted (all replayed), %d proved %d-cycle equivalent\n",
-		supported, len(st.Rows), selfOK, supported, mutants, detected, keq, st.Depth)
+	fmt.Fprintf(&b, "%d/%d modules supported; golden self-equivalent %d/%d (%d unbounded); %d mutants: %d refuted (all replayed), %d proved %d-cycle equivalent (%d for all time by induction)\n",
+		supported, len(st.Rows), selfOK, supported, selfUnb, mutants, detected, keq, st.Depth, unb)
 	return b.String()
 }
 

@@ -25,7 +25,7 @@ func TestEquivStudyAgreesWithSimulation(t *testing.T) {
 	if len(st.Rows) != len(dataset.All()) {
 		t.Fatalf("study covered %d modules, want %d", len(st.Rows), len(dataset.All()))
 	}
-	supported, detected, keq := 0, 0, 0
+	supported, detected, keq, unbounded := 0, 0, 0, 0
 	for _, r := range st.Rows {
 		if !r.Supported {
 			t.Logf("unsupported: %-18s %s", r.Module, r.Reason)
@@ -37,6 +37,7 @@ func TestEquivStudyAgreesWithSimulation(t *testing.T) {
 		}
 		detected += r.Detected
 		keq += r.KEquiv
+		unbounded += r.Unbounded
 	}
 	// The subset must be substantial for the oracle to mean anything:
 	// most of the benchmark is small clean RTL.
@@ -46,8 +47,14 @@ func TestEquivStudyAgreesWithSimulation(t *testing.T) {
 	if detected < 10 {
 		t.Fatalf("only %d benchmark mutants refuted: the SAT/replay path is under-exercised", detected)
 	}
-	t.Logf("supported %d/%d modules; mutants: %d refuted (replayed), %d proved %d-cycle equivalent",
-		supported, len(st.Rows), detected, keq, st.Depth)
+	// The induction outcome column must be live: at least one benchmark
+	// mutant pair proved equivalent for all time by a closing step (the
+	// study probes those verdicts with deeper random runs).
+	if unbounded < 1 {
+		t.Fatal("no mutant pair proved unbounded by k-induction: the step path is dead in the study")
+	}
+	t.Logf("supported %d/%d modules; mutants: %d refuted (replayed), %d proved %d-cycle equivalent (%d unbounded)",
+		supported, len(st.Rows), detected, keq, st.Depth, unbounded)
 
 	// The table and stats renderers must cover every row.
 	table := FormatEquiv(st)

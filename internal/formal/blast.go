@@ -3,6 +3,7 @@ package formal
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"uvllm/internal/sim"
 	"uvllm/internal/verilog"
@@ -53,6 +54,16 @@ type Options struct {
 	// the harness contract, where an empty clock name selects the
 	// combinational protocol even when the design has a clk input.
 	LiteralClock bool
+	// FromScratch disables incremental solving in BMCEquivOpts: a fresh
+	// solver and a fresh Tseitin conversion per depth, the PR-5 behavior.
+	// Kept as the differential/benchmark twin of the incremental path.
+	FromScratch bool
+	// MinimizeCex shrinks SAT counterexamples before returning them:
+	// re-solve under assumptions freezing the already-satisfying suffix
+	// and greedily zeroing input bits, so the directed sequences replayed
+	// on the simulators are near-minimal in weight. The unminimized trace
+	// is preserved in EquivResult.RawCex.
+	MinimizeCex bool
 }
 
 // ErrBudget marks a check abandoned on its MaxConflicts budget: the
@@ -310,6 +321,103 @@ func (m *Model) FreshInputs() map[string]Vec {
 		in[p.Name] = m.g.VarVec(vecW(p.Width))
 	}
 	return in
+}
+
+// FreeState allocates a fully symbolic state: every signal and every
+// memory word a fresh variable vector. This over-approximates the
+// reachable state set — the starting point of a k-induction step window,
+// whose combinational signals settle to consistent values after the
+// first Step. Only the post-Step states of a free-state window may be
+// observed or constrained; the free snapshot itself contains arbitrary
+// (possibly inconsistent) combinational values.
+func (m *Model) FreeState() *State {
+	st := &State{vals: make([]Vec, len(m.sigs)), mems: make([][]Vec, len(m.sigs))}
+	for i, sv := range m.sigs {
+		w := vecW(sv.Width)
+		st.vals[i] = m.g.VarVec(w)
+		if sv.IsMem {
+			st.mems[i] = make([]Vec, sv.Depth)
+			for d := 0; d < sv.Depth; d++ {
+				st.mems[i][d] = m.g.VarVec(w)
+			}
+		}
+	}
+	return st
+}
+
+// StateSignals returns the arena indices of the model's sequential state:
+// every l-value of a sequential (clocked or async-reset) process plus
+// every memory, sorted. These are the registers that carry information
+// across cycles — the signals whose equality defines "same state" for
+// k-induction's loop-free path constraints (combinational signals are
+// functions of registers and inputs, so distinctness over registers
+// suffices).
+func (m *Model) StateSignals() []int {
+	set := map[int]bool{}
+	for _, pv := range m.procs {
+		if pv.Kind != sim.ProcSeq {
+			continue
+		}
+		collectLHS(pv.Body, pv.Scope, set)
+	}
+	for i, sv := range m.sigs {
+		if sv.IsMem {
+			set[i] = true
+		}
+	}
+	idxs := make([]int, 0, len(set))
+	for i := range set {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// collectLHS walks one statement tree recording every assigned signal's
+// arena index.
+func collectLHS(st verilog.Stmt, sc sim.ScopeView, set map[int]bool) {
+	switch v := st.(type) {
+	case nil, *verilog.NullStmt:
+	case *verilog.Block:
+		for _, sub := range v.Stmts {
+			collectLHS(sub, sc, set)
+		}
+	case *verilog.Assign:
+		collectLHSExpr(v.LHS, sc, set)
+	case *verilog.If:
+		collectLHS(v.Then, sc, set)
+		collectLHS(v.Else, sc, set)
+	case *verilog.Case:
+		for i := range v.Items {
+			collectLHS(v.Items[i].Body, sc, set)
+		}
+	case *verilog.For:
+		if v.Init != nil {
+			collectLHSExpr(v.Init.LHS, sc, set)
+		}
+		collectLHS(v.Body, sc, set)
+		if v.Step != nil {
+			collectLHSExpr(v.Step.LHS, sc, set)
+		}
+	}
+}
+
+// collectLHSExpr records the root identifiers of one l-value expression.
+func collectLHSExpr(lhs verilog.Expr, sc sim.ScopeView, set map[int]bool) {
+	switch l := lhs.(type) {
+	case *verilog.Ident:
+		if idx, ok := sc.Lookup(l.Name); ok {
+			set[idx] = true
+		}
+	case *verilog.Index:
+		collectLHSExpr(l.X, sc, set)
+	case *verilog.PartSelect:
+		collectLHSExpr(l.X, sc, set)
+	case *verilog.Concat:
+		for _, p := range l.Parts {
+			collectLHSExpr(p, sc, set)
+		}
+	}
 }
 
 // OutputVec reads an output port's symbolic value from a state.

@@ -2,6 +2,7 @@ package formal
 
 import (
 	"fmt"
+	"math/bits"
 
 	"uvllm/internal/sim"
 )
@@ -18,6 +19,19 @@ type Counterexample struct {
 	Inputs []map[string]uint64 // one map per harness cycle, in order
 	Cycle  int                 // 0-based cycle of the divergence/violation
 	Signal string              // a diverging output (or the asserted signal)
+}
+
+// Weight is the total number of set stimulus bits across the whole
+// counterexample — the quantity minimization drives down (shorter, mostly
+// zero directed sequences replay and read better in uvm logs).
+func (c *Counterexample) Weight() int {
+	n := 0
+	for _, in := range c.Inputs {
+		for _, v := range in {
+			n += bits.OnesCount64(v)
+		}
+	}
+	return n
 }
 
 // Vectors deep-copies the stimulus stream, one map per harness cycle.
@@ -40,12 +54,20 @@ func (c *Counterexample) Vectors() []map[string]uint64 {
 // depth applies.
 const DefaultBMCDepth = 8
 
-// EquivResult is the verdict of a bounded equivalence check.
+// EquivResult is the verdict of a bounded equivalence check (or of a
+// k-induction run, which can strengthen the bound into an all-time
+// proof).
 type EquivResult struct {
-	Equivalent bool            // UNSAT at every depth through K
-	Depth      int             // depth proved (Equivalent) or refuted at
-	Cex        *Counterexample // nil when equivalent
-	Stats      BMCStats
+	Equivalent bool // UNSAT at every depth through K
+	// Unbounded marks an equivalence that holds for every depth, not just
+	// through K: InductionEquiv sets it when the inductive step closes.
+	Unbounded bool
+	Depth     int             // depth proved/refuted at, or the window that closed induction
+	Cex       *Counterexample // nil when equivalent (minimized under Options.MinimizeCex)
+	// RawCex is the unminimized counterexample when Options.MinimizeCex
+	// rewrote Cex, nil otherwise; tests compare the two.
+	RawCex *Counterexample
+	Stats  BMCStats
 }
 
 // BMCStats aggregates per-depth solver work of one bounded check.
@@ -76,72 +98,172 @@ func BMCEquiv(a, b *sim.Program, clock string, k int) (EquivResult, error) {
 	return BMCEquivOpts(a, b, clock, k, Options{})
 }
 
-// BMCEquivOpts is BMCEquiv with explicit blaster options.
-func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivResult, error) {
-	var res EquivResult
-	g := NewAIG()
-	opts.Clock = clock
+// miter pairs two models over one shared AIG with their rolling states:
+// the unrolling machinery common to bounded equivalence and the
+// k-induction window.
+type miter struct {
+	g        *AIG
+	ma, mb   *Model
+	sta, stb *State
+	inputs   []map[string]Vec // a's per-cycle stimulus variables, in order
+}
+
+// newMiter blasts both programs into one graph. b's free inputs that a
+// also drives will share a's variables; inputs only b has stay at their
+// previous values (the harness never sets them).
+func newMiter(g *AIG, a, b *sim.Program, opts Options) (*miter, error) {
 	ma, err := newModelShared(g, a, opts)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
 	mb, err := newModelShared(g, b, opts)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-	sta, err := ma.InitState()
-	if err != nil {
-		return res, err
-	}
-	stb, err := mb.InitState()
-	if err != nil {
-		return res, err
-	}
+	return &miter{g: g, ma: ma, mb: mb}, nil
+}
 
-	// b's free inputs that a also drives share a's variables; inputs only
-	// b has stay at their post-reset values (the harness never sets them).
+// init sets both states to the concrete post-reset snapshot.
+func (u *miter) init() error {
+	sta, err := u.ma.InitState()
+	if err != nil {
+		return err
+	}
+	stb, err := u.mb.InitState()
+	if err != nil {
+		return err
+	}
+	u.sta, u.stb = sta, stb
+	return nil
+}
+
+// step advances both sides one harness cycle under fresh shared inputs
+// and returns the per-output difference literals and their disjunction
+// ("some output differs at this cycle").
+func (u *miter) step() (bad Lit, diffs []Lit, err error) {
+	inA := u.ma.FreshInputs()
+	inB := map[string]Vec{}
+	for _, p := range u.mb.FreeInputs() {
+		if v, ok := inA[p.Name]; ok {
+			inB[p.Name] = v
+		}
+	}
+	u.inputs = append(u.inputs, inA)
+	if u.sta, err = u.ma.Step(u.sta, inA); err != nil {
+		return False, nil, err
+	}
+	if u.stb, err = u.mb.Step(u.stb, inB); err != nil {
+		return False, nil, err
+	}
+	g := u.g
+	bad = False
+	diffs = make([]Lit, len(u.ma.Outputs()))
+	for i, p := range u.ma.Outputs() {
+		av := u.ma.OutputVec(u.sta, i)
+		bv, ok := u.mb.OutputVecByName(u.stb, p.Name)
+		if !ok {
+			bv = g.ConstVec(0, len(av))
+		}
+		w := len(av)
+		if len(bv) > w {
+			w = len(bv)
+		}
+		d := g.EqVec(g.Resize(av, w), g.Resize(bv, w)).Not()
+		diffs[i] = d
+		bad = g.Or(bad, d)
+	}
+	return bad, diffs, nil
+}
+
+// BMCEquivOpts is BMCEquiv with explicit blaster options. The default
+// path is incremental: one solver instance per equivalence query, the
+// Tseitin frame of every depth retained (frozen frame variables), each
+// depth solved under the single assumption "the miter differs at this
+// cycle" and, on UNSAT, strengthened into the permanent fact that it does
+// not — so deeper solves reuse everything learned at shallower ones.
+// Options.FromScratch restores the PR-5 fresh-solver-per-depth loop for
+// differential testing and benchmarking.
+func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivResult, error) {
+	if opts.FromScratch {
+		return bmcEquivScratch(a, b, clock, k, opts)
+	}
+	var res EquivResult
+	g := NewAIG()
+	opts.Clock = clock
+	u, err := newMiter(g, a, b, opts)
+	if err != nil {
+		return res, err
+	}
+	if err := u.init(); err != nil {
+		return res, err
+	}
+	s := NewSolver(0)
+	s.MaxConflicts = opts.MaxConflicts
+	ti := NewIncTseitin(g, s)
+
 	// Depths are solved by iterative deepening — one (cheap, usually
 	// structurally collapsed) solve per cycle — which both finds the
 	// earliest possible divergence and beats a single deep solve in
 	// practice: SAT mutants decide at the first reachable depth, and the
 	// shared unrolling prefix is hashed away across depths.
-	var inputsSoFar []map[string]Vec
 	for t := 0; t < k; t++ {
-		inA := ma.FreshInputs()
-		inB := map[string]Vec{}
-		for _, p := range mb.FreeInputs() {
-			if v, ok := inA[p.Name]; ok {
-				inB[p.Name] = v
-			}
-		}
-		inputsSoFar = append(inputsSoFar, inA)
-		if sta, err = ma.Step(sta, inA); err != nil {
+		bad, diffs, err := u.step()
+		if err != nil {
 			return res, err
-		}
-		if stb, err = mb.Step(stb, inB); err != nil {
-			return res, err
-		}
-
-		// Miter at this depth: any of a's outputs differs.
-		bad := False
-		diffs := make([]Lit, len(ma.Outputs()))
-		for i, p := range ma.Outputs() {
-			av := ma.OutputVec(sta, i)
-			bv, ok := mb.OutputVecByName(stb, p.Name)
-			if !ok {
-				bv = g.ConstVec(0, len(av))
-			}
-			w := len(av)
-			if len(bv) > w {
-				w = len(bv)
-			}
-			d := g.EqVec(g.Resize(av, w), g.Resize(bv, w)).Not()
-			diffs[i] = d
-			bad = g.Or(bad, d)
 		}
 		res.Stats.AIGNodes = g.NumNodes()
 		if c, v := g.IsConst(bad); c && !v {
 			continue // structurally identical at this depth: no solve needed
+		}
+		badLit := ti.Lit(bad)
+		sat := s.SolveAssuming(badLit)
+		res.Stats.Solves = append(res.Stats.Solves, s.CallStats())
+		if s.Exhausted() {
+			return res, fmt.Errorf("%w: depth %d after %d conflicts", ErrBudget, t, s.Stats().Conflicts)
+		}
+		if sat {
+			res.Depth = t
+			res.Cex = extractCex(u.ma, u.inputs, ti.Vars(), s, diffs, t)
+			if opts.MinimizeCex {
+				res.RawCex = res.Cex
+				minimizeModel(s, ti, badLit, u.inputs)
+				res.Cex = extractCex(u.ma, u.inputs, ti.Vars(), s, diffs, t)
+			}
+			return res, nil
+		}
+		// UNSAT under the assumption: the miter provably cannot differ at
+		// this cycle, a permanent fact that strengthens deeper solves.
+		s.AddClause(-badLit)
+	}
+	res.Equivalent = true
+	res.Depth = k
+	res.Stats.AIGNodes = g.NumNodes()
+	return res, nil
+}
+
+// bmcEquivScratch is the pre-incremental reference loop: a fresh solver
+// and a fresh Tseitin conversion per depth. Kept as the differential twin
+// of the incremental path (TestIncrementalMatchesScratch and the
+// BenchmarkBMCEquiv / BenchmarkBMCEquivIncremental benchguard pair).
+func bmcEquivScratch(a, b *sim.Program, clock string, k int, opts Options) (EquivResult, error) {
+	var res EquivResult
+	g := NewAIG()
+	opts.Clock = clock
+	u, err := newMiter(g, a, b, opts)
+	if err != nil {
+		return res, err
+	}
+	if err := u.init(); err != nil {
+		return res, err
+	}
+	for t := 0; t < k; t++ {
+		bad, diffs, err := u.step()
+		if err != nil {
+			return res, err
+		}
+		res.Stats.AIGNodes = g.NumNodes()
+		if c, v := g.IsConst(bad); c && !v {
+			continue
 		}
 		cnf, vars := g.Tseitin([]Lit{bad})
 		s := NewSolverCNF(cnf)
@@ -155,7 +277,7 @@ func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivRe
 			continue
 		}
 		res.Depth = t
-		res.Cex = extractCex(ma, inputsSoFar, vars, s, diffs, t)
+		res.Cex = extractCex(u.ma, u.inputs, vars, s, diffs, t)
 		return res, nil
 	}
 	res.Equivalent = true

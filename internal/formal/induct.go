@@ -1,0 +1,179 @@
+package formal
+
+import "fmt"
+
+import "uvllm/internal/sim"
+
+// InductionEquiv proves or refutes equivalence with Sheeran-style
+// k-induction under default options: the bounded base case of BMCEquiv
+// plus an inductive step over an arbitrary-state window, upgrading
+// "equivalent to depth k" into "equivalent for all time" whenever the
+// step closes.
+func InductionEquiv(a, b *sim.Program, clock string, k int) (EquivResult, error) {
+	return InductionEquivOpts(a, b, clock, k, Options{})
+}
+
+// InductionEquivOpts interleaves an incremental BMC base case with an
+// incremental inductive step, one round per depth:
+//
+//   - Base (depth t): the standard concrete-init unrolling. A SAT answer
+//     is a genuine counterexample (minimized under Options.MinimizeCex);
+//     UNSAT is strengthened into a permanent ¬bad_t fact.
+//   - Step (window r = t+1): a second unrolling of the same shared AIG
+//     that starts from a fully symbolic product state (every register and
+//     memory word of both models a free variable — a sound
+//     over-approximation of reachability). Round r asks whether the
+//     miter can first diverge at the r-th cycle of the window. The
+//     hypotheses — ¬bad at window cycles 1..r-1 and pairwise distinctness
+//     of the first r product register states (the loop-free path
+//     constraint that makes k-induction complete, restricted to
+//     registers/memories because combinational signals are functions of
+//     them) — grow monotonically with r, so each is committed as a
+//     permanent unit clause and each round solves under the single
+//     assumption bad_r.
+//
+// An UNSAT step at round r, combined with the base UNSAT answers at
+// depths 0..r-1 from the same loop iteration, yields Equivalent=true,
+// Unbounded=true, Depth=r: any reachable divergence would embed a
+// loop-free window satisfying the round-r query (shorten the path across
+// repeated register states otherwise). If the step side exhausts its
+// conflict budget it degrades to plain bounded BMC for the remaining
+// depths rather than failing the whole check; a base-side exhaustion is
+// ErrBudget as in BMCEquivOpts. Options.FromScratch is ignored here —
+// induction is inherently incremental.
+func InductionEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivResult, error) {
+	var res EquivResult
+	g := NewAIG()
+	opts.Clock = clock
+	u, err := newMiter(g, a, b, opts)
+	if err != nil {
+		return res, err
+	}
+	if err := u.init(); err != nil {
+		return res, err
+	}
+	// The induction window: same models, same graph, symbolic start.
+	w := &miter{g: g, ma: u.ma, mb: u.mb}
+	w.sta, w.stb = u.ma.FreeState(), u.mb.FreeState()
+
+	sBase := NewSolver(0)
+	sBase.MaxConflicts = opts.MaxConflicts
+	tiB := NewIncTseitin(g, sBase)
+	sInd := NewSolver(0)
+	sInd.MaxConflicts = opts.MaxConflicts
+	tiI := NewIncTseitin(g, sInd)
+
+	stA := u.ma.StateSignals()
+	stB := u.mb.StateSignals()
+	winA := []*State{w.sta} // window product states u_0 .. u_t
+	winB := []*State{w.stb}
+	prevIndBad := False // bad literal of the previous round's window cycle
+	inductionAlive := true
+
+	for t := 0; t < k; t++ {
+		// ---- base case, depth t ----
+		bad, diffs, err := u.step()
+		if err != nil {
+			return res, err
+		}
+		res.Stats.AIGNodes = g.NumNodes()
+		if c, v := g.IsConst(bad); !c || v {
+			badLit := tiB.Lit(bad)
+			sat := sBase.SolveAssuming(badLit)
+			res.Stats.Solves = append(res.Stats.Solves, sBase.CallStats())
+			if sBase.Exhausted() {
+				return res, fmt.Errorf("%w: depth %d after %d conflicts", ErrBudget, t, sBase.Stats().Conflicts)
+			}
+			if sat {
+				res.Depth = t
+				res.Cex = extractCex(u.ma, u.inputs, tiB.Vars(), sBase, diffs, t)
+				if opts.MinimizeCex {
+					res.RawCex = res.Cex
+					minimizeModel(sBase, tiB, badLit, u.inputs)
+					res.Cex = extractCex(u.ma, u.inputs, tiB.Vars(), sBase, diffs, t)
+				}
+				return res, nil
+			}
+			sBase.AddClause(-badLit)
+		}
+
+		// ---- inductive step, window r = t+1 ----
+		if !inductionAlive {
+			continue
+		}
+		if t > 0 {
+			// Commit the monotone hypotheses that round t established:
+			// the window cannot first diverge at cycle t, and the window
+			// state u_t is distinct from every earlier window state.
+			if c, _ := g.IsConst(prevIndBad); !c {
+				sInd.AddClause(-tiI.Lit(prevIndBad))
+			}
+			for i := 0; i < t; i++ {
+				d := g.Or(
+					stateDiff(g, u.ma, winA[i], winA[t], stA),
+					stateDiff(g, u.mb, winB[i], winB[t], stB),
+				)
+				sInd.AddClause(tiI.Lit(d))
+			}
+		}
+		indBad, _, err := w.step()
+		if err != nil {
+			inductionAlive = false
+			continue
+		}
+		winA = append(winA, w.sta)
+		winB = append(winB, w.stb)
+		if c, v := g.IsConst(indBad); c {
+			if v {
+				// Structurally bad from an arbitrary state: the hypothesis
+				// set is contradictory from here on, so the step can never
+				// soundly close — degrade to bounded BMC. (The base case
+				// refutes such a pair at this very depth anyway.)
+				inductionAlive = false
+				continue
+			}
+			// Structurally impossible to first diverge at cycle t+1 of an
+			// arbitrary-state window: the step closes without a solve.
+			res.Equivalent = true
+			res.Unbounded = true
+			res.Depth = t + 1
+			return res, nil
+		}
+		indBadLit := tiI.Lit(indBad)
+		sat := sInd.SolveAssuming(indBadLit)
+		res.Stats.Solves = append(res.Stats.Solves, sInd.CallStats())
+		if sInd.Exhausted() {
+			inductionAlive = false
+			continue
+		}
+		if !sat {
+			res.Equivalent = true
+			res.Unbounded = true
+			res.Depth = t + 1
+			res.Stats.AIGNodes = g.NumNodes()
+			return res, nil
+		}
+		prevIndBad = indBad
+	}
+	res.Equivalent = true
+	res.Depth = k
+	res.Stats.AIGNodes = g.NumNodes()
+	return res, nil
+}
+
+// stateDiff is the "these two window snapshots differ" literal over one
+// model's sequential state: some register or memory word among sigs
+// differs between si and sj.
+func stateDiff(g *AIG, m *Model, si, sj *State, sigs []int) Lit {
+	d := False
+	for _, idx := range sigs {
+		if m.sigs[idx].IsMem {
+			for wd := range si.mems[idx] {
+				d = g.Or(d, g.EqVec(si.mems[idx][wd], sj.mems[idx][wd]).Not())
+			}
+			continue
+		}
+		d = g.Or(d, g.EqVec(si.vals[idx], sj.vals[idx]).Not())
+	}
+	return d
+}

@@ -46,7 +46,8 @@ func (v AssertVerdict) String() string {
 type AssertResult struct {
 	Assertion assert.Assertion
 	Verdict   AssertVerdict
-	Depth     int             // depth proved, or the violation cycle
+	Unbounded bool            // InductionAssertions: the inductive step closed
+	Depth     int             // depth proved (window size when Unbounded), or the violation cycle
 	Cex       *Counterexample // refutation stimulus, nil otherwise
 	Stats     BMCStats
 }
@@ -94,6 +95,185 @@ func PromoteAssertions(prog *sim.Program, clock string, as []assert.Assertion, k
 		}
 	}
 	return promoted, refuted, skipped, nil
+}
+
+// InductionAssertions checks each assertion with k-induction: the
+// bounded base case of CheckAssertions plus an inductive step over an
+// arbitrary-state window (the same scheme as InductionEquivOpts).
+// Assertions whose step closes come back AssertProved with Unbounded set
+// — the property holds at every cycle of every post-reset run, not just
+// to depth k.
+func InductionAssertions(prog *sim.Program, clock string, as []assert.Assertion, k int) ([]AssertResult, error) {
+	m, err := newModelShared(NewAIG(), prog, Options{Clock: clock})
+	if err != nil {
+		return nil, err
+	}
+	var out []AssertResult
+	for _, a := range as {
+		res, err := m.checkOneInduction(a, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PromoteAssertionsInduction is PromoteAssertions on top of
+// InductionAssertions: assertions proved for all time are promoted with
+// assert.DepthUnbounded instead of a finite depth.
+func PromoteAssertionsInduction(prog *sim.Program, clock string, as []assert.Assertion, k int) (promoted []assert.Assertion, refuted []AssertResult, skipped int, err error) {
+	results, err := InductionAssertions(prog, clock, as, k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, r := range results {
+		switch r.Verdict {
+		case AssertProved:
+			d := r.Depth
+			if r.Unbounded {
+				d = assert.DepthUnbounded
+			}
+			promoted = append(promoted, assert.Promote(r.Assertion, d))
+		case AssertRefuted:
+			refuted = append(refuted, r)
+			promoted = append(promoted, r.Assertion)
+		default:
+			skipped++
+			promoted = append(promoted, r.Assertion)
+		}
+	}
+	return promoted, refuted, skipped, nil
+}
+
+// checkOneInduction runs one assertion through the interleaved
+// base/step loop: an incremental BMC unrolling from the concrete reset
+// state plus an induction window from a fully symbolic state, with the
+// window's ¬bad and loop-free (register-distinctness) hypotheses
+// accumulated as permanent unit clauses. See InductionEquivOpts for the
+// soundness argument; a budget-exhausted step degrades to the bounded
+// verdict instead of failing.
+func (m *Model) checkOneInduction(a assert.Assertion, k int) (AssertResult, error) {
+	res := AssertResult{Assertion: a}
+	g := m.g
+	stB, err := m.InitState()
+	if err != nil {
+		return res, err
+	}
+	stI := m.FreeState()
+	sBase := NewSolver(0)
+	sBase.MaxConflicts = m.maxConflicts
+	tiB := NewIncTseitin(g, sBase)
+	sInd := NewSolver(0)
+	sInd.MaxConflicts = m.maxConflicts
+	tiI := NewIncTseitin(g, sInd)
+	sigs := m.StateSignals()
+	win := []*State{stI}
+	prevIndBad := False
+	inductionAlive := true
+	var inputsSoFar []map[string]Vec
+
+	sample := func(in map[string]Vec, st *State) func(string) (Vec, bool) {
+		return func(name string) (Vec, bool) {
+			if v, ok := in[name]; ok {
+				return v, true
+			}
+			if idx, ok := m.d.SignalIndex(name); ok {
+				return st.vals[idx], true
+			}
+			return nil, false
+		}
+	}
+
+	for t := 0; t < k; t++ {
+		// ---- base case, depth t ----
+		in := m.FreshInputs()
+		inputsSoFar = append(inputsSoFar, in)
+		if stB, err = m.Step(stB, in); err != nil {
+			return res, err
+		}
+		holds, ok := m.blastAssertion(a, sample(in, stB))
+		if !ok {
+			res.Verdict = AssertSkipped
+			return res, nil
+		}
+		bad := holds.Not()
+		res.Stats.AIGNodes = g.NumNodes()
+		if c, v := g.IsConst(bad); !c || v {
+			badLit := tiB.Lit(bad)
+			sat := sBase.SolveAssuming(badLit)
+			res.Stats.Solves = append(res.Stats.Solves, sBase.CallStats())
+			if sBase.Exhausted() {
+				return res, fmt.Errorf("%w: assertion %s at depth %d", ErrBudget, a.Name(), t)
+			}
+			if sat {
+				res.Verdict = AssertRefuted
+				res.Depth = t
+				res.Cex = extractCex(m, inputsSoFar, tiB.Vars(), sBase, nil, t)
+				res.Cex.Signal = a.Name()
+				return res, nil
+			}
+			sBase.AddClause(-badLit)
+		}
+
+		// ---- inductive step, window r = t+1 ----
+		if !inductionAlive {
+			continue
+		}
+		if t > 0 {
+			if c, _ := g.IsConst(prevIndBad); !c {
+				sInd.AddClause(-tiI.Lit(prevIndBad))
+			}
+			for i := 0; i < t; i++ {
+				sInd.AddClause(tiI.Lit(stateDiff(g, m, win[i], win[t], sigs)))
+			}
+		}
+		inI := m.FreshInputs()
+		if stI, err = m.Step(stI, inI); err != nil {
+			// Symbolic-start execution outside the supported subset (e.g. a
+			// loop bound that is only constant from the reset state):
+			// degrade to the bounded verdict.
+			inductionAlive = false
+			err = nil
+			continue
+		}
+		win = append(win, stI)
+		holdsI, ok := m.blastAssertion(a, sample(inI, stI))
+		if !ok {
+			inductionAlive = false
+			continue
+		}
+		indBad := holdsI.Not()
+		if c, v := g.IsConst(indBad); c {
+			if v {
+				inductionAlive = false
+				continue
+			}
+			res.Verdict = AssertProved
+			res.Unbounded = true
+			res.Depth = t + 1
+			return res, nil
+		}
+		indBadLit := tiI.Lit(indBad)
+		sat := sInd.SolveAssuming(indBadLit)
+		res.Stats.Solves = append(res.Stats.Solves, sInd.CallStats())
+		if sInd.Exhausted() {
+			inductionAlive = false
+			continue
+		}
+		if !sat {
+			res.Verdict = AssertProved
+			res.Unbounded = true
+			res.Depth = t + 1
+			res.Stats.AIGNodes = g.NumNodes()
+			return res, nil
+		}
+		prevIndBad = indBad
+	}
+	res.Verdict = AssertProved
+	res.Depth = k
+	res.Stats.AIGNodes = g.NumNodes()
+	return res, nil
 }
 
 // checkOne unrolls the model and checks one assertion at every depth.

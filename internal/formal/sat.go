@@ -1,10 +1,15 @@
 package formal
 
+import "sort"
+
 // CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
 // analysis with clause learning, VSIDS-lite decision ordering (activity
-// heap with exponential decay), phase saving and Luby restarts. Standard
-// library only, like every engine in this repository; sized for the
-// bit-blasted miters of small RTL designs (thousands of variables).
+// heap with exponential decay), phase saving and Luby restarts, plus the
+// MiniSat incremental interface — assumption-based solving with
+// final-conflict (unsat core) extraction, on-the-fly variable and clause
+// addition, and learned-clause retention across calls. Standard library
+// only, like every engine in this repository; sized for the bit-blasted
+// miters of small RTL designs (thousands of variables).
 
 // SolveStats counts solver work for the BMC depth / conflict statistics
 // reported by cmd/experiments -v.
@@ -18,11 +23,19 @@ type SolveStats struct {
 	Learned      int
 }
 
-// Solver is a single-use CDCL SAT solver: add clauses, call Solve once,
-// read the model with Value.
+// Solver is an incremental CDCL SAT solver: add clauses (and variables)
+// at any point between calls, solve under per-call assumptions with
+// SolveAssuming, read the model of a satisfiable call with Value and the
+// final-conflict core of an assumption-failed call with UnsatCore.
+// Learned clauses, variable activity and saved phases persist across
+// calls — the clause set only ever grows, so everything learned stays
+// valid and later calls over the same instance start warm.
 type Solver struct {
-	// MaxConflicts, when positive, bounds the search: Solve gives up
-	// after that many conflicts and reports false with Exhausted() set.
+	// MaxConflicts, when positive, bounds the search: each call gives up
+	// after that many conflicts of its own and reports false with
+	// Exhausted() set. The budget is per call — calling again after an
+	// exhausted give-up resumes the search (learned clauses and activity
+	// intact) under a fresh budget, while Stats() keeps lifetime totals.
 	// The cutoff is deterministic, so budgeted callers (the differential
 	// oracles) skip the same hard instances on every run.
 	MaxConflicts int
@@ -48,6 +61,11 @@ type Solver struct {
 	seen  []bool
 	unsat bool
 	stats SolveStats
+
+	model    []int8  // captured assignment of the last satisfiable call
+	assume   []int32 // the current call's assumptions, internal form
+	lastCore []int   // final-conflict core of the last assumption failure
+	callBase SolveStats
 }
 
 // NewSolver creates a solver over variables 1..numVars.
@@ -97,6 +115,41 @@ func intLit(l int) int32 {
 func litVar(l int32) int   { return int(l >> 1) }
 func litNeg(l int32) int32 { return l ^ 1 }
 
+// extLit converts an internal literal back to DIMACS form.
+func extLit(l int32) int {
+	if l&1 == 1 {
+		return -litVar(l)
+	}
+	return litVar(l)
+}
+
+// NewVar allocates one fresh variable and returns it. The solver grows in
+// place: incremental loaders (IncTseitin) interleave NewVar and AddClause
+// with solve calls, and everything learned over the old variables stays
+// valid because the instance only ever gains variables and clauses.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	v := s.nVars
+	s.watches = append(s.watches, nil, nil)
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.heapPos = append(s.heapPos, -1)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.heapPush(v)
+	s.stats.Vars = s.nVars
+	return v
+}
+
+// ensure grows the solver to cover variable v.
+func (s *Solver) ensure(v int) {
+	for s.nVars < v {
+		s.NewVar()
+	}
+}
+
 // value returns 1/-1/0 for an internal literal under the current
 // assignment.
 func (s *Solver) value(l int32) int8 {
@@ -107,8 +160,13 @@ func (s *Solver) value(l int32) int8 {
 	return v
 }
 
-// AddClause adds one clause in DIMACS-style literals. Adding an empty (or
-// all-false) clause marks the instance unsatisfiable.
+// AddClause adds one clause in DIMACS-style literals, growing the solver
+// to cover any variable it has not seen. Adding an empty (or all-false)
+// clause marks the instance unsatisfiable. Clauses may be added between
+// solve calls (the solver is always at decision level 0 there): literals
+// already false at the root are dropped and clauses already satisfied at
+// the root are skipped, which keeps the two-watched-literal invariant
+// intact on an instance that carries root-level facts from earlier calls.
 func (s *Solver) AddClause(lits ...int) {
 	if s.unsat {
 		return
@@ -118,18 +176,31 @@ func (s *Solver) AddClause(lits ...int) {
 	// clause of every solve, so a per-clause map would be pure overhead.
 	var ls []int32
 	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		s.ensure(v)
+		il := intLit(l)
+		// Root-level simplification (all current assignments are level 0).
+		switch s.value(il) {
+		case 1:
+			return // satisfied at the root: nothing to add
+		case -1:
+			continue // false at the root: drop the literal
+		}
 		dup := false
 		for _, prev := range ls {
-			if prev == intLit(l) {
+			if prev == il {
 				dup = true
 				break
 			}
-			if prev == litNeg(intLit(l)) {
+			if prev == litNeg(il) {
 				return // tautology
 			}
 		}
 		if !dup {
-			ls = append(ls, intLit(l))
+			ls = append(ls, il)
 		}
 	}
 	s.stats.Clauses++
@@ -348,12 +419,42 @@ func luby(i int) int {
 	return 1 << uint(k-1)
 }
 
-// Solve runs the CDCL loop and reports satisfiability. It must be called
-// at most once per Solver.
-func (s *Solver) Solve() bool {
+// Solve runs the CDCL loop with no assumptions and reports
+// satisfiability. Calls are resumable: a false return with Exhausted()
+// set is "unknown", and calling again continues the search (learned
+// clauses, activity and phases intact) under a fresh MaxConflicts budget.
+func (s *Solver) Solve() bool { return s.SolveAssuming() }
+
+// SolveAssuming runs the CDCL loop with the given DIMACS-style literals
+// taken as temporary decisions (the MiniSat assumption interface): a true
+// return means the clause set is satisfiable with every assumption true
+// (read the model with Value), a false return with a non-nil UnsatCore()
+// means the assumptions themselves are to blame, and a false return with
+// a nil core means the clause set is unsatisfiable outright (or the call
+// exhausted its MaxConflicts budget — check Exhausted()). Assumptions
+// leave no trace: they are backtracked before the call returns, so the
+// same solver instance answers any sequence of assumption sets while
+// retaining everything it learned.
+func (s *Solver) SolveAssuming(assumptions ...int) bool {
+	s.exhausted = false
+	s.lastCore = nil
+	s.callBase = s.stats
 	if s.unsat {
 		return false
 	}
+	s.assume = s.assume[:0]
+	for _, a := range assumptions {
+		v := a
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 {
+			continue
+		}
+		s.ensure(v)
+		s.assume = append(s.assume, intLit(a))
+	}
+	s.cancelUntil(0)
 	if confl := s.propagate(); confl != nil {
 		s.unsat = true
 		return false
@@ -366,8 +467,9 @@ func (s *Solver) Solve() bool {
 		if confl != nil {
 			s.stats.Conflicts++
 			conflictsHere++
-			if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.stats.Conflicts-s.callBase.Conflicts >= s.MaxConflicts {
 				s.exhausted = true
+				s.cancelUntil(0)
 				return false
 			}
 			if s.decisionLevel() == 0 {
@@ -396,9 +498,33 @@ func (s *Solver) Solve() bool {
 			s.cancelUntil(0)
 			continue
 		}
+		if s.decisionLevel() < len(s.assume) {
+			// Take the next assumption as a decision.
+			a := s.assume[s.decisionLevel()]
+			switch s.value(a) {
+			case 1:
+				// Already implied: push an empty level to keep the
+				// level-per-assumption correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case -1:
+				// The assumptions conflict with what is implied so far:
+				// extract the final-conflict core and fail the call.
+				s.lastCore = s.analyzeFinal(a)
+				s.cancelUntil(0)
+				return false
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
 		l := s.pickBranch()
 		if l < 0 {
-			return true // all variables assigned, no conflict
+			// All variables assigned, no conflict: capture the model and
+			// backtrack the assumptions away.
+			s.model = append(s.model[:0], s.assign...)
+			s.cancelUntil(0)
+			return true
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
@@ -406,20 +532,127 @@ func (s *Solver) Solve() bool {
 	}
 }
 
-// Value reports the model value of a variable after a satisfiable Solve.
-// Variables the solver never saw read false.
-func (s *Solver) Value(v int) bool {
-	if v <= 0 || v > s.nVars {
-		return false
+// analyzeFinal walks the implication trail backwards from a failed
+// assumption p (whose negation is implied by the clauses plus the
+// assumptions taken so far) and collects the subset of assumptions the
+// failure actually depends on — the MiniSat final-conflict analysis. The
+// returned core is in DIMACS form and includes p itself.
+func (s *Solver) analyzeFinal(p int32) []int {
+	core := []int{extLit(p)}
+	if s.decisionLevel() == 0 {
+		return core // ~p is a root-level fact: p alone is inconsistent
 	}
-	return s.assign[v] == 1
+	s.seen[litVar(p)] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		l := int32(s.trail[i])
+		v := litVar(l)
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision — at this point every decision is an assumption.
+			if s.level[v] > 0 {
+				core = append(core, extLit(l))
+			}
+		} else {
+			for _, q := range s.reason[v].lits {
+				if qv := litVar(q); qv != v && s.level[qv] > 0 {
+					s.seen[qv] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[litVar(p)] = false
+	return core
 }
 
-// Stats returns the work counters of the solve.
+// UnsatCore returns the final-conflict clause of the most recent call: a
+// subset of its assumptions that is jointly unsatisfiable with the clause
+// set, in the caller's DIMACS form. It is nil when the last call did not
+// fail on its assumptions (satisfiable, exhausted, or the clause set is
+// unsatisfiable with no assumptions needed).
+func (s *Solver) UnsatCore() []int {
+	if s.lastCore == nil {
+		return nil
+	}
+	return append([]int(nil), s.lastCore...)
+}
+
+// MinimizeCore shrinks the most recent UnsatCore to a locally minimal one
+// by deletion: literals are dropped one at a time and each candidate
+// subset re-solved, so in the returned core dropping any single literal
+// makes the remainder satisfiable (budget-exhausted probes count as
+// "cannot drop"). The result is sorted by variable for determinism and
+// becomes the solver's current core.
+func (s *Solver) MinimizeCore() []int {
+	core := append([]int(nil), s.lastCore...)
+	for {
+		dropped := false
+		for i := 0; i < len(core); i++ {
+			trial := make([]int, 0, len(core)-1)
+			trial = append(trial, core[:i]...)
+			trial = append(trial, core[i+1:]...)
+			if !s.SolveAssuming(trial...) && !s.Exhausted() {
+				// Still UNSAT without core[i]: adopt the (possibly even
+				// smaller) final conflict of the probe and rescan.
+				core = append([]int(nil), s.UnsatCore()...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	sort.Slice(core, func(i, j int) bool {
+		ai, aj := core[i], core[j]
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		return ai < aj
+	})
+	s.lastCore = core
+	return append([]int(nil), core...)
+}
+
+// Value reports the model value of a variable under the model captured by
+// the most recent satisfiable call. Variables the solver never saw (or
+// that were allocated after that call) read false.
+func (s *Solver) Value(v int) bool {
+	if v <= 0 || v >= len(s.model) {
+		return false
+	}
+	return s.model[v] == 1
+}
+
+// Stats returns the lifetime work counters of the solver, accumulated
+// across every call. Use CallStats for the most recent call alone.
 func (s *Solver) Stats() SolveStats { return s.stats }
 
-// Exhausted reports whether Solve gave up on the MaxConflicts budget
-// (in which case its false return is "unknown", not UNSAT).
+// CallStats returns the work of the most recent Solve/SolveAssuming call:
+// Conflicts, Decisions, Propagations, Restarts and Learned are per-call
+// deltas, while Vars and Clauses report the instance size (totals) at the
+// end of the call.
+func (s *Solver) CallStats() SolveStats {
+	return SolveStats{
+		Vars:         s.nVars,
+		Clauses:      s.stats.Clauses,
+		Conflicts:    s.stats.Conflicts - s.callBase.Conflicts,
+		Decisions:    s.stats.Decisions - s.callBase.Decisions,
+		Propagations: s.stats.Propagations - s.callBase.Propagations,
+		Restarts:     s.stats.Restarts - s.callBase.Restarts,
+		Learned:      s.stats.Learned - s.callBase.Learned,
+	}
+}
+
+// Exhausted reports whether the most recent call gave up on its
+// MaxConflicts budget (in which case its false return is "unknown", not
+// UNSAT). Calling Solve or SolveAssuming again resumes the search under a
+// fresh budget.
 func (s *Solver) Exhausted() bool { return s.exhausted }
 
 // --- activity heap -----------------------------------------------------

@@ -1,0 +1,259 @@
+package formal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCNF builds a random 3-SAT-ish instance around the phase
+// transition, small enough for brute force.
+func randomCNF(rng *rand.Rand) *CNF {
+	nVars := 4 + rng.Intn(9) // 4..12
+	nClauses := 2 + rng.Intn(6*nVars)
+	c := &CNF{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		var cl []int
+		for j := 0; j < 3; j++ {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl = append(cl, v)
+		}
+		c.AddClause(cl...)
+	}
+	return c
+}
+
+// modelSatisfies checks the solver's captured model against a clause set
+// plus extra unit literals.
+func modelSatisfies(t *testing.T, s *Solver, c *CNF, units []int) {
+	t.Helper()
+	check := func(cl []int) bool {
+		for _, l := range cl {
+			if l > 0 && s.Value(l) || l < 0 && !s.Value(-l) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, cl := range c.Clauses {
+		if !check(cl) {
+			t.Fatalf("model does not satisfy clause %v", cl)
+		}
+	}
+	for _, u := range units {
+		if !check([]int{u}) {
+			t.Fatalf("model does not satisfy assumption %d", u)
+		}
+	}
+}
+
+// TestSolveAssumingMatchesUnitClauses is the property pinning the
+// assumption interface: for random instances and random assumption sets,
+// SolveAssuming on one long-lived solver must agree — SAT/UNSAT status
+// and model validity — with a fresh solver given the assumptions as unit
+// clauses. Several assumption sets are run against the same incremental
+// instance so the learned clauses and saved phases of earlier calls are
+// live during later ones.
+func TestSolveAssumingMatchesUnitClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		c := randomCNF(rng)
+		inc := NewSolverCNF(c)
+		for call := 0; call < 4; call++ {
+			nAssume := rng.Intn(c.NumVars + 1)
+			var assume []int
+			seen := map[int]bool{}
+			for len(assume) < nAssume {
+				v := 1 + rng.Intn(c.NumVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				assume = append(assume, v)
+			}
+			fresh := NewSolverCNF(c)
+			for _, a := range assume {
+				fresh.AddClause(a)
+			}
+			want := fresh.Solve()
+			got := inc.SolveAssuming(assume...)
+			if got != want {
+				t.Fatalf("trial %d call %d assume %v: incremental=%v fresh-with-units=%v",
+					trial, call, assume, got, want)
+			}
+			if got {
+				modelSatisfies(t, inc, c, assume)
+			}
+		}
+	}
+}
+
+// TestUnsatCoreSoundAndMinimal spot-checks final-conflict extraction on
+// random instances: whenever an assumption set fails, the reported core
+// must (a) be a subset of the assumptions, (b) be jointly unsatisfiable
+// with the clause set on a fresh solver, and (c) after MinimizeCore,
+// be 1-minimal — dropping any single literal flips the remainder to SAT.
+func TestUnsatCoreSoundAndMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cores := 0
+	for trial := 0; trial < 400 && cores < 40; trial++ {
+		c := randomCNF(rng)
+		s := NewSolverCNF(c)
+		// A full random phase assignment over all variables: SAT instances
+		// then fail on their assumptions often enough to harvest cores.
+		var assume []int
+		for v := 1; v <= c.NumVars; v++ {
+			if rng.Intn(2) == 0 {
+				assume = append(assume, v)
+			} else {
+				assume = append(assume, -v)
+			}
+		}
+		if s.SolveAssuming(assume...) {
+			continue
+		}
+		core := s.UnsatCore()
+		if core == nil {
+			// The clause set alone is UNSAT; no final conflict to check.
+			continue
+		}
+		cores++
+		inAssume := map[int]bool{}
+		for _, a := range assume {
+			inAssume[a] = true
+		}
+		for _, l := range core {
+			if !inAssume[l] {
+				t.Fatalf("trial %d: core literal %d is not an assumption (%v)", trial, l, core)
+			}
+		}
+		checkUnsatWithUnits := func(units []int) bool {
+			f := NewSolverCNF(c)
+			for _, u := range units {
+				f.AddClause(u)
+			}
+			return !f.Solve()
+		}
+		if !checkUnsatWithUnits(core) {
+			t.Fatalf("trial %d: core %v is not actually unsatisfiable with the clauses", trial, core)
+		}
+		min := s.MinimizeCore()
+		if !checkUnsatWithUnits(min) {
+			t.Fatalf("trial %d: minimized core %v is not unsatisfiable", trial, min)
+		}
+		for i := range min {
+			rest := make([]int, 0, len(min)-1)
+			rest = append(rest, min[:i]...)
+			rest = append(rest, min[i+1:]...)
+			if checkUnsatWithUnits(rest) {
+				t.Fatalf("trial %d: dropping %d from minimized core %v stays UNSAT — not minimal",
+					trial, min[i], min)
+			}
+		}
+	}
+	if cores < 10 {
+		t.Fatalf("only %d assumption failures harvested: the core path went untested", cores)
+	}
+}
+
+// TestSolverResumeAfterExhausted pins the resume semantics of a budgeted
+// give-up: each new call gets a fresh MaxConflicts budget and continues
+// the search with learned clauses intact, Stats() stays cumulative, and
+// the eventual verdict matches an unbudgeted run.
+func TestSolverResumeAfterExhausted(t *testing.T) {
+	s := NewSolverCNF(pigeonhole(7, 6))
+	s.MaxConflicts = 50
+	calls := 0
+	var sat bool
+	for {
+		calls++
+		if calls > 10000 {
+			t.Fatal("PHP(7,6) did not finish after 10000 resumed calls")
+		}
+		sat = s.Solve()
+		cs := s.CallStats()
+		if cs.Conflicts > s.MaxConflicts {
+			t.Fatalf("call %d spent %d conflicts against a budget of %d", calls, cs.Conflicts, s.MaxConflicts)
+		}
+		if !s.Exhausted() {
+			break
+		}
+	}
+	if sat {
+		t.Fatal("PHP(7,6) must be UNSAT")
+	}
+	if calls < 2 {
+		t.Fatalf("PHP(7,6) finished in %d call(s) under a 50-conflict budget: resume path untested", calls)
+	}
+	if total := s.Stats().Conflicts; total <= s.MaxConflicts {
+		t.Fatalf("cumulative Stats().Conflicts = %d, want more than one budget's worth", total)
+	}
+}
+
+// TestSolverIncrementalClauseAddition checks that clauses (and variables)
+// added between calls behave exactly as if present from the start, on
+// both sides of a SAT-to-UNSAT flip.
+func TestSolverIncrementalClauseAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		c := randomCNF(rng)
+		half := len(c.Clauses) / 2
+		inc := NewSolver(c.NumVars)
+		for _, cl := range c.Clauses[:half] {
+			inc.AddClause(cl...)
+		}
+		inc.Solve() // learn something over the prefix
+		for _, cl := range c.Clauses[half:] {
+			inc.AddClause(cl...)
+		}
+		want := bruteForceSAT(c)
+		if got := inc.Solve(); got != want {
+			t.Fatalf("trial %d: after staged clause addition solver=%v brute=%v", trial, got, want)
+		}
+	}
+	// Variables allocated after a satisfiable call read false until the
+	// next model capture, and NewVar grows a solver created empty.
+	s := NewSolver(0)
+	v1 := s.NewVar()
+	s.AddClause(v1)
+	if !s.Solve() || !s.Value(v1) {
+		t.Fatal("unit clause over a NewVar variable must solve to true")
+	}
+	v2 := s.NewVar()
+	if s.Value(v2) {
+		t.Fatal("a variable allocated after the model capture must read false")
+	}
+	s.AddClause(-v2)
+	if !s.Solve() || s.Value(v2) || !s.Value(v1) {
+		t.Fatal("model after growth must satisfy both unit clauses")
+	}
+}
+
+// TestSolverModelSurvivesFailedProbe pins the contract minimization
+// relies on: a failed (UNSAT or assumption-failed) call must not clobber
+// the model captured by the last satisfiable call.
+func TestSolverModelSurvivesFailedProbe(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(1, 2)
+	s.AddClause(-1, 2) // forces x2 under x1; x2 alone also fine
+	if !s.SolveAssuming(1) {
+		t.Fatal("satisfiable instance reported UNSAT")
+	}
+	if !s.Value(1) || !s.Value(2) {
+		t.Fatalf("model: x1=%v x2=%v, want true/true", s.Value(1), s.Value(2))
+	}
+	if s.SolveAssuming(1, -2) {
+		t.Fatal("x1 ∧ ¬x2 must fail")
+	}
+	if !s.Value(1) || !s.Value(2) {
+		t.Fatal("failed probe clobbered the captured model")
+	}
+	if core := s.UnsatCore(); core == nil {
+		t.Fatal("assumption failure must produce a final-conflict core")
+	}
+}

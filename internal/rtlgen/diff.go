@@ -268,14 +268,14 @@ func tracesDivergeOn(golden, mutant, top, clock string, cycles int, seed int64, 
 }
 
 // FormalReport summarizes the fourth oracle on one design: the formal
-// engine's bounded-equivalence verdicts checked for agreement with
-// simulation.
+// engine's equivalence verdicts checked for agreement with simulation.
 type FormalReport struct {
 	Supported   bool   // the design is inside the bit-blastable subset
 	Reason      string // why not, when it is not
 	Mutants     int    // functional mutants formally checked
 	Refuted     int    // SAT verdicts (each replayed in simulation)
 	KEquivalent int    // UNSAT-to-depth-k verdicts (each probed by random simulation)
+	Unbounded   int    // of KEquivalent: proved for all time by k-induction
 }
 
 // formalBudget bounds each SAT solve of the fourth oracle: generated
@@ -283,25 +283,29 @@ type FormalReport struct {
 // cone, and those miters' UNSAT proofs can cost seconds each. The
 // deterministic conflict cutoff keeps the sweep's formal pass bounded
 // while still exercising the engine on the overwhelming majority of
-// levelized designs.
-var formalBudget = formal.Options{MaxConflicts: 500}
+// levelized designs. MinimizeCex routes every refutation through
+// counterexample minimization, so each replay also exercises the
+// shrinking path (formalAgreeMutant checks weight monotonicity).
+var formalBudget = formal.Options{MaxConflicts: 500, MinimizeCex: true}
 
 // DiffFormal is the fourth differential oracle: on bit-blastable designs
 // the formal engine's verdicts must agree with simulation in both
 // directions. The golden design must be provably equivalent to itself;
-// for each functional mutant, a SAT verdict must come with a
+// for each functional mutant, a SAT verdict must come with a minimized
 // counterexample that concrete simulation reproduces at the predicted
-// cycle, and an UNSAT-to-depth-k verdict must survive random simulation
-// probes of the same depth under the same stimulus protocol (reset held
-// deasserted after the preamble). A non-nil error is a genuine
-// formal-vs-simulation disagreement — a bug in one of the engines.
+// cycle (and whose weight the minimizer did not increase), and an UNSAT
+// verdict must survive random simulation probes under the same stimulus
+// protocol (reset held deasserted after the preamble) — deeper probes
+// when k-induction upgraded the proof to all-time, since that verdict
+// claims every depth. A non-nil error is a genuine formal-vs-simulation
+// disagreement — a bug in one of the engines.
 func DiffFormal(d *Design, k, maxPerClass int) (FormalReport, error) {
 	var rep FormalReport
 	golden, err := diffCache.Compile(d.Source, d.Top, sim.BackendCompiled)
 	if err != nil {
 		return rep, nil // not elaborable: DiffBackends owns this case
 	}
-	res, err := formal.BMCEquivOpts(golden, golden, d.Clock, k, formalBudget)
+	res, err := formal.InductionEquivOpts(golden, golden, d.Clock, k, formalBudget)
 	if err != nil {
 		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
 			rep.Reason = err.Error()
@@ -319,7 +323,7 @@ func DiffFormal(d *Design, k, maxPerClass int) (FormalReport, error) {
 			muts = muts[:maxPerClass]
 		}
 		for _, mu := range muts {
-			checked, refuted, err := formalAgreeMutant(d, mu.Source, k)
+			checked, refuted, unbounded, err := formalAgreeMutant(d, mu.Source, k)
 			if err != nil {
 				return rep, fmt.Errorf("%s mutant (%s): %w", class, mu.Descr, err)
 			}
@@ -327,10 +331,14 @@ func DiffFormal(d *Design, k, maxPerClass int) (FormalReport, error) {
 				continue
 			}
 			rep.Mutants++
-			if refuted {
+			switch {
+			case refuted:
 				rep.Refuted++
-			} else {
+			default:
 				rep.KEquivalent++
+				if unbounded {
+					rep.Unbounded++
+				}
 			}
 		}
 	}
@@ -340,52 +348,141 @@ func DiffFormal(d *Design, k, maxPerClass int) (FormalReport, error) {
 // formalAgreeMutant checks one (golden, mutant) pair for agreement
 // between the formal verdict and simulation. checked=false means the
 // mutant fell outside the comparable set (does not parse/elaborate, or
-// left the blastable subset). A SAT verdict must replay; an UNSAT
-// verdict must survive seeded random probes.
-func formalAgreeMutant(d *Design, mutantSrc string, k int) (checked, refuted bool, err error) {
+// left the blastable subset). A SAT verdict must replay at the predicted
+// cycle with a minimized trace no heavier or longer than the raw one; an
+// UNSAT verdict must survive seeded random probes — of depth k when
+// bounded, of depth 3k when the inductive step upgraded it to an
+// all-time proof.
+func formalAgreeMutant(d *Design, mutantSrc string, k int) (checked, refuted, unbounded bool, err error) {
 	if _, errs := verilog.Parse(mutantSrc); len(errs) > 0 {
-		return false, false, nil
+		return false, false, false, nil
 	}
 	golden, err := diffCache.Compile(d.Source, d.Top, sim.BackendCompiled)
 	if err != nil {
-		return false, false, nil
+		return false, false, false, nil
 	}
 	mutant, err := diffCache.Compile(mutantSrc, d.Top, sim.BackendCompiled)
 	if err != nil {
-		return false, false, nil // elaboration-failing mutants are the sim oracle's case
+		return false, false, false, nil // elaboration-failing mutants are the sim oracle's case
 	}
-	res, err := formal.BMCEquivOpts(golden, mutant, d.Clock, k, formalBudget)
+	res, err := formal.InductionEquivOpts(golden, mutant, d.Clock, k, formalBudget)
 	if err != nil {
 		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
-			return false, false, nil // non-blastable construct, or a miter out of budget
+			return false, false, false, nil // non-blastable construct, or a miter out of budget
 		}
-		return false, false, err
+		return false, false, false, err
 	}
 	if res.Cex != nil {
+		if res.RawCex != nil {
+			if len(res.Cex.Inputs) > len(res.RawCex.Inputs) {
+				return true, true, false, fmt.Errorf("minimized cex longer than raw: %d vs %d cycles", len(res.Cex.Inputs), len(res.RawCex.Inputs))
+			}
+			if res.Cex.Weight() > res.RawCex.Weight() {
+				return true, true, false, fmt.Errorf("minimized cex heavier than raw: %d vs %d set bits", res.Cex.Weight(), res.RawCex.Weight())
+			}
+		}
 		div, cyc, err := formal.ReplayCex(d.Source, mutantSrc, d.Top, d.Clock, res.Cex, sim.BackendCompiled)
 		if err != nil {
-			return true, true, fmt.Errorf("cex replay: %w", err)
+			return true, true, false, fmt.Errorf("cex replay: %w", err)
 		}
 		if !div {
-			return true, true, fmt.Errorf("formal refuted at depth %d but simulation does not reproduce the divergence", res.Depth)
+			return true, true, false, fmt.Errorf("formal refuted at depth %d but simulation does not reproduce the divergence", res.Depth)
 		}
 		if cyc != res.Cex.Cycle {
-			return true, true, fmt.Errorf("cex diverged at cycle %d, formal predicted %d", cyc, res.Cex.Cycle)
+			return true, true, false, fmt.Errorf("cex diverged at cycle %d, formal predicted %d", cyc, res.Cex.Cycle)
 		}
-		return true, true, nil
+		return true, true, false, nil
 	}
-	// UNSAT to depth k: no k-cycle stimulus under the frozen-reset
-	// protocol may distinguish the designs in simulation either.
+	// UNSAT: no qualifying stimulus under the frozen-reset protocol may
+	// distinguish the designs in simulation either. An unbounded proof
+	// claims every depth, so probe it well past the base unrolling.
+	probeDepth := k
+	if res.Unbounded {
+		probeDepth = 3 * k
+	}
 	for probe := int64(0); probe < 3; probe++ {
-		div, cyc, err := tracesDivergeFrozen(d.Source, mutantSrc, d.Top, d.Clock, k, d.Seed+probe)
+		div, cyc, err := tracesDivergeFrozen(d.Source, mutantSrc, d.Top, d.Clock, probeDepth, d.Seed+probe)
 		if err != nil {
-			return true, false, err
+			return true, false, res.Unbounded, err
 		}
 		if div {
-			return true, false, fmt.Errorf("formal proved %d-cycle equivalence but random simulation diverged at cycle %d (probe %d)", k, cyc, probe)
+			return true, false, res.Unbounded, fmt.Errorf("formal proved %d-cycle equivalence (unbounded=%v) but random simulation diverged at cycle %d (probe %d)", k, res.Unbounded, cyc, probe)
 		}
 	}
-	return true, false, nil
+	return true, false, res.Unbounded, nil
+}
+
+// inductionAgreesWithBMC is the fuzz oracle behind
+// FuzzInductionAgreesWithBMC: run one (golden, mutant) pair through
+// k-induction at depth k and cross-examine the verdict with the
+// strongest independent checks available — an unbounded proof must
+// survive *deeper* plain BMC (depth 3k+2) and deeper random simulation,
+// a refutation must match plain BMC's verdict and depth exactly and
+// replay in simulation, and a bounded UNSAT must agree with plain BMC.
+// Pairs outside the blastable subset (or over budget on either path)
+// are skipped, not failed.
+func inductionAgreesWithBMC(d *Design, mutantSrc string, k int) error {
+	if _, errs := verilog.Parse(mutantSrc); len(errs) > 0 {
+		return nil
+	}
+	golden, err := diffCache.Compile(d.Source, d.Top, sim.BackendCompiled)
+	if err != nil {
+		return nil
+	}
+	mutant, err := diffCache.Compile(mutantSrc, d.Top, sim.BackendCompiled)
+	if err != nil {
+		return nil
+	}
+	ind, err := formal.InductionEquivOpts(golden, mutant, d.Clock, k, formalBudget)
+	if err != nil {
+		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
+			return nil
+		}
+		return err
+	}
+	bmcDepth := k
+	if ind.Unbounded {
+		bmcDepth = 3*k + 2
+	}
+	bmc, err := formal.BMCEquivOpts(golden, mutant, d.Clock, bmcDepth, formalBudget)
+	if err != nil {
+		if errors.Is(err, formal.ErrUnsupported) || errors.Is(err, formal.ErrBudget) {
+			return nil // the deeper unrolling ran out of budget: no verdict to compare
+		}
+		return err
+	}
+	if ind.Unbounded && !bmc.Equivalent {
+		return fmt.Errorf("UNSOUND: induction proved unbounded equivalence but BMC refutes at depth %d", bmc.Depth)
+	}
+	if ind.Equivalent != bmc.Equivalent && !ind.Unbounded {
+		return fmt.Errorf("induction (eq=%v depth=%d) disagrees with BMC (eq=%v depth=%d)",
+			ind.Equivalent, ind.Depth, bmc.Equivalent, bmc.Depth)
+	}
+	if !ind.Equivalent {
+		if bmc.Depth != ind.Depth {
+			return fmt.Errorf("refutation depth mismatch: induction %d, BMC %d", ind.Depth, bmc.Depth)
+		}
+		div, cyc, err := formal.ReplayCex(d.Source, mutantSrc, d.Top, d.Clock, ind.Cex, sim.BackendCompiled)
+		if err != nil {
+			return fmt.Errorf("cex replay: %w", err)
+		}
+		if !div || cyc != ind.Cex.Cycle {
+			return fmt.Errorf("induction cex: diverged=%v at cycle %d, predicted %d", div, cyc, ind.Cex.Cycle)
+		}
+		return nil
+	}
+	if ind.Unbounded {
+		for probe := int64(0); probe < 3; probe++ {
+			div, cyc, err := tracesDivergeFrozen(d.Source, mutantSrc, d.Top, d.Clock, 3*k, d.Seed+probe)
+			if err != nil {
+				return err
+			}
+			if div {
+				return fmt.Errorf("UNSOUND: induction proved unbounded equivalence but simulation diverged at cycle %d (probe %d)", cyc, probe)
+			}
+		}
+	}
+	return nil
 }
 
 // tracesDivergeFrozen is tracesDiverge under the formal stimulus

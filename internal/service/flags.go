@@ -14,7 +14,7 @@ const (
 	FlagBackend FlagMask = 1 << iota
 	// FlagCover binds -cover.
 	FlagCover
-	// FlagFormal binds -formal and -formal-depth.
+	// FlagFormal binds -formal, -induction and -formal-depth.
 	FlagFormal
 	// FlagLanes binds -lanes.
 	FlagLanes
@@ -31,6 +31,7 @@ type Flags struct {
 	backend     string
 	cover       bool
 	formalOn    bool
+	induction   bool
 	formalDepth int
 	lanes       int
 	workers     int
@@ -49,6 +50,7 @@ func Bind(fs *flag.FlagSet, mask FlagMask) *Flags {
 	}
 	if mask&FlagFormal != 0 {
 		fs.BoolVar(&f.formalOn, "formal", false, "after verification, bounded-prove the final source equivalent to the golden (refutation fails the run)")
+		fs.BoolVar(&f.induction, "induction", false, "prove by k-induction instead of plain BMC, upgrading closed proofs to unbounded (implies -formal)")
 		fs.IntVar(&f.formalDepth, "formal-depth", 0, "formal unrolling depth in cycles (0 = default)")
 	}
 	if mask&FlagLanes != 0 {
@@ -67,6 +69,7 @@ func (f *Flags) Options() (Options, error) {
 		Backend:     f.backend,
 		Cover:       f.cover,
 		Formal:      f.formalOn,
+		Induction:   f.induction,
 		FormalDepth: f.formalDepth,
 		Lanes:       f.lanes,
 		Workers:     f.workers,

@@ -16,10 +16,10 @@ func TestBindMask(t *testing.T) {
 		want []string
 	}{
 		{"backend only", FlagBackend, []string{"backend"}},
-		{"formal pair", FlagFormal, []string{"formal", "formal-depth"}},
+		{"formal set", FlagFormal, []string{"formal", "formal-depth", "induction"}},
 		{"lanes only", FlagLanes, []string{"lanes"}},
-		{"cli set", FlagBackend | FlagCover | FlagFormal, []string{"backend", "cover", "formal", "formal-depth"}},
-		{"all", FlagAll, []string{"backend", "cover", "formal", "formal-depth", "lanes", "workers"}},
+		{"cli set", FlagBackend | FlagCover | FlagFormal, []string{"backend", "cover", "formal", "formal-depth", "induction"}},
+		{"all", FlagAll, []string{"backend", "cover", "formal", "formal-depth", "induction", "lanes", "workers"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -49,8 +49,8 @@ func TestFlagsOptions(t *testing.T) {
 		wantErr string
 	}{
 		{"defaults", nil, Options{Backend: "compiled"}, ""},
-		{"full set", []string{"-backend=event", "-cover", "-formal", "-formal-depth=32", "-lanes=8", "-workers=4"},
-			Options{Backend: "event", Cover: true, Formal: true, FormalDepth: 32, Lanes: 8, Workers: 4}, ""},
+		{"full set", []string{"-backend=event", "-cover", "-formal", "-induction", "-formal-depth=32", "-lanes=8", "-workers=4"},
+			Options{Backend: "event", Cover: true, Formal: true, Induction: true, FormalDepth: 32, Lanes: 8, Workers: 4}, ""},
 		{"bad backend", []string{"-backend=ncsim"}, Options{}, "backend"},
 		{"bad depth", []string{"-formal-depth=-2"}, Options{}, "formal-depth"},
 	}

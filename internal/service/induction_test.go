@@ -1,0 +1,45 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecuteInduction pins the induction knob end to end through the
+// shared Execute path: a golden-source job with Induction on (Formal
+// off — induction implies the proof) must come back "proved" with an
+// all-time detail, and the same job through plain -formal must stay a
+// bounded proof, so the two modes are observably different at the
+// service surface while keeping the same three status strings.
+func TestExecuteInduction(t *testing.T) {
+	svc := DefaultServices()
+	spec := JobSpec{Module: "counter_12bit", Options: Options{Induction: true}}
+	res := Execute(spec, svc, nil)
+	if res.Error != "" || !res.Success {
+		t.Fatalf("golden job failed: success=%v err=%q", res.Success, res.Error)
+	}
+	if res.Formal != "proved" {
+		t.Fatalf("induction proof: formal=%q detail=%q", res.Formal, res.FormalDetail)
+	}
+	if !strings.Contains(res.FormalDetail, "for all time") {
+		t.Fatalf("induction detail does not claim an unbounded proof: %q", res.FormalDetail)
+	}
+
+	spec.Options = Options{Formal: true}
+	res = Execute(spec, svc, nil)
+	if res.Formal != "proved" || strings.Contains(res.FormalDetail, "for all time") {
+		t.Fatalf("plain BMC must stay bounded: formal=%q detail=%q", res.Formal, res.FormalDetail)
+	}
+}
+
+// TestOptionsMergeInduction checks the server-default or-semantics of
+// the induction knob: a server started with -induction proves every job
+// by induction, and a job can still opt in on its own.
+func TestOptionsMergeInduction(t *testing.T) {
+	if got := (Options{}).merge(Options{Induction: true}); !got.Induction {
+		t.Fatal("server default -induction did not propagate to the job")
+	}
+	if got := (Options{Induction: true}).merge(Options{}); !got.Induction {
+		t.Fatal("job-level induction lost in merge")
+	}
+}

@@ -259,18 +259,21 @@ func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
 		Times: res.Times, Usage: res.Usage, Final: res.Final, Log: res.Log,
 	}
 
-	if spec.Options.Formal && res.Success {
-		out.Formal, out.FormalDetail = prove(res.Final, in.Golden, m, spec.Options.BMCDepth(), svc.Cache)
+	if (spec.Options.Formal || spec.Options.Induction) && res.Success {
+		out.Formal, out.FormalDetail = prove(res.Final, in.Golden, m, spec.Options.BMCDepth(), spec.Options.Induction, svc.Cache)
 		emit(Event{Kind: EventFormal, Formal: out.Formal, Message: out.FormalDetail})
 	}
 	return out
 }
 
-// prove bounded-checks the delivered source against the golden — the
-// service-layer twin of cmd/uvllm's formal gate. Designs outside the
-// blastable subset report "unsupported": the simulation verdict stands
-// alone, exactly as in the CLI.
-func prove(final, golden string, m *dataset.Module, depth int, cache *sim.Cache) (status, detail string) {
+// prove checks the delivered source against the golden — the
+// service-layer twin of cmd/uvllm's formal gate: plain BMC, or
+// k-induction when the induction knob is on (a closed inductive step
+// upgrades the detail to "for all time"; the status strings stay the
+// same three values either way). Designs outside the blastable subset
+// report "unsupported": the simulation verdict stands alone, exactly as
+// in the CLI.
+func prove(final, golden string, m *dataset.Module, depth int, induction bool, cache *sim.Cache) (status, detail string) {
 	g, err := cache.Compile(golden, m.Top, sim.BackendCompiled)
 	if err != nil {
 		return "unsupported", fmt.Sprintf("golden does not compile: %v", err)
@@ -279,11 +282,20 @@ func prove(final, golden string, m *dataset.Module, depth int, cache *sim.Cache)
 	if err != nil {
 		return "refuted", fmt.Sprintf("delivered source does not compile: %v", err)
 	}
-	res, err := formal.BMCEquiv(g, c, m.Clock, depth)
+	var res formal.EquivResult
+	if induction {
+		res, err = formal.InductionEquiv(g, c, m.Clock, depth)
+	} else {
+		res, err = formal.BMCEquiv(g, c, m.Clock, depth)
+	}
 	if err != nil {
 		return "unsupported", fmt.Sprintf("not checked: %v", err)
 	}
 	if res.Equivalent {
+		if res.Unbounded {
+			return "proved", fmt.Sprintf("equivalent to golden for all time — k-induction closed at window %d (%d AIG nodes, %d conflicts)",
+				res.Depth, res.Stats.AIGNodes, res.Stats.Conflicts())
+		}
 		return "proved", fmt.Sprintf("equivalent to golden for every stimulus up to %d cycles (%d AIG nodes, %d conflicts)",
 			depth, res.Stats.AIGNodes, res.Stats.Conflicts())
 	}

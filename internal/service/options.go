@@ -41,6 +41,11 @@ type Options struct {
 	// Formal requests a bounded equivalence proof of the delivered
 	// source against the golden after a successful verification.
 	Formal bool `json:"formal,omitempty"`
+	// Induction runs the equivalence proof through k-induction instead
+	// of plain BMC: the same bounded base, plus an inductive step that
+	// can upgrade the verdict to unbounded ("equivalent for all time").
+	// Implies Formal.
+	Induction bool `json:"induction,omitempty"`
 	// FormalDepth is the proof unrolling depth in cycles (0 = the formal
 	// engine's default).
 	FormalDepth int `json:"formal_depth,omitempty"`
@@ -140,6 +145,7 @@ func (o Options) merge(def Options) Options {
 	}
 	o.Cover = o.Cover || def.Cover
 	o.Formal = o.Formal || def.Formal
+	o.Induction = o.Induction || def.Induction
 	if o.FormalDepth == 0 {
 		o.FormalDepth = def.FormalDepth
 	}
