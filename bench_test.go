@@ -12,6 +12,7 @@ package uvllm
 // work the evaluation scales by.
 
 import (
+	"context"
 	"testing"
 
 	"uvllm/internal/baseline"
@@ -22,6 +23,7 @@ import (
 	"uvllm/internal/formal"
 	"uvllm/internal/lint"
 	"uvllm/internal/llm"
+	"uvllm/internal/obs"
 	"uvllm/internal/psim"
 	"uvllm/internal/sim"
 	"uvllm/internal/uvm"
@@ -38,7 +40,7 @@ func oracleFor(f *faultgen.Fault, seed int64) llm.Client {
 
 func verifyOne(f *faultgen.Fault, seed int64) core.Result {
 	m := f.Meta()
-	return core.Verify(core.Input{
+	return core.Verify(context.Background(), core.Input{
 		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: oracleFor(f, seed),
 		Opts: core.Options{Seed: seed},
@@ -109,7 +111,7 @@ func BenchmarkTable3Ablation(b *testing.B) {
 	m := f.Meta()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		core.Verify(core.Input{
+		core.Verify(context.Background(), core.Input{
 			Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 			RefName: m.Name, ModuleName: m.Name, Client: oracleFor(f, int64(i+1)),
 			Opts: core.Options{Seed: int64(i + 1), Mode: llm.ModeComplete},
@@ -123,7 +125,7 @@ func BenchmarkAblationRollback(b *testing.B) {
 	f := firstOfKind(b, false)
 	m := f.Meta()
 	for i := 0; i < b.N; i++ {
-		core.Verify(core.Input{
+		core.Verify(context.Background(), core.Input{
 			Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 			RefName: m.Name, ModuleName: m.Name, Client: oracleFor(f, int64(i+1)),
 			Opts: core.Options{Seed: int64(i + 1), DisableRollback: true},
@@ -137,7 +139,7 @@ func BenchmarkAblationLocalization(b *testing.B) {
 	f := firstOfKind(b, false)
 	m := f.Meta()
 	for i := 0; i < b.N; i++ {
-		core.Verify(core.Input{
+		core.Verify(context.Background(), core.Input{
 			Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 			RefName: m.Name, ModuleName: m.Name, Client: oracleFor(f, int64(i+1)),
 			Opts: core.Options{Seed: int64(i + 1), SLThreshold: 1},
@@ -217,7 +219,7 @@ var simHotLoopModules = []string{"fifo_sync", "alu", "traffic_light", "adder_32b
 // benchSimBackend drives the UVM per-cycle hot loop (Harness.Cycle: apply
 // inputs, settle, pulse clock, sample, record) for 500-cycle runs on each
 // module of the mix. One b.N iteration = one full run over the mix.
-func benchSimBackend(b *testing.B, backend sim.Backend) {
+func benchSimBackend(b *testing.B, backend sim.Backend, cycles *obs.Counter) {
 	type dut struct {
 		m *dataset.Module
 		s *sim.Simulator
@@ -236,6 +238,7 @@ func benchSimBackend(b *testing.B, backend sim.Backend) {
 	for i := 0; i < b.N; i++ {
 		for _, d := range duts {
 			h := sim.NewHarness(d.s, d.m.Clock)
+			h.ObserveCycles(cycles)
 			if err := h.ApplyReset(2); err != nil {
 				b.Fatal(err)
 			}
@@ -268,11 +271,22 @@ func maskBits(w int) uint64 {
 
 // BenchmarkSimEventDriven measures the reference event-queue interpreter
 // on the UVM per-cycle hot loop.
-func BenchmarkSimEventDriven(b *testing.B) { benchSimBackend(b, sim.BackendEventDriven) }
+func BenchmarkSimEventDriven(b *testing.B) { benchSimBackend(b, sim.BackendEventDriven, nil) }
 
 // BenchmarkSimCompiled measures the compiled levelized backend on the same
 // loop; the CI smoke run and DESIGN.md track the >=2x speedup.
-func BenchmarkSimCompiled(b *testing.B) { benchSimBackend(b, sim.BackendCompiled) }
+func BenchmarkSimCompiled(b *testing.B) { benchSimBackend(b, sim.BackendCompiled, nil) }
+
+// BenchmarkSimCompiledObs is BenchmarkSimCompiled with a live registry
+// counter attached to the harness — the instrumented side of the
+// zero-overhead pair. cmd/benchguard holds its ns/op to within noise of
+// the uninstrumented run, which is the enforced form of the obs
+// package's "provably free when disabled, one atomic when enabled"
+// claim on the hottest loop in the system.
+func BenchmarkSimCompiledObs(b *testing.B) {
+	reg := obs.NewRegistry()
+	benchSimBackend(b, sim.BackendCompiled, reg.Counter("sim_cycles_total", "cycles driven by the harness"))
+}
 
 // batchBenchLanes is K for the batch-vs-sequential benchmark pair; the
 // acceptance bar (guarded by cmd/benchguard) is a per-lane cost at least
@@ -485,7 +499,7 @@ func BenchmarkPipelineVerify(b *testing.B) {
 	memo := uvm.NewTraceMemo()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := core.Verify(core.Input{
+		res := core.Verify(context.Background(), core.Input{
 			Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 			RefName: m.Name, ModuleName: m.Name, Client: oracleFor(f, 1),
 			Opts: core.Options{Seed: 1, Cache: cache, Memo: memo},
@@ -504,7 +518,7 @@ func BenchmarkPipelineVerifyCold(b *testing.B) {
 	m := f.Meta()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res := core.Verify(core.Input{
+		res := core.Verify(context.Background(), core.Input{
 			Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 			RefName: m.Name, ModuleName: m.Name, Client: oracleFor(f, 1),
 			Opts: core.Options{Seed: 1, Cache: sim.NewCache(), Memo: uvm.NewTraceMemo()},

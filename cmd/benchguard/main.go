@@ -5,7 +5,7 @@
 // (minimum ns/op) run across -count repetitions, and compares against
 // the committed BENCH_baseline.json:
 //
-//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled)|PipelineVerify|BitBlast|SATSolve|BMCEquiv(Incremental)?|Batch(Lanes|VsSequential)|BitSim(Lanes|Transpose))$' -count=5 . | tee bench.txt
+//	go test -run XXX -bench 'Benchmark(Sim(EventDriven|Compiled|CompiledObs)|PipelineVerify|BitBlast|SATSolve|BMCEquiv(Incremental)?|Batch(Lanes|VsSequential)|BitSim(Lanes|Transpose))$' -count=5 . | tee bench.txt
 //	go run ./cmd/benchguard -bench bench.txt -baseline BENCH_baseline.json
 //
 // Raw ns/op is machine-dependent, so every guarded quantity is a ratio
@@ -19,10 +19,12 @@
 // paths roll out by adding a baseline line.
 //
 // Pair rules hold architectural claims independent of the baseline:
-// batch lane amortization, the bit-parallel per-lane floor, and the
+// batch lane amortization, the bit-parallel per-lane floor, the
 // incremental formal engine — BenchmarkBMCEquivIncremental must stay
 // strictly faster than the from-scratch BenchmarkBMCEquiv on the same
-// depth-8 proof.
+// depth-8 proof — and the observability layer's zero-overhead claim:
+// BenchmarkSimCompiledObs (hot loop with a live registry counter) must
+// stay within 15% of BenchmarkSimCompiled in the same run.
 package main
 
 import (
@@ -45,13 +47,14 @@ type Baseline struct {
 }
 
 const (
-	benchEvent      = "BenchmarkSimEventDriven"
-	benchCompiled   = "BenchmarkSimCompiled"
-	benchBatch      = "BenchmarkBatchLanes"
-	benchBatchSeq   = "BenchmarkBatchVsSequential"
-	benchBitSim     = "BenchmarkBitSimLanes"
-	benchBMCScratch = "BenchmarkBMCEquiv"
-	benchBMCInc     = "BenchmarkBMCEquivIncremental"
+	benchEvent       = "BenchmarkSimEventDriven"
+	benchCompiled    = "BenchmarkSimCompiled"
+	benchCompiledObs = "BenchmarkSimCompiledObs"
+	benchBatch       = "BenchmarkBatchLanes"
+	benchBatchSeq    = "BenchmarkBatchVsSequential"
+	benchBitSim      = "BenchmarkBitSimLanes"
+	benchBMCScratch  = "BenchmarkBMCEquiv"
+	benchBMCInc      = "BenchmarkBMCEquivIncremental"
 )
 
 // batchMinSpeedup is the acceptance bar for the batch scheduler: the
@@ -74,6 +77,14 @@ const (
 // least this factor below sim.Batch's per-lane cost (ns/op divided by
 // its 8 lanes) on the same module mix and cycle count.
 const bitSimMinSpeedup = 4.0
+
+// obsMaxOverhead is the acceptance bar for the observability layer's
+// zero-overhead claim: the compiled simulation hot loop with a live
+// registry counter attached (BenchmarkSimCompiledObs) may cost at most
+// this factor of the uninstrumented loop (BenchmarkSimCompiled) in the
+// same run. The instrumented path is one atomic add per cycle, so the
+// bar is mostly noise allowance.
+const obsMaxOverhead = 1.15
 
 // bmcIncMinSpeedup is the acceptance bar for the incremental formal
 // engine: the same depth-8 UNSAT proof must be strictly cheaper on the
@@ -185,6 +196,22 @@ func main() {
 			if speedup < bitSimMinSpeedup {
 				fmt.Fprintf(os.Stderr, "benchguard: FAIL: bit-parallel per-lane speedup %.2fx fell below the %.1fx floor\n",
 					speedup, bitSimMinSpeedup)
+				failed = true
+			}
+		}
+	}
+	// Pair rule: whenever both sides of the observability pair are in
+	// the run, the instrumented hot loop must stay within the
+	// zero-overhead bar of the uninstrumented one — the enforced form of
+	// internal/obs's "one atomic when enabled" claim.
+	if plain, ok := best[benchCompiled]; ok {
+		if instr, ok := best[benchCompiledObs]; ok {
+			overhead := instr / plain
+			fmt.Printf("benchguard: obs instrumentation overhead %.3fx (%s %.0f ns/op vs %s %.0f ns/op, ceiling %.2fx)\n",
+				overhead, benchCompiledObs, instr, benchCompiled, plain, obsMaxOverhead)
+			if overhead > obsMaxOverhead {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL: instrumented sim loop costs %.3fx the plain loop (> %.2fx) — the obs hot path regressed\n",
+					overhead, obsMaxOverhead)
 				failed = true
 			}
 		}

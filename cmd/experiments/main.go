@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"uvllm/internal/exp"
+	"uvllm/internal/obs"
 	"uvllm/internal/service"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		batch    = flag.Bool("batch", false, "print the batch-vs-sequential per-lane amortization study")
 		bitlanes = flag.Bool("bitlanes", false, "print the 64-lane bit-parallel amortization study (psim vs batch vs sequential)")
 		all      = flag.Bool("all", false, "print everything")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the study sections to this file (load at chrome://tracing)")
 	)
 	knobs := service.Bind(flag.CommandLine, service.FlagBackend|service.FlagWorkers|service.FlagLanes)
 	flag.Parse()
@@ -56,53 +58,100 @@ func main() {
 		*all = true
 	}
 
+	// When -trace is set, every study section runs under a child span of
+	// one root span, so the resulting Chrome trace shows where the
+	// regeneration time goes. With tracing off, root is nil and every
+	// section() call degrades to the nil-span no-op path.
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer("experiments")
+		root = tracer.Start("experiments")
+	}
+
 	if *all {
-		fmt.Print(sess.FullReport())
-		printAblations(sess)
-		printCoverage(sess)
-		printBatch(sess, lanes)
-		printBitLanes(sess)
-		printFormal(sess, *verbose)
+		section(root, "full_report", func() { fmt.Print(sess.FullReport()) })
+		section(root, "ablations", func() { printAblations(sess) })
+		section(root, "coverage", func() { printCoverage(sess) })
+		section(root, "batch", func() { printBatch(sess, lanes) })
+		section(root, "bitlanes", func() { printBitLanes(sess) })
+		section(root, "formal", func() { printFormal(sess, *verbose) })
 		printStats(sess, *verbose)
+		finishTrace(*traceOut, tracer, root)
 		return
 	}
 	recs := sess.Records()
 	if *fig5 {
-		fmt.Print(exp.FormatFig5(exp.Fig5(recs)))
+		section(root, "fig5", func() { fmt.Print(exp.FormatFig5(exp.Fig5(recs))) })
 	}
 	if *fig6 {
-		fmt.Print(exp.FormatFig6(exp.Fig6(recs)))
+		section(root, "fig6", func() { fmt.Print(exp.FormatFig6(exp.Fig6(recs))) })
 	}
 	if *fig7 {
-		fmt.Print(exp.FormatFig7(exp.Fig7(recs)))
+		section(root, "fig7", func() { fmt.Print(exp.FormatFig7(exp.Fig7(recs))) })
 	}
 	if *table2 {
-		fmt.Print(exp.FormatTable2(exp.Table2(recs)))
-		fmt.Println()
-		fmt.Print(exp.FormatHeadline(sess.ComputeHeadline()))
+		section(root, "table2", func() {
+			fmt.Print(exp.FormatTable2(exp.Table2(recs)))
+			fmt.Println()
+			fmt.Print(exp.FormatHeadline(sess.ComputeHeadline()))
+		})
 	}
 	if *table3 {
-		fmt.Print(exp.FormatTable3(sess.Table3()))
+		section(root, "table3", func() { fmt.Print(exp.FormatTable3(sess.Table3())) })
 	}
 	if *ablation {
-		printAblations(sess)
+		section(root, "ablations", func() { printAblations(sess) })
 	}
 	if *passk {
-		fmt.Print(exp.FormatPassAtK(sess.PassAtKStudy(100, 5)))
+		section(root, "passk", func() { fmt.Print(exp.FormatPassAtK(sess.PassAtKStudy(100, 5))) })
 	}
 	if *cov {
-		printCoverage(sess)
+		section(root, "coverage", func() { printCoverage(sess) })
 	}
 	if *batch {
-		printBatch(sess, lanes)
+		section(root, "batch", func() { printBatch(sess, lanes) })
 	}
 	if *bitlanes {
-		printBitLanes(sess)
+		section(root, "bitlanes", func() { printBitLanes(sess) })
 	}
 	if *form {
-		printFormal(sess, *verbose)
+		section(root, "formal", func() { printFormal(sess, *verbose) })
 	}
 	printStats(sess, *verbose)
+	finishTrace(*traceOut, tracer, root)
+}
+
+// section runs f inside a child span of root; a nil root (tracing off)
+// makes the span a no-op.
+func section(root *obs.Span, name string, f func()) {
+	sp := root.Child(name)
+	defer sp.End()
+	f()
+}
+
+// finishTrace closes the root span and writes the tracer's spans as
+// Chrome trace_event JSON. No-op when tracing is off.
+func finishTrace(path string, tracer *obs.Tracer, root *obs.Span) {
+	if tracer == nil {
+		return
+	}
+	root.End()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: write trace:", err)
+		os.Exit(1)
+	}
+	if err := tracer.WriteChromeTrace(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: write trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d spans written to %s\n", len(tracer.Spans()), path)
 }
 
 func printBatch(sess *exp.Session, lanes int) {

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 
 	"uvllm/internal/dataset"
 	"uvllm/internal/lint"
+	"uvllm/internal/obs"
 	"uvllm/internal/service"
 	"uvllm/internal/sim"
 	"uvllm/internal/synth"
@@ -47,6 +49,7 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmark modules and exit")
 		lintOnly = flag.Bool("lint", false, "lint the input and exit")
 		synthRpt = flag.Bool("synth", false, "synthesize the input, print the cell report and exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load at chrome://tracing)")
 		verbose  = flag.Bool("v", false, "print the pipeline log")
 	)
 	knobs := service.Bind(flag.CommandLine, service.FlagBackend|service.FlagCover|service.FlagFormal)
@@ -93,7 +96,22 @@ func main() {
 	}
 
 	fmt.Printf("UVLLM: verifying %s (%s)\n", m.Name, in.Descr)
-	res := service.Execute(spec, service.DefaultServices(), nil)
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer(spec.Module)
+		root = tracer.Start("job")
+		ctx = obs.ContextWith(ctx, root)
+	}
+	res := service.ExecuteCtx(ctx, spec, service.DefaultServices(), nil)
+	if root != nil {
+		root.End()
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace: %d spans written to %s\n", len(tracer.Spans()), *traceOut)
+	}
 	if res.Error != "" {
 		fatalf("%s", res.Error)
 	}
@@ -158,6 +176,20 @@ func buildSpec(knobs *service.Flags, module, inject string, variant int, file st
 		return service.JobSpec{}, err
 	}
 	return spec, nil
+}
+
+// writeTrace dumps the tracer's finished spans as Chrome trace_event
+// JSON, loadable at chrome://tracing or https://ui.perfetto.dev.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...interface{}) {

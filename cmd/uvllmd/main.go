@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"uvllm/internal/obs"
 	"uvllm/internal/service"
 	"uvllm/internal/sim"
 )
@@ -45,6 +47,8 @@ func main() {
 		cacheMB  = flag.Int64("cache-budget-mb", 0, "LRU byte budget for the disk cache tier in MiB (0 = unbounded)")
 		drainSec = flag.Int("drain-timeout", 60, "seconds to wait for in-flight jobs on SIGTERM before exiting anyway")
 		ttlSec   = flag.Int("result-ttl", 0, "seconds a finished job's result stays addressable before GC (0 = forever)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+		slowSpan = flag.Duration("slowspan", 0, "trace every job and log spans at least this long (0 = off), e.g. -slowspan 250ms")
 	)
 	knobs := service.Bind(flag.CommandLine, service.FlagAll)
 	flag.Parse()
@@ -63,6 +67,9 @@ func main() {
 	}
 	if *ttlSec < 0 {
 		fatalf("-result-ttl must be >= 0, got %d", *ttlSec)
+	}
+	if *slowSpan < 0 {
+		fatalf("-slowspan must be >= 0, got %v", *slowSpan)
 	}
 
 	svc := service.DefaultServices()
@@ -86,8 +93,26 @@ func main() {
 		Services:   svc,
 		Defaults:   opts,
 		ResultTTL:  time.Duration(*ttlSec) * time.Second,
+		SlowSpan:   *slowSpan,
+		OnSlowSpan: func(jobID string, sp obs.SpanInfo) {
+			log.Printf("uvllmd: slow span: job=%s span=%s dur=%s", jobID, sp.Name, sp.Dur.Round(time.Microsecond))
+		},
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler = srv
+	if *pprofOn {
+		// The service API keeps its own mux; pprof mounts beside it so
+		// profiling never shadows an API route.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("uvllmd: pprof enabled at %s/debug/pprof/", *addr)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

@@ -7,6 +7,7 @@ package uvllm_test
 // package's usage documentation.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,7 +41,7 @@ func Example_quickstart() {
 
 	// 4. Run the four-stage pipeline: pre-processing, UVM testing,
 	//    localization, repair — iterating with rollback.
-	res := core.Verify(core.Input{
+	res := core.Verify(context.Background(), core.Input{
 		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: client,
 		Opts: core.Options{Seed: 3},

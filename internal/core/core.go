@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"uvllm/internal/llm"
 	"uvllm/internal/locate"
 	"uvllm/internal/metrics"
+	"uvllm/internal/obs"
 	"uvllm/internal/preproc"
 	"uvllm/internal/repair"
 	"uvllm/internal/sim"
@@ -141,7 +143,12 @@ type Result struct {
 	// StructCoverage is the best structural coverage percent observed
 	// across evaluations; collected only when Options.Cover is set.
 	StructCoverage float64
-	Log            []string
+	// Cancelled reports that the caller's context was cancelled and the
+	// repair loop stopped at an iteration boundary; the Result carries
+	// whatever progress was made, but Success is necessarily false and
+	// the final re-evaluation is skipped.
+	Cancelled bool
+	Log       []string
 }
 
 type evalResult struct {
@@ -153,14 +160,25 @@ type evalResult struct {
 	err   error
 }
 
-// Verify runs the full UVLLM pipeline on one DUT.
-func Verify(in Input) Result {
+// Verify runs the full UVLLM pipeline on one DUT. Cancellation of ctx
+// is honoured at iteration boundaries: the loop finishes the phase in
+// flight, then returns with Result.Cancelled set. If ctx carries an
+// obs.Span (obs.ContextWith), each pipeline phase is traced as a child
+// span; with no span in the context tracing costs one nil check per
+// phase.
+func Verify(ctx context.Context, in Input) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts := in.Opts.withDefaults()
 	res := Result{Final: in.Source, FixedStage: StageNone}
+	job := obs.FromContext(ctx)
 
 	// Step 1: pre-processing (Alg. 1).
+	preSp := job.Child("preprocess")
 	preUsage := llm.Usage{}
 	pres := preproc.Run(in.Source, in.Spec, in.ModuleName, in.Client, preproc.Options{Mode: opts.Mode}, &preUsage)
+	preSp.End()
 	res.Usage.Calls += preUsage.Calls
 	res.Usage.InputTokens += preUsage.InputTokens
 	res.Usage.OutputTokens += preUsage.OutputTokens
@@ -180,14 +198,23 @@ func Verify(in Input) Result {
 	var bestEval evalResult
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			res.Log = append(res.Log, fmt.Sprintf("iter %d: cancelled before evaluation: %v", iter, ctx.Err()))
+			res.Final = bestSource(reg, cur, opts)
+			return res
+		}
 		res.Iterations = iter
 		stage, llmStage := StageMS, llm.StageMS
 		if iter >= opts.SLThreshold {
 			stage, llmStage = StageSL, llm.StageSL
 		}
+		iterSp := job.Child("iteration")
+		iterSp.SetArg("iter", fmt.Sprintf("%d", iter))
+		iterSp.SetArg("stage", string(stage))
 
 		// Step 2: UVM processing.
-		ev := evaluate(cur, in, opts)
+		ev := evaluate(iterSp, cur, in, opts)
 		res.Times.MS += opts.Cost.Sim(opts.UVMVectors) // testing time accrues to the repair loop
 		if ev.cov > res.Coverage {
 			res.Coverage = ev.cov
@@ -214,6 +241,7 @@ func Verify(in Input) Result {
 				prog.Best = res.PassRate
 				opts.OnProgress(prog)
 			}
+			iterSp.End()
 			return res
 		}
 
@@ -232,17 +260,21 @@ func Verify(in Input) Result {
 			prog.Best = res.PassRate
 			opts.OnProgress(prog)
 		}
+		iterSp.End()
 
 		if iter == opts.MaxIterations {
 			break
 		}
 
 		// Step 3: post-processing localization (Alg. 2).
+		locSp := job.Child("locate")
+		locSp.SetArg("iter", fmt.Sprintf("%d", iter))
 		info := locate.ErrInfoFetch(cur, ev.log, ev.wave, iter, opts.SLThreshold)
 		errText := info.Format(cur)
 		if ev.err != nil {
 			errText = "simulation error: " + ev.err.Error() + "\n" + errText
 		}
+		locSp.End()
 
 		// Step 4: repair agent (Sec. III-D).
 		req := llm.BuildRepairRequest(llm.RepairContext{
@@ -255,7 +287,10 @@ func Verify(in Input) Result {
 			Iteration:     iter,
 			Mode:          opts.Mode,
 		})
+		llmSp := job.Child("llm")
+		llmSp.SetArg("iter", fmt.Sprintf("%d", iter))
 		resp, err := in.Client.Complete(req)
+		llmSp.End()
 		if err != nil {
 			res.Log = append(res.Log, fmt.Sprintf("iter %d: LLM error: %v", iter, err))
 			continue
@@ -310,18 +345,29 @@ func Verify(in Input) Result {
 		lastPairs = reply.Correct
 	}
 
-	res.Final = reg.Best().Source
-	if res.Final == "" {
-		res.Final = cur
+	res.Final = bestSource(reg, cur, opts)
+	if ctx.Err() != nil {
+		// Cancelled between the last iteration and the final
+		// re-evaluation: deliver progress without spending more sim time.
+		res.Cancelled = true
+		return res
 	}
-	if opts.DisableRollback {
-		// Without the score register the delivered code is whatever the
-		// last iteration left behind.
-		res.Final = cur
-	}
-	fe := evaluate(res.Final, in, opts)
+	finSp := job.Child("final_eval")
+	fe := evaluate(finSp, res.Final, in, opts)
+	finSp.End()
 	res.FinalScore = fe.score
 	return res
+}
+
+// bestSource is the source the pipeline delivers when it stops without
+// a pass: the score register's best, unless rollback is disabled (then
+// whatever the last iteration left behind).
+func bestSource(reg repair.ScoreRegister, cur string, opts Options) string {
+	best := reg.Best().Source
+	if best == "" || opts.DisableRollback {
+		return cur
+	}
+	return best
 }
 
 // synthGate runs the synthesis step on a candidate. Constructs outside
@@ -339,15 +385,21 @@ func synthGate(src, top string) error {
 	return err
 }
 
-func evaluate(src string, in Input, opts Options) evalResult {
+// evaluate runs one UVM evaluation of src, tracing the compile and run
+// phases as children of sp (a nil sp traces nothing).
+func evaluate(sp *obs.Span, src string, in Input, opts Options) evalResult {
+	cSp := sp.Child("uvm_compile")
 	env, err := uvm.NewEnv(uvm.Config{
 		Source: src, Top: in.Top, Clock: in.Clock, RefName: in.RefName, Seed: opts.Seed,
 		Backend: opts.Backend, Cache: opts.Cache, Memo: opts.Memo, Cover: opts.Cover,
 	})
+	cSp.End()
 	if err != nil {
 		return evalResult{err: err, log: "UVM_FATAL @ 0: elaboration failed: " + err.Error()}
 	}
+	rSp := sp.Child("uvm_run")
 	score := env.Run(randomSeq(env, opts.UVMVectors))
+	rSp.End()
 	ev := evalResult{
 		score: score,
 		log:   env.Log(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func verifyFault(t *testing.T, f *faultgen.Fault, seed int64, opts Options) Resu
 		Complexity: m.Complexity, IsFSM: m.IsFSM,
 	}, llm.DefaultProfile(), seed)
 	opts.Seed = seed
-	return Verify(Input{
+	return Verify(context.Background(), Input{
 		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: oracle, Opts: opts,
 	})
@@ -176,7 +177,7 @@ func TestVerifyCleanDUTPassesImmediately(t *testing.T) {
 	oracle := llm.NewOracle(llm.Knowledge{
 		FaultID: "clean", Golden: m.Source, Class: "FuncLogic", Complexity: 1,
 	}, llm.DefaultProfile(), 1)
-	res := Verify(Input{
+	res := Verify(context.Background(), Input{
 		Source: m.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: oracle,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func funcFault(t *testing.T) (*faultgen.Fault, *dataset.Module) {
 func runWith(t *testing.T, client llm.Client) Result {
 	t.Helper()
 	f, m := funcFault(t)
-	return Verify(Input{
+	return Verify(context.Background(), Input{
 		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: client,
 		Opts: core0(),
@@ -134,7 +135,7 @@ func TestPipelineSurvivesSyntaxBreakingPatches(t *testing.T) {
 func TestPreprocSurvivesDeadAPIOnSyntaxFault(t *testing.T) {
 	f := pickFault(t, "adder_8bit", faultgen.SynKeywordTypo)
 	m := dataset.ByName("adder_8bit")
-	res := Verify(Input{
+	res := Verify(context.Background(), Input{
 		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: &errClient{},
 		Opts: core0(),

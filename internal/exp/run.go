@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -119,7 +120,7 @@ func runOne(f *faultgen.Fault, cfg Config, prof llm.Profile, svc baseline.SimSer
 	rec := &Record{Fault: f}
 
 	// UVLLM.
-	rec.UVLLM = core.Verify(core.Input{
+	rec.UVLLM = core.Verify(context.Background(), core.Input{
 		Source: f.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name,
 		Client: oracleFor(f, prof, cfg.Seed),

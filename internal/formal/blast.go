@@ -1,10 +1,12 @@
 package formal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"uvllm/internal/obs"
 	"uvllm/internal/sim"
 	"uvllm/internal/verilog"
 )
@@ -64,7 +66,30 @@ type Options struct {
 	// on the simulators are near-minimal in weight. The unminimized trace
 	// is preserved in EquivResult.RawCex.
 	MinimizeCex bool
+	// Ctx, when non-nil, is checked between unrolling depths: once it is
+	// cancelled the check stops at the next depth boundary with
+	// ErrCancelled (the SAT budget in flight finishes its depth first).
+	// nil means run to completion.
+	Ctx context.Context
+	// Span, when non-nil, is the parent trace span of this check; each
+	// solved depth records a child span ("bmc_depth", "induct_base",
+	// "induct_step") carrying the depth and solver-call stats. nil (the
+	// default) traces nothing and costs one nil check per depth.
+	Span *obs.Span
 }
+
+// cancelled returns the cancellation error to surface at depth t, or
+// nil to keep going.
+func (o Options) cancelled(t int) error {
+	if o.Ctx == nil || o.Ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: depth %d: %v", ErrCancelled, t, o.Ctx.Err())
+}
+
+// ErrCancelled marks a check abandoned because Options.Ctx was
+// cancelled: the verdict is unknown, exactly as with ErrBudget.
+var ErrCancelled = errors.New("formal: check cancelled")
 
 // ErrBudget marks a check abandoned on its MaxConflicts budget: the
 // verdict is unknown, not UNSAT.

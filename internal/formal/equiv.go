@@ -190,11 +190,15 @@ func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivRe
 	var res EquivResult
 	g := NewAIG()
 	opts.Clock = clock
+	bSp := opts.Span.Child("blast")
 	u, err := newMiter(g, a, b, opts)
 	if err != nil {
+		bSp.End()
 		return res, err
 	}
-	if err := u.init(); err != nil {
+	err = u.init()
+	bSp.End()
+	if err != nil {
 		return res, err
 	}
 	s := NewSolver(0)
@@ -207,6 +211,9 @@ func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivRe
 	// practice: SAT mutants decide at the first reachable depth, and the
 	// shared unrolling prefix is hashed away across depths.
 	for t := 0; t < k; t++ {
+		if err := opts.cancelled(t); err != nil {
+			return res, err
+		}
 		bad, diffs, err := u.step()
 		if err != nil {
 			return res, err
@@ -216,7 +223,10 @@ func BMCEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (EquivRe
 			continue // structurally identical at this depth: no solve needed
 		}
 		badLit := ti.Lit(bad)
+		dSp := opts.Span.Child("bmc_depth")
+		dSp.SetArg("depth", fmt.Sprintf("%d", t))
 		sat := s.SolveAssuming(badLit)
+		dSp.End()
 		res.Stats.Solves = append(res.Stats.Solves, s.CallStats())
 		if s.Exhausted() {
 			return res, fmt.Errorf("%w: depth %d after %d conflicts", ErrBudget, t, s.Stats().Conflicts)
@@ -257,6 +267,9 @@ func bmcEquivScratch(a, b *sim.Program, clock string, k int, opts Options) (Equi
 		return res, err
 	}
 	for t := 0; t < k; t++ {
+		if err := opts.cancelled(t); err != nil {
+			return res, err
+		}
 		bad, diffs, err := u.step()
 		if err != nil {
 			return res, err
@@ -268,7 +281,10 @@ func bmcEquivScratch(a, b *sim.Program, clock string, k int, opts Options) (Equi
 		cnf, vars := g.Tseitin([]Lit{bad})
 		s := NewSolverCNF(cnf)
 		s.MaxConflicts = opts.MaxConflicts
+		dSp := opts.Span.Child("bmc_depth")
+		dSp.SetArg("depth", fmt.Sprintf("%d", t))
 		sat := s.Solve()
+		dSp.End()
 		res.Stats.Solves = append(res.Stats.Solves, s.Stats())
 		if s.Exhausted() {
 			return res, fmt.Errorf("%w: depth %d after %d conflicts", ErrBudget, t, s.Stats().Conflicts)

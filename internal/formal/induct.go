@@ -71,6 +71,9 @@ func InductionEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (E
 	inductionAlive := true
 
 	for t := 0; t < k; t++ {
+		if err := opts.cancelled(t); err != nil {
+			return res, err
+		}
 		// ---- base case, depth t ----
 		bad, diffs, err := u.step()
 		if err != nil {
@@ -79,7 +82,10 @@ func InductionEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (E
 		res.Stats.AIGNodes = g.NumNodes()
 		if c, v := g.IsConst(bad); !c || v {
 			badLit := tiB.Lit(bad)
+			dSp := opts.Span.Child("induct_base")
+			dSp.SetArg("depth", fmt.Sprintf("%d", t))
 			sat := sBase.SolveAssuming(badLit)
+			dSp.End()
 			res.Stats.Solves = append(res.Stats.Solves, sBase.CallStats())
 			if sBase.Exhausted() {
 				return res, fmt.Errorf("%w: depth %d after %d conflicts", ErrBudget, t, sBase.Stats().Conflicts)
@@ -140,7 +146,10 @@ func InductionEquivOpts(a, b *sim.Program, clock string, k int, opts Options) (E
 			return res, nil
 		}
 		indBadLit := tiI.Lit(indBad)
+		wSp := opts.Span.Child("induct_step")
+		wSp.SetArg("window", fmt.Sprintf("%d", t+1))
 		sat := sInd.SolveAssuming(indBadLit)
+		wSp.End()
 		res.Stats.Solves = append(res.Stats.Solves, sInd.CallStats())
 		if sInd.Exhausted() {
 			inductionAlive = false

@@ -8,6 +8,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -127,14 +128,21 @@ func Median(xs []float64) float64 {
 
 // Percentile returns the p-th percentile of xs (p in [0, 100]) with
 // linear interpolation between closest ranks, the convention numpy calls
-// "linear". Empty input returns 0; p is clamped to [0, 100]. The input
+// "linear". Empty input returns 0; p is clamped to [0, 100]; NaN samples
+// are dropped before ranking (a NaN has no rank, and letting one into
+// the sort would poison every percentile of the series). The input
 // slice is not modified. The formal engine's solver statistics
 // (conflicts per BMC depth) report p50/p90/p99 through this.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	if p <= 0 {
 		return s[0]
@@ -173,8 +181,13 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN is rejected without counting: it belongs
+// to no bucket, and the int conversion in bucket placement is undefined
+// for NaN (an out-of-range index panic on most platforms).
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	h.Samples++
 	switch {
 	case x < h.Lo:

@@ -189,3 +189,73 @@ func TestHistogram(t *testing.T) {
 		t.Fatalf("degenerate histogram: %+v", d)
 	}
 }
+
+// TestPercentileEdgeCases pins the degenerate inputs the metrics
+// endpoints feed in practice: empty windows, single samples, all-equal
+// series, and series polluted by NaN (which must be dropped, not allowed
+// to poison the sort).
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v, want 0", got)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("Percentile([7], %v) = %v, want 7", p, got)
+		}
+		if got := Percentile([]float64{3, 3, 3, 3}, p); got != 3 {
+			t.Fatalf("Percentile(all-equal, %v) = %v, want 3", p, got)
+		}
+	}
+	// Clamping beyond the [0, 100] domain.
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -10); got != 1 {
+		t.Fatalf("Percentile(p<0) = %v, want min", got)
+	}
+	if got := Percentile(xs, 200); got != 3 {
+		t.Fatalf("Percentile(p>100) = %v, want max", got)
+	}
+	// NaN samples are dropped; the remaining series ranks normally.
+	nan := math.NaN()
+	if got := Percentile([]float64{nan, 1, nan, 3}, 100); got != 3 {
+		t.Fatalf("Percentile with NaNs = %v, want 3", got)
+	}
+	if got := Percentile([]float64{nan, nan}, 50); got != 0 {
+		t.Fatalf("Percentile(all-NaN) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{nan, 5}, 50); math.IsNaN(got) {
+		t.Fatal("NaN leaked through Percentile")
+	}
+}
+
+// TestHistogramEdgeCases covers the ASCII histogram's degenerate
+// construction parameters and NaN rejection: a NaN sample must not
+// count, not land in a bucket, and above all not panic via the int
+// conversion in bucket placement.
+func TestHistogramEdgeCases(t *testing.T) {
+	// Degenerate range and bucket count collapse to one usable bin.
+	h := NewHistogram(5, 5, 0)
+	if len(h.Counts) != 1 || h.Hi <= h.Lo {
+		t.Fatalf("degenerate histogram = %+v", h)
+	}
+	h.Add(5.5) // inside the repaired [5, 6) range
+	if h.Counts[0] != 1 {
+		t.Fatalf("counts = %v, want the sample in the single bin", h.Counts)
+	}
+
+	h = NewHistogram(0, 10, 4)
+	h.Add(math.NaN())
+	if h.Samples != 0 || h.Under != 0 || h.Over != 0 {
+		t.Fatalf("NaN was counted: %+v", h)
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(2.5)
+	if h.Under != 1 || h.Over != 1 || h.Samples != 3 || h.Counts[1] != 1 {
+		t.Fatalf("boundary accounting wrong: %+v", h)
+	}
+	// Formatting a histogram that saw only out-of-range samples must not
+	// divide by a zero max.
+	if out := NewHistogram(0, 1, 2).Format(10); out == "" || strings.Contains(out, "#") {
+		t.Fatalf("empty histogram format = %q", out)
+	}
+}

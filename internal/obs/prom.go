@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): `# HELP` / `# TYPE` headers
+// per family, histogram series expanded into `_bucket{le=...}`, `_sum`
+// and `_count`. Output is deterministic (families by name, series by
+// label set). Safe on a nil receiver (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Snapshot() {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+			return err
+		}
+		for _, s := range fam.Series {
+			if fam.Kind == "histogram" {
+				if err := writeHistogram(w, fam.Name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, renderLabels(s.Labels, "", 0), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one histogram series as cumulative le-buckets
+// plus _sum and _count.
+func writeHistogram(w io.Writer, name string, s SeriesSnapshot) error {
+	for i, b := range s.Bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.Labels, "le", b), s.Cumulative[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.Labels, "le", math.Inf(1)), s.Count); err != nil {
+		return err
+	}
+	base := renderLabels(s.Labels, "", 0)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, base, formatValue(s.Sum), name, base, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// renderLabels renders a label set as `{k="v",...}`, optionally with a
+// trailing `le` label (used for histogram buckets); returns "" for an
+// empty set with no le.
+func renderLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, leKey, formatLe(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatLe renders a bucket bound ("+Inf" for the infinity bucket).
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatValue(v)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// escapeLabel escapes a label value per the exposition format
+// (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// escapeHelp escapes help text per the exposition format (backslash,
+// newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

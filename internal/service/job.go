@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"uvllm/internal/core"
@@ -8,6 +9,7 @@ import (
 	"uvllm/internal/faultgen"
 	"uvllm/internal/formal"
 	"uvllm/internal/llm"
+	"uvllm/internal/obs"
 	"uvllm/internal/sim"
 	"uvllm/internal/uvm"
 )
@@ -133,19 +135,25 @@ func (s JobSpec) Resolve() (Input, error) {
 }
 
 // Services is the process-wide simulation state a job executes against:
-// the compile cache (with its optional disk tier) and the golden-trace
-// memo. The zero value is not usable; resolve with DefaultServices or
-// supply test-local instances.
+// the compile cache (with its optional disk tier), the golden-trace
+// memo and the metrics registry. The zero value is not usable; resolve
+// with DefaultServices or supply test-local instances.
 type Services struct {
 	// Cache is the content-addressed compile cache.
 	Cache *sim.Cache
 	// Memo is the golden-trace memo.
 	Memo *uvm.TraceMemo
+	// Obs is the metrics registry jobs report into (solver-work
+	// histograms, cancellation counters). nil disables metric recording
+	// at the cost of one nil check per site — the CLI default; the
+	// runner fills it in so the server always observes.
+	Obs *obs.Registry
 }
 
 // DefaultServices returns the process-wide shared cache and memo — what
 // both CLIs and the server use, so every front-end amortizes the same
-// compiled state.
+// compiled state. The registry is left nil (metrics off) — the runner
+// supplies one.
 func DefaultServices() Services {
 	return Services{Cache: sim.SharedCache(), Memo: uvm.SharedTraceMemo()}
 }
@@ -185,6 +193,10 @@ type Result struct {
 	Usage llm.Usage `json:"usage"`
 	// Final is the delivered source.
 	Final string `json:"final,omitempty"`
+	// Cancelled reports the job's context was cancelled and the pipeline
+	// stopped at an iteration boundary; the other fields carry whatever
+	// progress was made.
+	Cancelled bool `json:"cancelled,omitempty"`
 	// Log is the pipeline log.
 	Log []string `json:"log,omitempty"`
 	// Error is set when the job could not run at all (bad spec caught
@@ -201,17 +213,32 @@ func (r Result) Failed() bool {
 	return r.Error != "" || !r.Success || r.Formal == "refuted"
 }
 
-// Execute runs one job synchronously: fault injection or source intake,
-// the full core.Verify pipeline, and the optional bounded equivalence
-// proof. Progress is streamed through emit (which may be nil); the
-// events carry per-iteration verdicts from core.Options.OnProgress and a
-// final formal status. Execute is safe for concurrent use — all mutable
-// state is job-local or behind the Services' own synchronization.
+// Execute runs one job synchronously under a background context — the
+// CLI entry point. See ExecuteCtx.
 func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
+	return ExecuteCtx(context.Background(), spec, svc, emit)
+}
+
+// ExecuteCtx runs one job synchronously: fault injection or source
+// intake, the full core.Verify pipeline, and the optional bounded
+// equivalence proof. Progress is streamed through emit (which may be
+// nil); the events carry per-iteration verdicts from
+// core.Options.OnProgress and a final formal status. Cancelling ctx
+// stops the repair loop and the formal check at the next iteration or
+// depth boundary, returning a Result with Cancelled set; a span carried
+// by ctx (obs.ContextWith) roots the job's phase trace. ExecuteCtx is
+// safe for concurrent use — all mutable state is job-local or behind
+// the Services' own synchronization.
+func ExecuteCtx(ctx context.Context, spec JobSpec, svc Services, emit func(Event)) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if emit == nil {
 		emit = func(Event) {}
 	}
+	setupSp := obs.FromContext(ctx).Child("setup")
 	if err := spec.Validate(); err != nil {
+		setupSp.End()
 		return Result{Error: err.Error()}
 	}
 	m := dataset.ByName(spec.Module)
@@ -221,6 +248,7 @@ func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
 	}
 	in, err := spec.Resolve()
 	if err != nil {
+		setupSp.End()
 		return Result{Error: err.Error()}
 	}
 
@@ -232,6 +260,7 @@ func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
 		FaultID: in.FaultID, Golden: in.Golden, Class: in.Class,
 		Complexity: m.Complexity, IsFSM: m.IsFSM,
 	}, llm.DefaultProfile(), seed)
+	setupSp.End()
 
 	opts := spec.Options.Core(core.Options{
 		Seed: seed, Mode: genMode,
@@ -247,7 +276,7 @@ func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
 		})
 	}
 
-	res := core.Verify(core.Input{
+	res := core.Verify(ctx, core.Input{
 		Source: in.Source, Spec: m.Spec, Top: m.Top, Clock: m.Clock,
 		RefName: m.Name, ModuleName: m.Name, Client: client, Opts: opts,
 	})
@@ -256,11 +285,12 @@ func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
 		Iterations: res.Iterations, PassRate: res.PassRate,
 		FinalScore: res.FinalScore, Coverage: res.Coverage,
 		StructCoverage: res.StructCoverage, Descr: in.Descr,
-		Times: res.Times, Usage: res.Usage, Final: res.Final, Log: res.Log,
+		Times: res.Times, Usage: res.Usage, Final: res.Final,
+		Cancelled: res.Cancelled, Log: res.Log,
 	}
 
 	if (spec.Options.Formal || spec.Options.Induction) && res.Success {
-		out.Formal, out.FormalDetail = prove(res.Final, in.Golden, m, spec.Options.BMCDepth(), spec.Options.Induction, svc.Cache)
+		out.Formal, out.FormalDetail = prove(ctx, res.Final, in.Golden, m, spec.Options.BMCDepth(), spec.Options.Induction, svc)
 		emit(Event{Kind: EventFormal, Formal: out.Formal, Message: out.FormalDetail})
 	}
 	return out
@@ -272,8 +302,13 @@ func Execute(spec JobSpec, svc Services, emit func(Event)) Result {
 // upgrades the detail to "for all time"; the status strings stay the
 // same three values either way). Designs outside the blastable subset
 // report "unsupported": the simulation verdict stands alone, exactly as
-// in the CLI.
-func prove(final, golden string, m *dataset.Module, depth int, induction bool, cache *sim.Cache) (status, detail string) {
+// in the CLI. The check honours ctx at depth boundaries, traces under
+// the ctx span, and records per-call solver work into the registry's
+// histograms.
+func prove(ctx context.Context, final, golden string, m *dataset.Module, depth int, induction bool, svc Services) (status, detail string) {
+	cache := svc.Cache
+	sp := obs.FromContext(ctx).Child("formal")
+	defer sp.End()
 	g, err := cache.Compile(golden, m.Top, sim.BackendCompiled)
 	if err != nil {
 		return "unsupported", fmt.Sprintf("golden does not compile: %v", err)
@@ -282,12 +317,14 @@ func prove(final, golden string, m *dataset.Module, depth int, induction bool, c
 	if err != nil {
 		return "refuted", fmt.Sprintf("delivered source does not compile: %v", err)
 	}
+	fopts := formal.Options{Ctx: ctx, Span: sp}
 	var res formal.EquivResult
 	if induction {
-		res, err = formal.InductionEquiv(g, c, m.Clock, depth)
+		res, err = formal.InductionEquivOpts(g, c, m.Clock, depth, fopts)
 	} else {
-		res, err = formal.BMCEquiv(g, c, m.Clock, depth)
+		res, err = formal.BMCEquivOpts(g, c, m.Clock, depth, fopts)
 	}
+	recordSolves(svc.Obs, res.Stats.Solves)
 	if err != nil {
 		return "unsupported", fmt.Sprintf("not checked: %v", err)
 	}
@@ -302,4 +339,28 @@ func prove(final, golden string, m *dataset.Module, depth int, induction bool, c
 	div, cyc, rerr := formal.ReplayCex(golden, final, m.Top, m.Clock, res.Cex, sim.BackendCompiled)
 	return "refuted", fmt.Sprintf("diverges from golden at post-reset cycle %d on %s (replay: diverged=%v at cycle %d, err=%v); stimulus: %v",
 		res.Cex.Cycle, res.Cex.Signal, div, cyc, rerr, res.Cex.Inputs)
+}
+
+// solverWorkBuckets bound the solver histograms: exponential, wide
+// enough for the deep multiplier cones.
+var (
+	conflictBuckets    = obs.ExpBuckets(1, 4, 10)
+	propagationBuckets = obs.ExpBuckets(16, 4, 10)
+	restartBuckets     = obs.ExpBuckets(1, 2, 10)
+)
+
+// recordSolves folds one formal check's per-depth solver stats into the
+// registry's solver-work histograms. No-op on a nil registry.
+func recordSolves(reg *obs.Registry, solves []formal.SolveStats) {
+	if reg == nil || len(solves) == 0 {
+		return
+	}
+	conflicts := reg.Histogram("solver_conflicts", "SAT conflicts per solver call", conflictBuckets)
+	props := reg.Histogram("solver_propagations", "SAT propagations per solver call", propagationBuckets)
+	restarts := reg.Histogram("solver_restarts", "SAT restarts per solver call", restartBuckets)
+	for _, s := range solves {
+		conflicts.Observe(float64(s.Conflicts))
+		props.Observe(float64(s.Propagations))
+		restarts.Observe(float64(s.Restarts))
+	}
 }

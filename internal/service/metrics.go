@@ -1,9 +1,6 @@
 package service
 
 import (
-	"sync"
-	"time"
-
 	"uvllm/internal/memo"
 	"uvllm/internal/metrics"
 	"uvllm/internal/sim"
@@ -41,54 +38,6 @@ type EndpointStats struct {
 	Latency LatencySummary `json:"latency"`
 	// Errors counts responses with status >= 400.
 	Errors int64 `json:"errors"`
-}
-
-// endpointRecorder keeps bounded per-endpoint latency samples and error
-// counts. All methods are safe for concurrent use.
-type endpointRecorder struct {
-	mu  sync.Mutex
-	eps map[string]*endpointSeries
-}
-
-type endpointSeries struct {
-	count   int64
-	errors  int64
-	samples []float64 // seconds, bounded like stage samples
-}
-
-func newEndpointRecorder() *endpointRecorder {
-	return &endpointRecorder{eps: map[string]*endpointSeries{}}
-}
-
-func (r *endpointRecorder) observe(endpoint string, d time.Duration, status int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.eps[endpoint]
-	if !ok {
-		s = &endpointSeries{}
-		r.eps[endpoint] = s
-	}
-	s.count++
-	if status >= 400 {
-		s.errors++
-	}
-	if len(s.samples) >= maxStageSamples {
-		s.samples = append(s.samples[:0], s.samples[len(s.samples)/2:]...)
-	}
-	s.samples = append(s.samples, d.Seconds())
-}
-
-func (r *endpointRecorder) snapshot() map[string]EndpointStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := map[string]EndpointStats{}
-	for name, s := range r.eps {
-		out[name] = EndpointStats{
-			Latency: summarize(s.count, s.samples),
-			Errors:  s.errors,
-		}
-	}
-	return out
 }
 
 // CacheMetrics is the cache section of the metrics snapshot: counter

@@ -56,6 +56,12 @@ type Options struct {
 	// Workers sizes the worker pool of whatever runs the job set — the
 	// evaluation harness or the server's runner (0 = NumCPU).
 	Workers int `json:"workers,omitempty"`
+	// Trace streams hierarchical trace spans for the job: the runner
+	// traces every pipeline phase (preprocess, iterations, uvm
+	// compile/run, formal depths) and emits each span as a "span" event
+	// on the job's SSE stream as it closes. Off (the default) costs one
+	// nil check per phase.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate is the single validation path for the shared knobs: both CLIs
@@ -146,6 +152,7 @@ func (o Options) merge(def Options) Options {
 	o.Cover = o.Cover || def.Cover
 	o.Formal = o.Formal || def.Formal
 	o.Induction = o.Induction || def.Induction
+	o.Trace = o.Trace || def.Trace
 	if o.FormalDepth == 0 {
 		o.FormalDepth = def.FormalDepth
 	}

@@ -7,10 +7,12 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"uvllm/internal/obs"
 )
 
 // Status is a job's lifecycle state. Terminal states are StatusDone,
-// StatusFailed and StatusDrained.
+// StatusFailed, StatusCancelled and StatusDrained.
 type Status string
 
 // Job lifecycle states.
@@ -24,6 +26,9 @@ const (
 	// StatusFailed means the job finished with a failing verdict or
 	// could not run.
 	StatusFailed Status = "failed"
+	// StatusCancelled means the client cancelled the job: a queued job
+	// never ran, a running job stopped at the next iteration boundary.
+	StatusCancelled Status = "cancelled"
 	// StatusDrained means the job was still queued when the runner
 	// drained; it never ran.
 	StatusDrained Status = "drained"
@@ -31,7 +36,7 @@ const (
 
 // Terminal reports whether the status is a terminal state.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusDrained
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled || s == StatusDrained
 }
 
 // Event is one progress record on a job's stream: the queue transitions,
@@ -66,6 +71,9 @@ type Event struct {
 	Status Status `json:"status,omitempty"`
 	// Message is free-form human-readable detail.
 	Message string `json:"message,omitempty"`
+	// Span is the finished trace span on span events (jobs submitted
+	// with the trace option stream every span as it closes).
+	Span *obs.SpanInfo `json:"span,omitempty"`
 }
 
 // Event kinds.
@@ -78,6 +86,8 @@ const (
 	EventIteration = "iteration"
 	// EventFormal carries the bounded-proof outcome.
 	EventFormal = "formal"
+	// EventSpan carries one finished trace span (trace-enabled jobs).
+	EventSpan = "span"
 	// EventTerminal closes the stream with the final status.
 	EventTerminal = "terminal"
 )
@@ -99,10 +109,17 @@ type Job struct {
 	doneAt   time.Time // terminal-transition instant; zero while live
 	ranFor   time.Duration
 	waited   time.Duration
+
+	ctx    context.Context // cancelled by Runner.Cancel; threaded into Execute
+	cancel context.CancelFunc
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *Job {
-	j := &Job{ID: id, Spec: spec, status: StatusQueued, notify: make(chan struct{}), queuedAt: now}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID: id, Spec: spec, status: StatusQueued, notify: make(chan struct{}),
+		queuedAt: now, ctx: ctx, cancel: cancel,
+	}
 	j.append(Event{Kind: EventQueued, Status: StatusQueued})
 	return j
 }
@@ -165,22 +182,55 @@ func (j *Job) WaitTerminal(ctx context.Context) (Status, error) {
 	}
 }
 
-// setStatus transitions the lifecycle state (non-terminal transitions).
-func (j *Job) setStatus(s Status) {
+// setStatus transitions the lifecycle state; it refuses to leave a
+// terminal state (a job cancelled while queued stays cancelled even if
+// a worker pops it concurrently) and reports whether the transition
+// happened.
+func (j *Job) setStatus(s Status) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
 	j.status = s
-	j.mu.Unlock()
+	return true
 }
 
 // finish moves the job to a terminal state at the given instant and
-// emits the closing event.
-func (j *Job) finish(s Status, res *Result, msg string, at time.Time) {
+// emits the closing event. It is idempotent: once terminal, later
+// finish calls (a cancel racing a drain, a worker finishing a job
+// cancelled while queued) are no-ops, and it reports whether this call
+// performed the transition.
+func (j *Job) finish(s Status, res *Result, msg string, at time.Time) bool {
 	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
 	j.status = s
 	j.result = res
 	j.doneAt = at
 	j.mu.Unlock()
 	j.append(Event{Kind: EventTerminal, Status: s, Message: msg})
+	return true
+}
+
+// cancelIfQueued atomically finishes the job in the cancelled state if
+// no worker has picked it up yet, reporting whether it did. A running
+// job is left alone: its cancelled context stops Execute at the next
+// iteration boundary and the worker lands the terminal transition (with
+// the partial result).
+func (j *Job) cancelIfQueued(at time.Time) bool {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCancelled
+	j.doneAt = at
+	j.mu.Unlock()
+	j.append(Event{Kind: EventTerminal, Status: StatusCancelled, Message: "cancelled by client before the job ran"})
+	return true
 }
 
 // doneSince returns the terminal instant, ok=false while the job is live.
@@ -219,6 +269,13 @@ type RunnerConfig struct {
 	// a lookup past the TTL reports not-found (HTTP 404). 0 keeps
 	// terminal jobs forever — the pre-TTL behavior.
 	ResultTTL time.Duration
+	// SlowSpan, when > 0, samples slow trace spans: every job is traced
+	// and each span lasting at least this long is reported through
+	// OnSlowSpan. 0 traces only jobs that opt in with Options.Trace.
+	SlowSpan time.Duration
+	// OnSlowSpan receives the sampled slow spans (nil discards them);
+	// cmd/uvllmd points it at the process log.
+	OnSlowSpan func(jobID string, sp obs.SpanInfo)
 }
 
 // DefaultQueueLimit bounds the queue when RunnerConfig.QueueLimit is 0.
@@ -233,8 +290,8 @@ const DefaultQueueLimit = 256
 type Runner struct {
 	cfg  RunnerConfig
 	svc  Services
-	exec func(JobSpec, Services, func(Event)) Result // test seam; Execute by default
-	now  func() time.Time                            // test seam; time.Now by default
+	exec func(context.Context, JobSpec, Services, func(Event)) Result // test seam; ExecuteCtx by default
+	now  func() time.Time                                             // test seam; time.Now by default
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -248,8 +305,15 @@ type Runner struct {
 	jobs     map[string]*Job
 	wg       sync.WaitGroup
 
-	stages *stageRecorder
+	stageWait     *obs.Histogram // queue_wait stage latencies
+	stageRun      *obs.Histogram // run stage latencies
+	jobsTotal     *obs.Counter
+	jobsCancelled *obs.Counter
 }
+
+// stageBuckets bounds the stage/endpoint latency histograms: 1 ms to
+// ~65 s, doubling.
+var stageBuckets = obs.ExpBuckets(0.001, 2, 17)
 
 // NewRunner starts the worker pool and returns the runner.
 func NewRunner(cfg RunnerConfig) *Runner {
@@ -269,18 +333,52 @@ func NewRunner(cfg RunnerConfig) *Runner {
 			svc.Memo = def.Memo
 		}
 	}
-	r := &Runner{
-		cfg: cfg, svc: svc, exec: Execute, now: time.Now,
-		queues: map[string][]*Job{},
-		jobs:   map[string]*Job{},
-		stages: newStageRecorder(),
+	if svc.Obs == nil {
+		// The runner always observes: the registry feeds /v1/metrics and
+		// /metrics. Callers share a process-wide registry by setting
+		// Services.Obs.
+		svc.Obs = obs.NewRegistry()
 	}
+	reg := svc.Obs
+	r := &Runner{
+		cfg: cfg, svc: svc, exec: ExecuteCtx, now: time.Now,
+		queues:        map[string][]*Job{},
+		jobs:          map[string]*Job{},
+		stageWait:     reg.Histogram("stage_seconds", "job stage latency in seconds", stageBuckets, obs.L("stage", "queue_wait")),
+		stageRun:      reg.Histogram("stage_seconds", "job stage latency in seconds", stageBuckets, obs.L("stage", "run")),
+		jobsTotal:     reg.Counter("jobs_total", "jobs accepted by the runner"),
+		jobsCancelled: reg.Counter("jobs_cancelled_total", "jobs cancelled by the client"),
+	}
+	r.registerGauges(reg)
 	r.cond = sync.NewCond(&r.mu)
 	for w := 0; w < cfg.Workers; w++ {
 		r.wg.Add(1)
 		go r.worker()
 	}
 	return r
+}
+
+// registerGauges wires the runner's queue/worker state and the shared
+// caches' counters into the registry as snapshot-time gauge functions —
+// the registry never duplicates state the subsystems already keep
+// behind their own locks.
+func (r *Runner) registerGauges(reg *obs.Registry) {
+	reg.Gauge("workers", "worker pool size").Set(float64(r.cfg.Workers))
+	reg.GaugeFunc("queue_depth", "queued (not running) jobs", func() float64 { return float64(r.QueueDepth()) })
+	reg.GaugeFunc("jobs_running", "in-flight jobs", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(r.running)
+	})
+	cache, memo := r.svc.Cache, r.svc.Memo
+	reg.GaugeFunc("cache_hits", "cache hits", func() float64 { return float64(cache.Stats().Hits) }, obs.L("cache", "compile"))
+	reg.GaugeFunc("cache_misses", "cache misses", func() float64 { return float64(cache.Stats().Misses) }, obs.L("cache", "compile"))
+	reg.GaugeFunc("cache_hits", "cache hits", func() float64 { return float64(cache.Stats().Disk.Hits) }, obs.L("cache", "disk"))
+	reg.GaugeFunc("cache_misses", "cache misses", func() float64 { return float64(cache.Stats().Disk.Misses) }, obs.L("cache", "disk"))
+	reg.GaugeFunc("cache_writes", "disk cache entries written", func() float64 { return float64(cache.Stats().Disk.Writes) }, obs.L("cache", "disk"))
+	reg.GaugeFunc("cache_evictions", "disk cache evictions", func() float64 { return float64(cache.Stats().Disk.Evictions) }, obs.L("cache", "disk"))
+	reg.GaugeFunc("cache_hits", "cache hits", func() float64 { return float64(memo.Stats().Hits) }, obs.L("cache", "trace_memo"))
+	reg.GaugeFunc("cache_misses", "cache misses", func() float64 { return float64(memo.Stats().Misses) }, obs.L("cache", "trace_memo"))
 }
 
 // Workers returns the worker pool size.
@@ -315,8 +413,35 @@ func (r *Runner) Submit(spec JobSpec) (*Job, error) {
 	r.queues[tenant] = append(r.queues[tenant], j)
 	r.queued++
 	r.jobs[j.ID] = j
+	r.jobsTotal.Inc()
 	r.cond.Signal()
 	return j, nil
+}
+
+// Cancel requests cancellation of a job by ID. A queued job moves to
+// the cancelled terminal state immediately and never runs; a running
+// job has its context cancelled, so Execute stops at the next
+// iteration (or formal depth) boundary and the worker lands it in the
+// cancelled state. Cancelling a terminal job is a no-op. ok is false
+// for unknown (or TTL-expired) IDs.
+func (r *Runner) Cancel(id string) (j *Job, ok bool) {
+	j, ok = r.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	if j.cancelIfQueued(r.now()) {
+		// The job was still queued: it is terminal now and the worker that
+		// eventually pops it will skip it.
+		r.jobsCancelled.Inc()
+		r.countTerminal(StatusCancelled)
+	}
+	return j, true
+}
+
+// countTerminal records one terminal transition in the registry.
+func (r *Runner) countTerminal(s Status) {
+	r.svc.Obs.Counter("jobs_by_status_total", "terminal jobs by status", obs.L("status", string(s))).Inc()
 }
 
 // Job looks a job up by ID. Terminal jobs past the configured ResultTTL
@@ -427,26 +552,54 @@ func (r *Runner) worker() {
 }
 
 // run executes one job end to end, recording queue-wait and run-time
-// stage samples.
+// stage samples and tracing the job when the trace knob (or the
+// slow-span sampler) is on.
 func (r *Runner) run(j *Job) {
 	start := r.now()
 	wait := start.Sub(j.queuedAt)
-	r.stages.observe("queue_wait", wait)
+	r.stageWait.Observe(wait.Seconds())
 	j.mu.Lock()
 	j.waited = wait
 	j.mu.Unlock()
 
-	j.setStatus(StatusRunning)
+	if !j.setStatus(StatusRunning) {
+		// Cancelled while queued: the job is already terminal, skip it.
+		return
+	}
 	j.append(Event{Kind: EventStarted, Status: StatusRunning})
-	res := r.exec(j.Spec, r.svc, j.append)
+
+	ctx := j.ctx
+	var root *obs.Span
+	if j.Spec.Options.Trace || r.cfg.SlowSpan > 0 {
+		tracer := obs.NewTracer(j.ID)
+		tracer.SlowSpan = r.cfg.SlowSpan
+		if r.cfg.OnSlowSpan != nil {
+			tracer.OnSlow = func(sp obs.SpanInfo) { r.cfg.OnSlowSpan(j.ID, sp) }
+		}
+		if j.Spec.Options.Trace {
+			tracer.OnEnd = func(sp obs.SpanInfo) {
+				s := sp
+				j.append(Event{Kind: EventSpan, Span: &s})
+			}
+		}
+		root = tracer.Start("job")
+		ctx = obs.ContextWith(ctx, root)
+	}
+	res := r.exec(ctx, j.Spec, r.svc, j.append)
+	root.End()
 	ran := r.now().Sub(start)
-	r.stages.observe("run", ran)
+	r.stageRun.Observe(ran.Seconds())
 	j.mu.Lock()
 	j.ranFor = ran
 	j.mu.Unlock()
 
 	status, msg := StatusDone, "verification passed"
-	if res.Failed() {
+	switch {
+	case res.Cancelled:
+		status = StatusCancelled
+		msg = "cancelled by client mid-run"
+		r.jobsCancelled.Inc()
+	case res.Failed():
 		status = StatusFailed
 		switch {
 		case res.Error != "":
@@ -457,7 +610,9 @@ func (r *Runner) run(j *Job) {
 			msg = fmt.Sprintf("verification failed (best pass rate %.2f)", res.PassRate)
 		}
 	}
-	j.finish(status, &res, msg, r.now())
+	if j.finish(status, &res, msg, r.now()) {
+		r.countTerminal(status)
+	}
 }
 
 // Drain stops intake, terminates every still-queued job with the drained
@@ -472,7 +627,9 @@ func (r *Runner) Drain(ctx context.Context) error {
 			if j == nil {
 				break
 			}
-			j.finish(StatusDrained, nil, "server drained before the job ran", r.now())
+			if j.finish(StatusDrained, nil, "server drained before the job ran", r.now()) {
+				r.countTerminal(StatusDrained)
+			}
 		}
 	}
 	r.cond.Broadcast()
@@ -492,38 +649,26 @@ func (r *Runner) Drain(ctx context.Context) error {
 }
 
 // StageStats returns the recorded per-stage latency samples (seconds),
-// keyed by stage name ("queue_wait", "run").
-func (r *Runner) StageStats() map[string][]float64 { return r.stages.snapshot() }
-
-// stageRecorder keeps bounded per-stage latency samples.
-type stageRecorder struct {
-	mu      sync.Mutex
-	samples map[string][]float64
-}
-
-const maxStageSamples = 4096
-
-func newStageRecorder() *stageRecorder {
-	return &stageRecorder{samples: map[string][]float64{}}
-}
-
-func (s *stageRecorder) observe(stage string, d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	xs := s.samples[stage]
-	if len(xs) >= maxStageSamples {
-		// Keep the newest half: percentiles should reflect recent load.
-		xs = append(xs[:0], xs[len(xs)/2:]...)
-	}
-	s.samples[stage] = append(xs, d.Seconds())
-}
-
-func (s *stageRecorder) snapshot() map[string][]float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// keyed by stage name ("queue_wait", "run"). The samples come from the
+// registry histograms' bounded windows, so percentiles reflect recent
+// load exactly as the pre-registry sampler did.
+func (r *Runner) StageStats() map[string][]float64 {
 	out := map[string][]float64{}
-	for k, v := range s.samples {
-		out[k] = append([]float64(nil), v...)
+	for name, h := range map[string]*obs.Histogram{"queue_wait": r.stageWait, "run": r.stageRun} {
+		if xs := h.Samples(); len(xs) > 0 {
+			out[name] = xs
+		}
 	}
 	return out
+}
+
+// stageCount returns the total observation count of a stage histogram.
+func (r *Runner) stageCount(name string) int64 {
+	switch name {
+	case "queue_wait":
+		return int64(r.stageWait.Count())
+	case "run":
+		return int64(r.stageRun.Count())
+	}
+	return 0
 }

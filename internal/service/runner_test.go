@@ -23,7 +23,7 @@ func newStubExec(buffered int, blocking bool) *stubExec {
 	return s
 }
 
-func (s *stubExec) exec(spec JobSpec, _ Services, _ func(Event)) Result {
+func (s *stubExec) exec(_ context.Context, spec JobSpec, _ Services, _ func(Event)) Result {
 	s.started <- spec.Tenant
 	if s.release != nil {
 		<-s.release
@@ -356,4 +356,113 @@ func TestRunnerResultTTL(t *testing.T) {
 	}
 	close(blocked.release)
 	waitStatus(t, j2, StatusDone)
+}
+
+// TestRunnerCancel covers both cancellation shapes: a queued job goes
+// terminal immediately and is skipped by the worker that eventually
+// pops it; a running job has its context cancelled and lands cancelled
+// when the executor returns a Cancelled result. Cancelling terminal or
+// unknown jobs is a no-op.
+func TestRunnerCancel(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 8})
+	r.exec = func(ctx context.Context, spec JobSpec, _ Services, _ func(Event)) Result {
+		started <- spec.Tenant
+		select {
+		case <-ctx.Done():
+			return Result{Cancelled: true, Stage: "verify"}
+		case <-release:
+			return Result{Success: true, Stage: "stub"}
+		}
+	}
+
+	running, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	queued, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Queued: terminal immediately, the worker never runs it.
+	if _, ok := r.Cancel(queued.ID); !ok {
+		t.Fatal("cancel of a queued job reported unknown")
+	}
+	if queued.Status() != StatusCancelled {
+		t.Fatalf("queued job status = %s, want cancelled immediately", queued.Status())
+	}
+	if _, hasResult := queued.Result(); hasResult {
+		t.Fatal("never-ran job has a result")
+	}
+
+	// Running: cancellation propagates through the context; the worker
+	// lands the terminal state with the executor's (cancelled) result.
+	if _, ok := r.Cancel(running.ID); !ok {
+		t.Fatal("cancel of a running job reported unknown")
+	}
+	waitStatus(t, running, StatusCancelled)
+	res, ok := running.Result()
+	if !ok || !res.Cancelled {
+		t.Fatalf("running job result = %+v (ok=%v), want cancelled", res, ok)
+	}
+
+	// Terminal: idempotent no-op; unknown: not found.
+	if j, ok := r.Cancel(running.ID); !ok || j.Status() != StatusCancelled {
+		t.Fatal("re-cancel of a terminal job must be a found no-op")
+	}
+	if _, ok := r.Cancel("job-999"); ok {
+		t.Fatal("cancel of an unknown job reported found")
+	}
+
+	if got := r.jobsCancelled.Value(); got != 2 {
+		t.Fatalf("jobs_cancelled_total = %d, want 2", got)
+	}
+	close(release)
+	r.Drain(context.Background())
+}
+
+// TestRunnerTraceSpans checks that a trace-enabled job streams span
+// events carrying a root "job" span, and that an untraced job streams
+// none.
+func TestRunnerTraceSpans(t *testing.T) {
+	stub := newStubExec(2, false)
+	r := NewRunner(RunnerConfig{Workers: 1, QueueLimit: 4})
+	r.exec = stub.exec
+	defer r.Drain(context.Background())
+
+	spec := testSpec("a")
+	spec.Options.Trace = true
+	traced, err := r.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitStatus(t, traced, StatusDone)
+	evs, _, _ := traced.EventsSince(0)
+	var spans int
+	for _, ev := range evs {
+		if ev.Kind == EventSpan {
+			spans++
+			if ev.Span == nil || ev.Span.Name != "job" {
+				t.Fatalf("span event payload = %+v, want the root job span", ev.Span)
+			}
+		}
+	}
+	if spans != 1 {
+		t.Fatalf("traced stub job streamed %d span events, want 1 (the root)", spans)
+	}
+
+	plain, err := r.Submit(testSpec("a"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitStatus(t, plain, StatusDone)
+	evs, _, _ = plain.EventsSince(0)
+	for _, ev := range evs {
+		if ev.Kind == EventSpan {
+			t.Fatal("untraced job streamed a span event")
+		}
+	}
 }

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"uvllm/internal/dataset"
+	"uvllm/internal/obs"
 )
 
 // maxRequestBody bounds a submission body (a DUT source plus knobs fits
@@ -18,33 +20,47 @@ const maxRequestBody = 4 << 20
 // Server is the HTTP front-end over a Runner: the verification-as-a-
 // service API of cmd/uvllmd.
 //
-//	POST /v1/jobs            submit a design or repair job (202, 400, 429, 503)
-//	GET  /v1/jobs/{id}       job status + terminal result
-//	GET  /v1/jobs/{id}/events  SSE stream of progress events
-//	GET  /v1/modules         benchmark module catalog
-//	GET  /v1/metrics         queue/latency/cache snapshot
-//	GET  /healthz            liveness + drain state
+//	POST   /v1/jobs            submit a design or repair job (202, 400, 429, 503)
+//	GET    /v1/jobs/{id}       job status + terminal result
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/events  SSE stream of progress events
+//	GET    /v1/modules         benchmark module catalog
+//	GET    /v1/metrics         queue/latency/cache snapshot (JSON)
+//	GET    /metrics            the same registry in Prometheus text format
+//	GET    /healthz            liveness + drain state
 //
-// Every handler is instrumented: request latencies aggregate per
-// endpoint pattern and surface as percentiles on /v1/metrics.
+// Every handler is instrumented: request latencies and error counts
+// aggregate per endpoint pattern in the obs registry and surface as
+// percentiles on /v1/metrics and as histograms on /metrics.
 type Server struct {
-	runner    *Runner
-	endpoints *endpointRecorder
-	mux       *http.ServeMux
+	runner *Runner
+	mux    *http.ServeMux
+
+	epMu sync.Mutex
+	eps  map[string]*endpointHandles
+}
+
+// endpointHandles are one route's registry handles, created at
+// registration so the request path only observes.
+type endpointHandles struct {
+	lat  *obs.Histogram
+	errs *obs.Counter
 }
 
 // NewServer builds the HTTP layer over a fresh Runner.
 func NewServer(cfg RunnerConfig) *Server {
 	s := &Server{
-		runner:    NewRunner(cfg),
-		endpoints: newEndpointRecorder(),
-		mux:       http.NewServeMux(),
+		runner: NewRunner(cfg),
+		mux:    http.NewServeMux(),
+		eps:    map[string]*endpointHandles{},
 	}
 	s.handle("POST /v1/jobs", s.submit)
 	s.handle("GET /v1/jobs/{id}", s.status)
+	s.handle("DELETE /v1/jobs/{id}", s.cancel)
 	s.handle("GET /v1/jobs/{id}/events", s.events)
 	s.handle("GET /v1/modules", s.modules)
 	s.handle("GET /v1/metrics", s.metrics)
+	s.handle("GET /metrics", s.prometheus)
 	s.handle("GET /healthz", s.health)
 	return s
 }
@@ -63,14 +79,47 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.runner.Drain(ctx)
 }
 
-// handle wraps a handler with the per-endpoint latency instrumentation.
+// handle wraps a handler with the per-endpoint latency instrumentation:
+// one registry histogram and error counter per route, created here so
+// the request path only observes.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	reg := s.runner.Services().Obs
+	ep := &endpointHandles{
+		lat:  reg.Histogram("http_request_seconds", "request latency by endpoint", stageBuckets, obs.L("endpoint", pattern)),
+		errs: reg.Counter("http_request_errors_total", "responses with status >= 400 by endpoint", obs.L("endpoint", pattern)),
+	}
+	s.epMu.Lock()
+	s.eps[pattern] = ep
+	s.epMu.Unlock()
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
 		h(cw, r)
-		s.endpoints.observe(pattern, time.Since(start), cw.code)
+		ep.lat.Observe(time.Since(start).Seconds())
+		if cw.code >= 400 {
+			ep.errs.Inc()
+		}
 	})
+}
+
+// endpointSnapshot renders the per-endpoint section of /v1/metrics from
+// the registry handles, omitting endpoints that have served nothing —
+// the same shape the bespoke recorder produced.
+func (s *Server) endpointSnapshot() map[string]EndpointStats {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	out := map[string]EndpointStats{}
+	for pattern, ep := range s.eps {
+		n := int64(ep.lat.Count())
+		if n == 0 {
+			continue
+		}
+		out[pattern] = EndpointStats{
+			Latency: summarize(n, ep.lat.Samples()),
+			Errors:  ep.errs.Value(),
+		}
+	}
+	return out
 }
 
 // codeWriter captures the response status for instrumentation.
@@ -188,6 +237,19 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, viewOf(j))
 }
 
+// cancel handles DELETE /v1/jobs/{id}: cancellation of a queued or
+// running job. 202 with the job view on acceptance (idempotent —
+// cancelling an already-terminal job just returns its state), 404 for
+// unknown IDs.
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.runner.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(j))
+}
+
 // events streams a job's progress as Server-Sent Events: one
 // `data: <json Event>` frame per event from the beginning of the job's
 // history, closing after the terminal event. Reconnecting clients replay
@@ -261,7 +323,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	tenants, byStatus, running := s.runner.Snapshot()
 	stages := map[string]LatencySummary{}
 	for name, secs := range s.runner.StageStats() {
-		stages[name] = summarize(int64(len(secs)), secs)
+		stages[name] = summarize(s.runner.stageCount(name), secs)
 	}
 	cs := s.runner.Services().Cache.Stats()
 	ms := s.runner.Services().Memo.Stats()
@@ -273,7 +335,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		Draining:     s.runner.Draining(),
 		TenantQueues: tenants,
 		JobsByStatus: byStatus,
-		Endpoints:    s.endpoints.snapshot(),
+		Endpoints:    s.endpointSnapshot(),
 		Stages:       stages,
 		Caches: CacheMetrics{
 			Compile:          cs,
@@ -282,6 +344,14 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 			TraceMemoHitRate: hitRatePct(ms.Hits, ms.Misses),
 		},
 	})
+}
+
+// prometheus serves the whole obs registry in the Prometheus text
+// exposition format — the scrape target for standard monitoring stacks,
+// fed by the same registry as the JSON snapshot.
+func (s *Server) prometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.runner.Services().Obs.WritePrometheus(w)
 }
 
 // healthBody is the GET /healthz response.

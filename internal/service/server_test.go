@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -337,4 +338,79 @@ func TestServerModulesAndMetrics(t *testing.T) {
 // tests cannot observe (or pollute) the process-wide shared caches.
 func testServices() Services {
 	return Services{Cache: sim.NewCache(), Memo: uvm.NewTraceMemo()}
+}
+
+// TestServerCancel drives the DELETE /v1/jobs/{id} surface: a queued
+// job reports cancelled with 202, re-cancel is an idempotent 202, an
+// unknown ID is 404, and the cancellation shows up in both metrics
+// surfaces (JSON status counts and the Prometheus counter).
+func TestServerCancel(t *testing.T) {
+	stub := newStubExec(8, true)
+	s, ts := testServer(t, RunnerConfig{Workers: 1, QueueLimit: 8}, stub)
+
+	_, blockSub := postJob(t, ts, testSpec("a"))
+	<-stub.started
+	_, sub := postJob(t, ts, testSpec("a"))
+
+	del := func(id string) (int, JobView) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE: %v", err)
+		}
+		defer resp.Body.Close()
+		var view JobView
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+				t.Fatalf("decode cancel response: %v", err)
+			}
+		}
+		return resp.StatusCode, view
+	}
+
+	code, view := del(sub.ID)
+	if code != http.StatusAccepted || view.Status != StatusCancelled {
+		t.Fatalf("cancel queued job: HTTP %d, status %s", code, view.Status)
+	}
+	if code, view = del(sub.ID); code != http.StatusAccepted || view.Status != StatusCancelled {
+		t.Fatalf("re-cancel: HTTP %d, status %s; want idempotent 202", code, view.Status)
+	}
+	if code, _ = del("job-999"); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: HTTP %d, want 404", code)
+	}
+
+	close(stub.release)
+	pollTerminal(t, ts, blockSub.ID)
+
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.JobsByStatus[StatusCancelled] != 1 {
+		t.Fatalf("jobs_by_status = %v, want one cancelled", m.JobsByStatus)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 2",
+		"jobs_cancelled_total 1",
+		`jobs_by_status_total{status="cancelled"} 1`,
+		`cache_hits{cache="compile"}`,
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="run",le="+Inf"}`,
+		`http_request_seconds_count{endpoint="POST /v1/jobs"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	_ = s
 }

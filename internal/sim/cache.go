@@ -91,7 +91,7 @@ func (c *Cache) WarmFromDisk() int {
 			}
 			return CompileSource(e.Source, e.Top, b)
 		})
-		c.disk.hits.Add(1)
+		c.disk.count(func(st *DiskStats) { st.Hits++ })
 		warmed++
 	}
 	return warmed

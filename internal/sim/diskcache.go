@@ -46,12 +46,20 @@ type DiskCache struct {
 	maxBytes atomic.Int64
 	evictMu  sync.Mutex // serializes eviction sweeps
 
-	hits         atomic.Int64 // entries loaded intact
-	misses       atomic.Int64 // consulted, no entry on disk
-	corrupt      atomic.Int64 // entries present but unreadable or checksum-broken
-	writes       atomic.Int64 // entries stored
-	evictions    atomic.Int64 // entries removed by the byte budget
-	evictedBytes atomic.Int64 // bytes reclaimed by the byte budget
+	// statMu guards stats as one value, so a Stats() snapshot is
+	// internally consistent: related counters that move together (an
+	// eviction's count and its reclaimed bytes) are updated under one
+	// critical section and can never be observed half-applied, which six
+	// independent atomics could not guarantee.
+	statMu sync.Mutex
+	stats  DiskStats
+}
+
+// count applies one counter update under the stats lock.
+func (d *DiskCache) count(f func(*DiskStats)) {
+	d.statMu.Lock()
+	f(&d.stats)
+	d.statMu.Unlock()
 }
 
 // NewDiskCache opens (creating if needed) the on-disk tier rooted at dir.
@@ -93,16 +101,12 @@ type DiskStats struct {
 	EvictedBytes int64 // bytes reclaimed by the LRU byte budget
 }
 
-// Stats returns the disk-tier counters.
+// Stats returns a consistent snapshot of the disk-tier counters, taken
+// under the tier's stats lock.
 func (d *DiskCache) Stats() DiskStats {
-	return DiskStats{
-		Hits:         d.hits.Load(),
-		Misses:       d.misses.Load(),
-		Corrupt:      d.corrupt.Load(),
-		Writes:       d.writes.Load(),
-		Evictions:    d.evictions.Load(),
-		EvictedBytes: d.evictedBytes.Load(),
-	}
+	d.statMu.Lock()
+	defer d.statMu.Unlock()
+	return d.stats
 }
 
 // diskEntry is the JSON envelope of one persisted compile outcome. Sum is
@@ -145,19 +149,19 @@ func (d *DiskCache) load(src, top string, backend Backend) (e diskEntry, ok bool
 	path := filepath.Join(d.dir, entryName(src, top, backend))
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		d.misses.Add(1)
+		d.count(func(st *DiskStats) { st.Misses++ })
 		return diskEntry{}, false
 	}
 	if err != nil {
-		d.corrupt.Add(1)
+		d.count(func(st *DiskStats) { st.Corrupt++ })
 		return diskEntry{}, false
 	}
 	if err := json.Unmarshal(data, &e); err != nil || e.Sum != e.checksum() {
-		d.corrupt.Add(1)
+		d.count(func(st *DiskStats) { st.Corrupt++ })
 		os.Remove(path)
 		return diskEntry{}, false
 	}
-	d.hits.Add(1)
+	d.count(func(st *DiskStats) { st.Hits++ })
 	// Touch the entry: mtime is the LRU recency clock. Best effort — a
 	// read-only tier still serves hits, it just evicts in write order.
 	now := time.Now()
@@ -193,7 +197,7 @@ func (d *DiskCache) store(src, top string, backend Backend, compileErr error) {
 		os.Remove(tmp.Name())
 		return
 	}
-	d.writes.Add(1)
+	d.count(func(st *DiskStats) { st.Writes++ })
 	d.evict()
 }
 
@@ -260,8 +264,10 @@ func (d *DiskCache) evict() {
 			continue
 		}
 		total -= f.size
-		d.evictions.Add(1)
-		d.evictedBytes.Add(f.size)
+		d.count(func(st *DiskStats) {
+			st.Evictions++
+			st.EvictedBytes += f.size
+		})
 	}
 }
 
@@ -279,12 +285,12 @@ func (d *DiskCache) entries() []diskEntry {
 		}
 		data, err := os.ReadFile(filepath.Join(d.dir, de.Name()))
 		if err != nil {
-			d.corrupt.Add(1)
+			d.count(func(st *DiskStats) { st.Corrupt++ })
 			continue
 		}
 		var e diskEntry
 		if err := json.Unmarshal(data, &e); err != nil || e.Sum != e.checksum() {
-			d.corrupt.Add(1)
+			d.count(func(st *DiskStats) { st.Corrupt++ })
 			os.Remove(filepath.Join(d.dir, de.Name()))
 			continue
 		}

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -270,5 +272,84 @@ func TestDiskCacheBudgetEviction(t *testing.T) {
 	}
 	if _, ok := d.load(src(4), "inc", BackendCompiled); !ok {
 		t.Fatal("fresh store evicted itself")
+	}
+}
+
+// TestDiskCacheStatsHammer pounds the cache's counters from many
+// goroutines — disk loads (hits, misses, corrupt), write-through
+// stores, budget evictions and concurrent Stats() scrapes — and then
+// checks the final snapshot is exactly consistent with the work done.
+// Run under -race this is the proof that every counter update and read
+// goes through the stats lock; the closing invariant is the one torn
+// multi-atomic snapshots used to violate.
+func TestDiskCacheStatsHammer(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := fmt.Sprintf("module m%d(input clk); endmodule\n", w)
+			for i := 0; i < rounds; i++ {
+				d.load(src, "m", BackendCompiled) // miss first, hits after the store
+				d.store(src, "m", BackendCompiled, nil)
+				d.load(src, "m", BackendCompiled)
+			}
+		}(w)
+	}
+	// Concurrent scrapes: every snapshot must satisfy the inherent
+	// invariants (no negative counters, eviction bytes only with
+	// evictions) even while writers are mid-flight.
+	stop := make(chan struct{})
+	var scr sync.WaitGroup
+	scr.Add(1)
+	go func() {
+		defer scr.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := d.Stats()
+			if s.Hits < 0 || s.Misses < 0 || s.Corrupt < 0 || s.Writes < 0 {
+				t.Error("negative counter in snapshot")
+				return
+			}
+			if s.Evictions == 0 && s.EvictedBytes != 0 {
+				t.Errorf("torn snapshot: %d evicted bytes with 0 evictions", s.EvictedBytes)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scr.Wait()
+
+	s := d.Stats()
+	// Each worker: every load either hits or misses, and every store
+	// writes. No corruption was injected.
+	if got, want := s.Hits+s.Misses, int64(workers*rounds*2); got != want {
+		t.Fatalf("hits+misses = %d, want %d (loads performed)", got, want)
+	}
+	if got, want := s.Writes, int64(workers*rounds); got != want {
+		t.Fatalf("writes = %d, want %d", got, want)
+	}
+	if s.Corrupt != 0 || s.Evictions != 0 {
+		t.Fatalf("unexpected corrupt/evictions: %+v", s)
+	}
+	// Only the very first load of each key can miss: every load after a
+	// store must hit.
+	if s.Misses > int64(workers) {
+		t.Fatalf("misses = %d, want <= %d (first load per key only)", s.Misses, workers)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"uvllm/internal/cover"
+	"uvllm/internal/obs"
 )
 
 // Waveform records cycle-sampled values of named signals, the simulator's
@@ -98,7 +99,16 @@ type Harness struct {
 	recIdx   []int           // arena index per recorded port, in Wave.Names() order (-1 = unknown)
 	recRow   []uint64        // scratch row reused every cycle
 	inputSet map[string]bool // top-level input names
+	cycles   *obs.Counter    // optional per-cycle counter; nil = untracked
 }
+
+// ObserveCycles attaches a registry counter incremented once per Cycle,
+// the simulation loop's contribution to the observability layer. A nil
+// counter (the default) keeps the hot loop at its uninstrumented cost —
+// the increment degrades to obs.Counter's nil-receiver fast path, which
+// the BenchmarkSimCompiled / BenchmarkSimCompiledObs benchguard pair
+// holds to within noise of each other.
+func (h *Harness) ObserveCycles(c *obs.Counter) { h.cycles = c }
 
 // sortedExtraKeys returns the stimulus keys that are not top-level inputs
 // (nor the clock), sorted for deterministic application order.
@@ -221,6 +231,7 @@ func (h *Harness) Cycle(inputs map[string]uint64) (map[string]uint64, error) {
 	}
 	h.Wave.recordRow(h.recRow)
 	h.cycle++
+	h.cycles.Inc()
 	return outs, nil
 }
 
